@@ -1,0 +1,34 @@
+"""E4: decision-procedure scaling in |V0| and query width.
+
+The Theorem 3 pipeline is: containment checks (hom existence), basis
+construction (components + isomorphism dedup), span test (exact RREF).
+These benchmarks sweep the two workload axes the DESIGN.md index calls
+out: number of views and components per query.
+"""
+
+import pytest
+
+from repro.core.decision import decide_bag_determinacy
+
+from workloads import make_instance
+
+
+@pytest.mark.parametrize("n_views", [1, 4, 8, 16])
+def test_decide_vs_view_count(benchmark, n_views):
+    views, query = make_instance(n_views=n_views, n_components=2, seed=17)
+    result = benchmark(decide_bag_determinacy, views, query)
+    assert result.basis.dimension >= 1
+
+
+@pytest.mark.parametrize("n_components", [1, 2, 4, 6])
+def test_decide_vs_query_width(benchmark, n_components):
+    views, query = make_instance(n_views=4, n_components=n_components, seed=29)
+    result = benchmark(decide_bag_determinacy, views, query)
+    assert result.basis.dimension >= 1
+
+
+def test_decide_determined_fast_path(benchmark):
+    """Self-view instances exercise containment + trivial span."""
+    views, query = make_instance(n_views=1, n_components=2, seed=5)
+    result = benchmark(decide_bag_determinacy, [query], query)
+    assert result.determined

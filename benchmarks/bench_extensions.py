@@ -1,0 +1,65 @@
+"""Benchmarks for the extension layer: set-determinacy, catalogs,
+serialization and cores (DESIGN.md §3.4)."""
+
+import pytest
+
+from repro.queries.cq import cq_from_structure
+from repro.queries.parser import parse_boolean_cq
+from repro.structures.generators import clique_structure, cycle_structure
+from repro.structures.serialization import dumps, loads
+from repro.core.setdet import decide_set_determinacy_boolean
+from repro.core.workbench import ViewCatalog
+from repro.hom.cores import core
+
+from workloads import make_instance
+
+
+def test_set_determinacy_decision(benchmark):
+    views, query = make_instance(n_views=4, n_components=2, seed=3)
+    result = benchmark(decide_set_determinacy_boolean, views, query)
+    assert result.relevant_views is not None
+
+
+def test_catalog_workload_partition(benchmark):
+    views, _ = make_instance(n_views=3, n_components=2, seed=4)
+    workload = [make_instance(1, 2, seed=100 + i)[1] for i in range(6)]
+    catalog = ViewCatalog(views)
+
+    def sweep():
+        fresh = ViewCatalog(views)
+        return fresh.partition_workload(workload)
+
+    answerable, unanswerable = benchmark(sweep)
+    assert len(answerable) + len(unanswerable) == 6
+
+
+def test_catalog_cached_redecision(benchmark):
+    views, query = make_instance(n_views=3, n_components=2, seed=5)
+    catalog = ViewCatalog(views)
+    catalog.decide(query)  # warm
+
+    result = benchmark(catalog.decide, query)
+    assert result is catalog.decide(query)
+
+
+@pytest.mark.parametrize("size", [3, 5])
+def test_serialization_roundtrip(benchmark, size):
+    structure = clique_structure(size)
+
+    def roundtrip():
+        return loads(dumps(structure))
+
+    assert benchmark(roundtrip) == structure
+
+
+def test_core_computation(benchmark):
+    # symmetric 6-cycle retracts to the symmetric edge
+    from repro.structures.structure import Structure
+
+    facts = []
+    for i in range(6):
+        facts.append(("R", (i, (i + 1) % 6)))
+        facts.append(("R", ((i + 1) % 6, i)))
+    hexagon = Structure(facts)
+    reduced = benchmark(core, hexagon)
+    assert len(reduced.domain()) == 2

@@ -1,0 +1,77 @@
+"""E1 + E2: regenerate Figure 1 and Figure 2 of the paper.
+
+Figure 1 (Example 39): the structure pair w1, w2 with evaluation
+matrix M_W = [[2, 4], [1, 2]] — singular.
+
+Figure 2 (Example 54): the good basis S = {s1, s2} with
+M_S = [[1, 4], [1, 2]] — nonsingular — together with the cone C and
+the lattice P of actual answer vectors.
+
+Each benchmark regenerates the figure's data from scratch (hom
+counting included) and asserts the published numbers.
+"""
+
+from fractions import Fraction
+
+from repro.hom.count import count_homs
+from repro.hom.matrix import evaluation_matrix
+from repro.linalg.cone import SimplicialCone
+from repro.structures.generators import loop_structure
+from repro.structures.operations import sum_with_multiplicities
+from repro.structures.structure import Structure
+
+
+def figure1_pair():
+    red = [("R", (0, 1)), ("R", (1, 1)), ("R", (1, 2)), ("R", (2, 2))]
+    w1 = Structure(red + [("G", (2, 0)), ("G", (2, 2))])
+    w2 = Structure(red + [
+        ("G", (2, 0)), ("G", (2, 2)),
+        ("G", (0, 0)), ("G", (0, 1)), ("G", (2, 1)),
+    ])
+    return w1, w2
+
+
+def test_fig1_matrix(benchmark):
+    """Regenerate M_W = [[2,4],[1,2]] and confirm singularity."""
+    w1, w2 = figure1_pair()
+
+    def regenerate():
+        matrix = evaluation_matrix([w1, w2], [w1, w2])
+        return matrix.to_int_rows(), matrix.det()
+
+    rows, det = benchmark(regenerate)
+    assert rows == [[2, 4], [1, 2]]
+    assert det == 0
+
+
+def test_fig2_cone_and_lattice(benchmark):
+    """Regenerate M_S = [[1,4],[1,2]], the cone rays and the P-lattice
+    points with both coordinates ≤ 16 (the figure's visible window)."""
+    w1, w2 = figure1_pair()
+    s1 = loop_structure(["R", "G"])
+    s2 = w2
+
+    def regenerate():
+        matrix = evaluation_matrix([w1, w2], [s1, s2])
+        cone = SimplicialCone(matrix)
+        lattice = set()
+        for a in range(5):
+            for b in range(5):
+                database = sum_with_multiplicities([(a, s1), (b, s2)])
+                point = (count_homs(w1, database), count_homs(w2, database))
+                if point[0] <= 16 and point[1] <= 16:
+                    lattice.add(point)
+        return matrix, cone, lattice
+
+    matrix, cone, lattice = benchmark(regenerate)
+    assert matrix.to_int_rows() == [[1, 4], [1, 2]]
+    assert matrix.is_nonsingular()
+    # Cone rays are the matrix columns (the figure's arrows).
+    assert list(matrix.column(0)) == [1, 1]
+    assert list(matrix.column(1)) == [4, 2]
+    # Every lattice point is in the cone; the origin and both rays show.
+    for point in lattice:
+        assert cone.contains([Fraction(point[0]), Fraction(point[1])])
+    assert (0, 0) in lattice
+    assert (1, 1) in lattice
+    assert (4, 2) in lattice

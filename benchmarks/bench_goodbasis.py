@@ -1,0 +1,68 @@
+"""E7: good-basis construction (Lemma 40) vs basis dimension k."""
+
+import random
+
+import pytest
+
+from repro.queries.cq import cq_from_structure
+from repro.structures.generators import cycle_structure, path_structure
+from repro.core.basis import ComponentBasis
+from repro.core.goodbasis import construct_good_basis, find_distinguishers
+from repro.structures.schema import Schema
+
+
+POOL = [
+    path_structure(["R"]),
+    path_structure(["R", "R"]),
+    path_structure(["R", "R", "R"]),
+    cycle_structure(3),
+    cycle_structure(4),
+    cycle_structure(5),
+]
+AMBIENT = Schema({"R": 2})
+
+
+@pytest.mark.parametrize("k", [1, 2, 4, 6])
+def test_construction_vs_dimension(benchmark, k):
+    # The query must be a member of V ∪ {q}: take q = the disjoint
+    # union of all k components, so every component maps into it
+    # (the Definition 27 / Step 4 precondition).
+    from repro.structures.operations import sum_structures
+
+    components = POOL[:k]
+    query = cq_from_structure(sum_structures(components))
+
+    def build():
+        return construct_good_basis(
+            components, query, rng=random.Random(1)
+        )
+
+    good = benchmark(build)
+    assert good.matrix.is_nonsingular()
+
+
+@pytest.mark.parametrize("k", [2, 4, 6])
+def test_step1_distinguishers(benchmark, k):
+    components = POOL[:k]
+
+    def build():
+        return find_distinguishers(components, AMBIENT, rng=random.Random(1))
+
+    chosen = benchmark(build)
+    assert chosen
+
+
+def test_symbolic_matrix_entries(benchmark):
+    """The Step-3/4 matrix entries live on structures with astronomical
+    materialized size; the symbolic evaluator prices each entry."""
+    from repro.hom.count import count_homs
+
+    components = POOL[:4]
+    query = cq_from_structure(components[-1])
+    good = construct_good_basis(components, query, rng=random.Random(1))
+    biggest = good.structures[-1]
+    # materialized domain would be huge:
+    assert biggest.domain_size() > 10 ** 6
+
+    count = benchmark(count_homs, components[0], biggest)
+    assert count > 0

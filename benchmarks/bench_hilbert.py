@@ -1,0 +1,56 @@
+"""E9: the Appendix-A reduction — encoding size and round trips."""
+
+import pytest
+
+from repro.ucq.analysis import (
+    counterexample_from_solution,
+    search_reduction_counterexample,
+)
+from repro.ucq.hilbert import (
+    DiophantineInstance,
+    Monomial,
+    linear_instance,
+    pythagoras_instance,
+    unsolvable_instance,
+)
+from repro.ucq.reduction import build_reduction
+
+
+INSTANCES = {
+    "linear": linear_instance(),
+    "pythagoras": pythagoras_instance(),
+    "unsolvable": unsolvable_instance(),
+    "dense": DiophantineInstance([
+        Monomial(3, {"x": 2, "y": 1}),
+        Monomial(-1, {"z": 3}),
+        Monomial(2, {"x": 1}),
+        Monomial(-4, {"y": 2}),
+    ]),
+}
+
+
+@pytest.mark.parametrize("name", sorted(INSTANCES))
+def test_encoding_cost(benchmark, name):
+    instance = INSTANCES[name]
+    reduction = benchmark(build_reduction, instance)
+    expected_disjuncts = sum(abs(m.coefficient) for m in instance.monomials)
+    assert len(reduction.view_polynomial.disjuncts) == expected_disjuncts
+
+
+@pytest.mark.parametrize("name,bound,solvable", [
+    ("linear", 3, True),
+    ("pythagoras", 5, True),
+    ("unsolvable", 5, False),
+])
+def test_bounded_refutation(benchmark, name, bound, solvable):
+    reduction = build_reduction(INSTANCES[name])
+    witness = benchmark(search_reduction_counterexample, reduction, bound)
+    assert (witness is not None) == solvable
+
+
+def test_solution_to_structures_roundtrip(benchmark):
+    reduction = build_reduction(pythagoras_instance())
+    pair = benchmark(
+        counterexample_from_solution, reduction, {"x": 3, "y": 4, "z": 5}
+    )
+    assert pair.ok

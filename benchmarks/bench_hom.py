@@ -1,0 +1,68 @@
+"""E5: homomorphism-counting engine scaling + the factorization ablation.
+
+Compares the component-factorized counter (Lemma 4(5)) against raw
+backtracking on multi-component sources (DESIGN.md §6.3), and measures
+symbolic counting into deep lazy expressions against materialization.
+"""
+
+import pytest
+
+from repro.hom.count import count_homs
+from repro.hom.search import count_homomorphisms_direct
+from repro.structures.expression import PowerExpression, scaled_sum
+from repro.structures.generators import (
+    clique_structure,
+    cycle_structure,
+    path_structure,
+)
+from repro.structures.operations import sum_structures
+
+
+EDGE = path_structure(["R"])
+PATH3 = path_structure(["R", "R", "R"])
+C3 = cycle_structure(3)
+
+
+@pytest.mark.parametrize("target_size", [4, 6, 8])
+def test_count_into_clique(benchmark, target_size):
+    target = clique_structure(target_size)
+    count = benchmark(count_homs, PATH3, target)
+    assert count == target_size * (target_size - 1) ** 3
+
+
+@pytest.mark.parametrize("components", [1, 2, 3])
+def test_factorized_multi_component(benchmark, components):
+    """Factorized counting: cost grows linearly in component count."""
+    source = sum_structures([PATH3] * components)
+    target = clique_structure(5)
+    count = benchmark(count_homs, source, target)
+    assert count == (5 * 4 ** 3) ** components
+
+
+@pytest.mark.parametrize("components", [1, 2, 3])
+def test_ablation_direct_multi_component(benchmark, components):
+    """Ablation: raw backtracking pays the exponential product."""
+    source = sum_structures([PATH3] * components)
+    target = clique_structure(5)
+    count = benchmark(count_homomorphisms_direct, source, target)
+    assert count == (5 * 4 ** 3) ** components
+
+
+@pytest.mark.parametrize("depth", [2, 8, 32])
+def test_symbolic_count_into_power(benchmark, depth):
+    """Counting into (2·C3 + edge)^depth without materializing."""
+    expression = PowerExpression(scaled_sum([(2, C3), (1, EDGE)]), depth)
+    count = benchmark(count_homs, EDGE, expression)
+    assert count == 7 ** depth
+
+
+def test_ablation_materialized_power(benchmark):
+    """Materializing the same expression at the largest feasible depth
+    (the symbolic path handles depth 32; materialization caps at 2)."""
+    expression = PowerExpression(scaled_sum([(2, C3), (1, EDGE)]), 2)
+
+    def materialize_and_count():
+        concrete = expression.materialize(max_domain=100)
+        return count_homomorphisms_direct(EDGE, concrete)
+
+    assert benchmark(materialize_and_count) == 49

@@ -1,0 +1,55 @@
+"""E3: the paper's worked determinacy examples as benchmarks.
+
+Regenerates the verdict (and certificate) for Examples 2/3/32/42 —
+the rows a reader would check first.
+"""
+
+from repro.queries.cq import cq_from_structure
+from repro.queries.parser import parse_ucq
+from repro.structures.generators import cycle_structure, path_structure
+from repro.structures.operations import sum_with_multiplicities
+from repro.structures.structure import Structure
+from repro.core.decision import decide_bag_determinacy
+from repro.ucq.analysis import linear_certificate
+
+
+def test_example32_decision(benchmark):
+    w1 = path_structure(["R"])
+    w2 = path_structure(["R", "R"])
+    w3 = cycle_structure(3)
+
+    def make(*pairs):
+        return cq_from_structure(sum_with_multiplicities(list(pairs)))
+
+    q = make((1, w1), (1, w2), (2, w3))
+    v1 = make((2, w1), (1, w2), (3, w3))
+    v2 = make((5, w1), (2, w2), (7, w3))
+
+    result = benchmark(decide_bag_determinacy, [v1, v2], q)
+    assert result.determined
+    assert list(result.coefficients) == [3, -1]
+
+
+def test_example42_decision(benchmark):
+    red = [("R", (0, 1)), ("R", (1, 1)), ("R", (1, 2)), ("R", (2, 2))]
+    w1 = Structure(red + [("G", (2, 0)), ("G", (2, 2))])
+    w2 = Structure(red + [
+        ("G", (2, 0)), ("G", (2, 2)),
+        ("G", (0, 0)), ("G", (0, 1)), ("G", (2, 1)),
+    ])
+    q = cq_from_structure(w1)
+    v = cq_from_structure(w2)
+
+    result = benchmark(decide_bag_determinacy, [v], q)
+    assert not result.determined
+    assert result.relevant_views == (v,)
+
+
+def test_example3_linear_certificate(benchmark):
+    v1 = parse_ucq("P(x)")
+    v2 = parse_ucq("P(x) or R(x)")
+    q = parse_ucq("R(x)")
+
+    certificate = benchmark(linear_certificate, [v1, v2], q)
+    assert certificate is not None
+    assert certificate.coefficients == (-1, 1)

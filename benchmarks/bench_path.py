@@ -1,0 +1,74 @@
+"""E6 + E11: path determinacy scaling and the rewriting engine.
+
+E6: prefix-graph reachability vs query length and view-set size.
+E11: reconstructing M_q from view matrices via linear relations.
+"""
+
+import random
+
+import pytest
+
+from repro.queries.path import PathQuery
+from repro.queries.parser import parse_path
+from repro.structures.generators import random_structure
+from repro.structures.schema import Schema
+from repro.core.pathdet import decide_path_determinacy
+from repro.core.pathrewriting import PathRewritingEngine, view_matrices
+
+
+def chain_instance(length: int):
+    """q = A1...An with views {A1..A(n-1), A(n-1)', A(n-1)A(n)}-style
+    chains that force multi-hop reachability: views are all length-2
+    windows plus the length-1 prefix."""
+    letters = [f"L{i}" for i in range(length)]
+    query = PathQuery(letters)
+    views = [PathQuery(letters[:1])]
+    views += [PathQuery(letters[i:i + 2]) for i in range(length - 1)]
+    return views, query
+
+
+@pytest.mark.parametrize("length", [4, 16, 64])
+def test_reachability_vs_query_length(benchmark, length):
+    views, query = chain_instance(length)
+    result = benchmark(decide_path_determinacy, views, query)
+    assert result.determined
+
+
+@pytest.mark.parametrize("n_views", [2, 8, 32])
+def test_reachability_vs_view_count(benchmark, n_views):
+    query = PathQuery(tuple("ABCD"))
+    rng = random.Random(n_views)
+    alphabet = list("ABCD")
+    views = [
+        PathQuery(tuple(rng.choices(alphabet, k=rng.randint(1, 3))))
+        for _ in range(n_views)
+    ]
+    benchmark(decide_path_determinacy, views, query)
+
+
+def test_certificate_walk_length(benchmark):
+    """Certificate extraction on the Example 13 instance."""
+    views = [parse_path("A.B.C"), parse_path("B.C"), parse_path("B.C.D")]
+    query = parse_path("A.B.C.D")
+
+    def decide_and_walk():
+        result = decide_path_determinacy(views, query)
+        return result.walk()
+
+    walk = benchmark(decide_and_walk)
+    assert len(walk) == 8
+
+
+@pytest.mark.parametrize("domain_size", [4, 8, 12])
+def test_rewriting_engine_vs_domain(benchmark, domain_size):
+    """E11: M_q reconstruction cost grows with the database domain."""
+    views = [parse_path("A.B.C"), parse_path("B.C"), parse_path("B.C.D")]
+    query = parse_path("A.B.C.D")
+    engine = PathRewritingEngine(decide_path_determinacy(views, query))
+    schema = Schema({letter: 2 for letter in "ABCD"})
+    database = random_structure(schema, domain_size, 0.3, random.Random(3))
+    order = sorted(database.domain())
+    answers = view_matrices(database, views, order)
+
+    matrix = benchmark(engine.query_matrix, answers)
+    assert matrix.nrows == domain_size

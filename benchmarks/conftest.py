@@ -1,0 +1,1 @@
+"""Pytest hooks for the benchmark suite (workloads live in workloads.py)."""

@@ -1,0 +1,48 @@
+"""Shared workload generators for the benchmark suite.
+
+Experiment ids (E1–E13) are defined in DESIGN.md §4; measured numbers
+are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.queries.cq import cq_from_structure
+from repro.structures.generators import cycle_structure, path_structure
+from repro.structures.operations import sum_with_multiplicities
+from repro.structures.schema import Schema
+
+
+BINARY_RS = Schema({"R": 2, "S": 2})
+
+
+def component_pool():
+    """Small connected components used to assemble view sets."""
+    return [
+        path_structure(["R"]),
+        path_structure(["R", "R"]),
+        path_structure(["S"]),
+        path_structure(["R", "S"]),
+        path_structure(["S", "R"]),
+        cycle_structure(3),
+        cycle_structure(4),
+    ]
+
+
+def make_instance(n_views: int, n_components: int, seed: int = 0):
+    """A synthetic determinacy instance: ``n_views`` boolean CQs, each
+    with up to ``n_components`` components drawn from the pool, plus a
+    query assembled the same way."""
+    rng = random.Random(seed)
+    pool = component_pool()
+
+    def make_query():
+        pieces = [
+            (rng.randint(1, 2), rng.choice(pool))
+            for _ in range(rng.randint(1, n_components))
+        ]
+        return cq_from_structure(sum_with_multiplicities(pieces))
+
+    views = [make_query() for _ in range(n_views)]
+    return views, make_query()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""The Theorem 2 reduction, instance by instance.
+
+Run:  python examples/hilbert_gallery.py
+
+Boolean-UCQ bag-determinacy is undecidable: Appendix A encodes any
+Diophantine equation as a determinacy instance where the views
+determine q = H *iff the equation has no natural solution*.  This
+gallery builds the encoding for several equations, searches bounded
+solution boxes, and — when a solution exists — materializes the two
+databases that refute determinacy.
+"""
+
+from repro.queries.evaluation import evaluate_boolean
+from repro.ucq.analysis import semidecide_reduction_determinacy
+from repro.ucq.hilbert import (
+    DiophantineInstance,
+    Monomial,
+    fermat_like_instance,
+    linear_instance,
+    pythagoras_instance,
+    unsolvable_instance,
+)
+from repro.ucq.reduction import build_reduction
+
+
+GALLERY = [
+    ("x - y = 0", linear_instance(), 3),
+    ("x² + y² - z² = 0 (Pythagoras)", pythagoras_instance(), 6),
+    ("x² + 1 = 0 (no natural solution)", unsolvable_instance(), 8),
+    ("x³ + y³ - z³ = 0 (Fermat, n=3)", fermat_like_instance(), 5),
+    ("2x - 3y = 0", DiophantineInstance([
+        Monomial(2, {"x": 1}), Monomial(-3, {"y": 1})
+    ]), 4),
+]
+
+
+def main() -> None:
+    for title, instance, bound in GALLERY:
+        print("=" * 70)
+        print(f"equation: {title}")
+        reduction = build_reduction(instance)
+        print(reduction.summary())
+
+        verdict, witness = semidecide_reduction_determinacy(reduction, bound)
+        if verdict == "not-determined":
+            print(f"verdict: V does NOT bag-determine q "
+                  f"(solution {witness.solution})")
+            left, right = witness.left, witness.right
+            print(f"  counterexample databases: |D| = {left.count_facts()} "
+                  f"facts, |D'| = {right.count_facts()} facts")
+            for view, (a, b) in zip(reduction.views(), witness.view_answers):
+                assert a == b
+            print(f"  all {len(reduction.views())} views agree on D, D'")
+            print(f"  q(D) = {evaluate_boolean(reduction.query, left)}  vs  "
+                  f"q(D') = {evaluate_boolean(reduction.query, right)}")
+        else:
+            print(f"verdict: no counterexample with unknowns ≤ {bound}.")
+            print("  (By Theorem 2 this is all a terminating procedure can "
+                  "say: determinacy of the encoding ⟺ unsolvability of the "
+                  "equation, which is Π1 in general.)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""A guided tour of the paper's examples and figures.
+
+Run:  python examples/paper_gallery.py
+
+Reproduces, with real computation:
+
+* Example 2 — set-determined but not bag-determined (free variables);
+* Example 3 — bag-determined but not set-determined (UCQs);
+* Example 13 — the prefix-graph certificate and its q-walk;
+* Example 32 — the monomial rewriting q = v1³/v2;
+* Figure 2 / Example 54 — the answer lattice P inside the cone C,
+  rendered in ASCII.
+"""
+
+from fractions import Fraction
+
+from repro.hom.count import count_homs
+from repro.hom.matrix import evaluation_matrix
+from repro.linalg.cone import SimplicialCone
+from repro.queries.cq import cq_from_structure
+from repro.queries.evaluation import evaluate_cq
+from repro.queries.parser import parse_cq, parse_path, parse_ucq
+from repro.structures.generators import cycle_structure, loop_structure, path_structure
+from repro.structures.operations import sum_with_multiplicities
+from repro.structures.structure import Structure
+from repro.core.decision import decide_bag_determinacy
+from repro.core.pathdet import decide_path_determinacy
+from repro.core.qwalk import format_signed_word
+from repro.ucq.analysis import linear_certificate
+
+
+def example_2() -> None:
+    print("=" * 70)
+    print("Example 2: V →set q but V ̸→bag q")
+    print("=" * 70)
+    q = parse_cq("x | P(u,x), R(x,y), S(y,z)")
+    v1 = parse_cq("x | P(u,x), R(x,y)")
+    v2 = parse_cq("x | R(x,y), S(y,z)")
+    left = Structure([
+        ("P", ("u1", "x")), ("R", ("x", "y1")), ("R", ("x", "y2")),
+        ("S", ("y1", "z")),
+    ])
+    right = Structure([
+        ("P", ("u1", "x")), ("P", ("u2", "x")), ("R", ("x", "y1")),
+        ("S", ("y1", "z")),
+    ])
+    print(f"v1(D) = v1(D'): {evaluate_cq(v1, left) == evaluate_cq(v1, right)}")
+    print(f"v2(D) = v2(D'): {evaluate_cq(v2, left) == evaluate_cq(v2, right)}")
+    print(f"q(D)  = {dict(evaluate_cq(q, left).items())}")
+    print(f"q(D') = {dict(evaluate_cq(q, right).items())}")
+    print("-> the views cannot see the difference; bag determinacy fails.\n")
+
+
+def example_3() -> None:
+    print("=" * 70)
+    print("Example 3: V ̸→set q but V →bag q  (q = v2 − v1)")
+    print("=" * 70)
+    v1, v2, q = parse_ucq("P(x)"), parse_ucq("P(x) or R(x)"), parse_ucq("R(x)")
+    certificate = linear_certificate([v1, v2], q)
+    print(f"linear certificate: {certificate.explain()}")
+    print(f"coefficients: {certificate.coefficients}\n")
+
+
+def example_13() -> None:
+    print("=" * 70)
+    print("Example 13: prefix graph path and its q-walk")
+    print("=" * 70)
+    views = [parse_path("A.B.C"), parse_path("B.C"), parse_path("B.C.D")]
+    query = parse_path("A.B.C.D")
+    result = decide_path_determinacy(views, query)
+    print(result.explain())
+    print(f"q-walk: {format_signed_word(result.walk())}\n")
+
+
+def example_32() -> None:
+    print("=" * 70)
+    print("Example 32: q = w1 + w2 + 2w3, v1 = 2w1+w2+3w3, v2 = 5w1+2w2+7w3")
+    print("=" * 70)
+    w1 = path_structure(["R"])
+    w2 = path_structure(["R", "R"])
+    w3 = cycle_structure(3)
+
+    def make(*pairs):
+        return cq_from_structure(sum_with_multiplicities(list(pairs)))
+
+    q = make((1, w1), (1, w2), (2, w3))
+    v1 = make((2, w1), (1, w2), (3, w3))
+    v2 = make((5, w1), (2, w2), (7, w3))
+    result = decide_bag_determinacy([v1, v2], q)
+    print(f"determined: {result.determined}; coefficients {result.coefficients}")
+    print("  (the paper: q(D) = v1(D)³ / v2(D), i.e. q⃗ = 3v⃗1 − v⃗2)\n")
+
+
+def figure_2() -> None:
+    print("=" * 70)
+    print("Figure 2 / Example 54: the lattice P inside the cone C")
+    print("=" * 70)
+    # The paper's own basis: w1, w2 are the Figure 1 structures (same
+    # red part; w2 has three extra green edges), s1 is a single vertex
+    # with red and green loops, s2 = w2.  M_S = [[1,4],[1,2]].
+    red = [("R", (0, 1)), ("R", (1, 1)), ("R", (1, 2)), ("R", (2, 2))]
+    w1 = Structure(red + [("G", (2, 0)), ("G", (2, 2))])
+    w2 = Structure(red + [
+        ("G", (2, 0)), ("G", (2, 2)),
+        ("G", (0, 0)), ("G", (0, 1)), ("G", (2, 1)),
+    ])
+    s1 = loop_structure(["R", "G"])
+    s2 = w2
+    matrix = evaluation_matrix([w1, w2], [s1, s2])
+    print(f"M_S = {matrix.to_int_rows()}  (nonsingular: {matrix.is_nonsingular()})")
+    cone = SimplicialCone(matrix)
+
+    width, height = 33, 17
+    max_x = max_y = 16
+    lattice = set()
+    for a in range(5):
+        for b in range(5):
+            database = sum_with_multiplicities([(a, s1), (b, s2)])
+            point = (count_homs(w1, database), count_homs(w2, database))
+            if point[0] <= max_x and point[1] <= max_y:
+                lattice.add(point)
+
+    print("  y = w2(D) ↑   (#: answer vector in P,  ·: inside cone C)")
+    for y in range(max_y, -1, -1):
+        row = []
+        for x in range(max_x + 1):
+            if (x, y) in lattice:
+                row.append("#")
+            elif cone.contains([Fraction(x), Fraction(y)]):
+                row.append("·")
+            else:
+                row.append(" ")
+        print(f"  {y:2d} " + " ".join(row))
+    print("      " + " ".join(f"{x % 10}" for x in range(max_x + 1)) +
+          "   → x = w1(D)")
+    print()
+
+
+def main() -> None:
+    example_2()
+    example_3()
+    example_13()
+    example_32()
+    figure_2()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""View selection for a bag-semantics analytics workload.
+
+Run:  python examples/view_selection.py
+
+Scenario (the kind of workload the paper's introduction motivates):
+an analytics layer wants to answer *counting* queries — boolean CQs
+under bag semantics are exactly SQL ``COUNT(*)`` aggregates over joins
+without DISTINCT — from a small set of materialized counting views.
+
+Given a menu of candidate views and a target workload, we use the
+Theorem 3 decider to find a minimal subset of views that determines
+every workload query, and print the monomial rewriting each query
+compiles to.
+"""
+
+import itertools
+
+from repro import decide_bag_determinacy, parse_boolean_cq
+
+
+#: Candidate materialized views over a social-graph schema:
+#:   F(x, y)  "x follows y",   L(x, p) "x liked p",   P(p, u) "p posted-by u"
+VIEW_MENU = {
+    "follows_count": "F(x,y)",
+    "likes_count": "L(x,p)",
+    "posts_count": "P(p,u)",
+    "follow_2hop": "F(x,y), F(y,z)",
+    "like_of_followed": "F(x,y), L(y,p)",
+    "engagement_pairs": "F(x,y), L(u,p)",
+    "likes_squared": "L(x,p), L(y,q)",
+}
+
+#: The workload: counting queries the dashboard needs.
+WORKLOAD = {
+    "total_follows": "F(x,y)",
+    "follow_edges_times_likes": "F(x,y), L(u,p)",
+    "likes": "L(x,p)",
+    "likes_cubed": "L(a,p), L(b,q), L(c,r)",
+}
+
+
+def main() -> None:
+    views = {name: parse_boolean_cq(text) for name, text in VIEW_MENU.items()}
+    workload = {name: parse_boolean_cq(text) for name, text in WORKLOAD.items()}
+
+    print(f"{len(views)} candidate views, {len(workload)} workload queries")
+    print()
+
+    # Find the smallest view subset determining the whole workload.
+    best = None
+    for size in range(1, len(views) + 1):
+        for combo in itertools.combinations(sorted(views), size):
+            chosen = [views[name] for name in combo]
+            if all(
+                decide_bag_determinacy(chosen, q).determined
+                for q in workload.values()
+            ):
+                best = combo
+                break
+        if best:
+            break
+
+    if best is None:
+        print("no subset of the menu determines the workload")
+        return
+
+    print(f"minimal determining view set ({len(best)} views): {list(best)}")
+    print()
+    chosen = [views[name] for name in best]
+    for name, query in workload.items():
+        result = decide_bag_determinacy(chosen, query)
+        print(f"workload query {name!r}:")
+        print(f"  {result.rewriting().explain()}")
+        print()
+
+    # Show what goes wrong with a naive choice.
+    naive = [views["follow_2hop"], views["engagement_pairs"]]
+    print("naive view choice ['follow_2hop', 'engagement_pairs']:")
+    for name, query in workload.items():
+        verdict = decide_bag_determinacy(naive, query)
+        status = "determined" if verdict.determined else "NOT determined"
+        print(f"  {name}: {status}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The target environment is offline with an old setuptools and no
+``wheel`` package, so PEP 660 editable installs fail; ``python setup.py
+develop`` (or ``pip install -e . --no-build-isolation`` on newer
+stacks) works through this shim.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,134 @@
+"""repro — Determinacy of Real Conjunctive Queries (The Boolean Case).
+
+A faithful, executable reproduction of Kwiecień, Marcinkowski &
+Ostropolski-Nalewaja, PODS 2022 (arXiv:2112.12742): query determinacy
+under **bag semantics**, with
+
+* a complete decider for boolean conjunctive queries (Theorem 3) that
+  returns either a monomial *rewriting* or an explicit counterexample
+  pair of structures (Lemmas 40/41);
+* the path-query decider, valid for both set and bag semantics
+  (Theorem 1), with a relation-algebra rewriting engine;
+* the Hilbert-Tenth reduction behind the UCQ undecidability result
+  (Theorem 2), with bounded refutation and linear certification tools.
+
+Quickstart::
+
+    from repro import parse_boolean_cq, decide_bag_determinacy
+
+    q  = parse_boolean_cq("R(x,y), S(y,z)")
+    v1 = parse_boolean_cq("R(x,y)")
+    result = decide_bag_determinacy([v1], q)
+    print(result.determined)          # False
+    pair = result.witness()           # D, D' with equal views, different q
+    print(pair.verify().ok)           # True
+"""
+
+from repro.errors import (
+    DecisionError,
+    LinalgError,
+    ParseError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    SearchExhaustedError,
+    StructureError,
+    UnsupportedQueryError,
+)
+from repro.structures import (
+    Fact,
+    Multiset,
+    Schema,
+    Structure,
+    binary_schema,
+)
+from repro.queries import (
+    Atom,
+    ConjunctiveQuery,
+    PathQuery,
+    UnionOfBooleanCQs,
+    boolean_cq,
+    evaluate_boolean,
+    evaluate_cq,
+    evaluate_path_query,
+    parse_boolean_cq,
+    parse_cq,
+    parse_path,
+    parse_ucq,
+)
+from repro.hom import count_homs, exists_homomorphism, is_contained_set
+from repro.core import (
+    BooleanDeterminacyResult,
+    ComponentBasis,
+    CounterexamplePair,
+    MonomialRewriting,
+    PathDeterminacyResult,
+    PathRewritingEngine,
+    connected_case,
+    decide_bag_determinacy,
+    decide_path_determinacy,
+    rewrite_and_answer,
+    search_exhaustive_counterexample,
+    search_lattice_counterexample,
+)
+from repro.ucq import (
+    DiophantineInstance,
+    HilbertReduction,
+    Monomial,
+    build_reduction,
+    linear_certificate,
+    search_reduction_counterexample,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DecisionError",
+    "LinalgError",
+    "ParseError",
+    "QueryError",
+    "ReproError",
+    "SchemaError",
+    "SearchExhaustedError",
+    "StructureError",
+    "UnsupportedQueryError",
+    "Fact",
+    "Multiset",
+    "Schema",
+    "Structure",
+    "binary_schema",
+    "Atom",
+    "ConjunctiveQuery",
+    "PathQuery",
+    "UnionOfBooleanCQs",
+    "boolean_cq",
+    "evaluate_boolean",
+    "evaluate_cq",
+    "evaluate_path_query",
+    "parse_boolean_cq",
+    "parse_cq",
+    "parse_path",
+    "parse_ucq",
+    "count_homs",
+    "exists_homomorphism",
+    "is_contained_set",
+    "BooleanDeterminacyResult",
+    "ComponentBasis",
+    "CounterexamplePair",
+    "MonomialRewriting",
+    "PathDeterminacyResult",
+    "PathRewritingEngine",
+    "connected_case",
+    "decide_bag_determinacy",
+    "decide_path_determinacy",
+    "rewrite_and_answer",
+    "search_exhaustive_counterexample",
+    "search_lattice_counterexample",
+    "DiophantineInstance",
+    "HilbertReduction",
+    "Monomial",
+    "build_reduction",
+    "linear_certificate",
+    "search_reduction_counterexample",
+    "__version__",
+]

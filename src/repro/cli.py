@@ -1,0 +1,166 @@
+"""Command-line front end: ``repro-determinacy`` / ``python -m repro``.
+
+Subcommands
+-----------
+``decide-cq``     decide boolean-CQ bag-determinacy, print verdict,
+                  rewriting or witness summary.
+``decide-path``   decide path-query determinacy (both semantics),
+                  print the certificate path or the reachable set.
+``certify-ucq``   try the linear certificate for boolean UCQs.
+``hilbert``       build the Appendix-A reduction for a polynomial and
+                  search for a bounded counterexample.
+
+Examples
+--------
+::
+
+    repro-determinacy decide-cq --view "R(x,y)" --view "S(x,y)" \
+        --query "R(x,y), S(u,v)"
+    repro-determinacy decide-path --view A.B --view B --query A
+    repro-determinacy certify-ucq --view "P(x)" --view "P(x) or R(x)" \
+        --query "R(x)"
+    repro-determinacy hilbert --monomial "1:x^2" --monomial="-2:y^2" \
+        --bound 10
+
+(Monomials with negative coefficients need the ``--monomial=...`` form,
+otherwise argparse mistakes ``-2:y^2`` for a flag.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.queries.parser import parse_boolean_cq, parse_path, parse_ucq
+from repro.core.decision import decide_bag_determinacy
+from repro.core.pathdet import decide_path_determinacy
+from repro.core.report import render_report
+from repro.ucq.analysis import linear_certificate, semidecide_reduction_determinacy
+from repro.ucq.hilbert import DiophantineInstance, Monomial
+from repro.ucq.reduction import build_reduction
+
+
+def _cmd_decide_cq(args: argparse.Namespace) -> int:
+    views = [parse_boolean_cq(text) for text in args.view]
+    query = parse_boolean_cq(args.query)
+    result = decide_bag_determinacy(views, query)
+    print("DETERMINED" if result.determined else "NOT DETERMINED")
+    print(result.explain())
+    if not result.determined and args.witness:
+        pair = result.witness()
+        print(pair.explain())
+        report = pair.verify()
+        print(f"witness verified: {report.ok} "
+              f"(q answers {report.query_answers[0]} vs {report.query_answers[1]})")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    views = [parse_boolean_cq(text) for text in args.view]
+    query = parse_boolean_cq(args.query)
+    print(render_report(views, query))
+    return 0
+
+
+def _cmd_decide_path(args: argparse.Namespace) -> int:
+    views = [parse_path(text) for text in args.view]
+    query = parse_path(args.query)
+    result = decide_path_determinacy(views, query)
+    print("DETERMINED (set ⟺ bag, Theorem 1)" if result.determined
+          else "NOT DETERMINED (set ⟺ bag, Theorem 1)")
+    print(result.explain())
+    return 0
+
+
+def _cmd_certify_ucq(args: argparse.Namespace) -> int:
+    views = [parse_ucq(text) for text in args.view]
+    query = parse_ucq(args.query)
+    certificate = linear_certificate(views, query)
+    if certificate is None:
+        print("NO LINEAR CERTIFICATE (determinacy status unknown — "
+              "the problem is undecidable, Theorem 2)")
+        return 1
+    print("DETERMINED via linear identity:")
+    print(certificate.explain())
+    return 0
+
+
+def _parse_monomial(text: str) -> Monomial:
+    """``"-2:x^2*y"`` → Monomial(-2, {x:2, y:1}); ``"3:"`` is constant 3."""
+    head, _, tail = text.partition(":")
+    coefficient = int(head)
+    exponents = {}
+    if tail.strip():
+        for factor in tail.split("*"):
+            name, _, power = factor.strip().partition("^")
+            exponents[name] = int(power) if power else 1
+    return Monomial(coefficient, exponents)
+
+
+def _cmd_hilbert(args: argparse.Namespace) -> int:
+    instance = DiophantineInstance([_parse_monomial(t) for t in args.monomial])
+    reduction = build_reduction(instance)
+    print(reduction.summary())
+    verdict, witness = semidecide_reduction_determinacy(reduction, args.bound)
+    if verdict == "not-determined":
+        print(f"NOT DETERMINED: solution {witness.solution} gives structures "
+              f"with q(D) = {witness.query_answers[0]} ≠ "
+              f"{witness.query_answers[1]} = q(D')")
+    else:
+        print(f"no counterexample with unknowns ≤ {args.bound}; "
+              f"V →bag q iff the polynomial has no natural solution at all")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-determinacy",
+        description="Bag-semantics query determinacy (PODS 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    cq = sub.add_parser("decide-cq", help="boolean CQ determinacy (Theorem 3)")
+    cq.add_argument("--view", action="append", default=[], metavar="CQ")
+    cq.add_argument("--query", required=True, metavar="CQ")
+    cq.add_argument("--witness", action="store_true",
+                    help="construct and verify a counterexample when not determined")
+    cq.set_defaults(handler=_cmd_decide_cq)
+
+    report = sub.add_parser("report", help="full markdown report for a CQ instance")
+    report.add_argument("--view", action="append", default=[], metavar="CQ")
+    report.add_argument("--query", required=True, metavar="CQ")
+    report.set_defaults(handler=_cmd_report)
+
+    path = sub.add_parser("decide-path", help="path query determinacy (Theorem 1)")
+    path.add_argument("--view", action="append", default=[], metavar="WORD")
+    path.add_argument("--query", required=True, metavar="WORD")
+    path.set_defaults(handler=_cmd_decide_path)
+
+    ucq = sub.add_parser("certify-ucq", help="linear certificate for boolean UCQs")
+    ucq.add_argument("--view", action="append", default=[], metavar="UCQ")
+    ucq.add_argument("--query", required=True, metavar="UCQ")
+    ucq.set_defaults(handler=_cmd_certify_ucq)
+
+    hilbert = sub.add_parser("hilbert", help="Appendix-A reduction explorer")
+    hilbert.add_argument("--monomial", action="append", required=True,
+                         metavar="C:VARS", help='e.g. "-2:x^2*y"')
+    hilbert.add_argument("--bound", type=int, default=10)
+    hilbert.set_defaults(handler=_cmd_hilbert)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

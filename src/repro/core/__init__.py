@@ -1,0 +1,108 @@
+"""The paper's core results, executable.
+
+* Theorem 3: :func:`decide_bag_determinacy` (+ rewriting / witness).
+* Theorem 1: :func:`decide_path_determinacy` (+ rewriting engine and
+  the Appendix-B counterexample).
+* Corollary 33: :func:`connected_case`.
+* Cross-validation: the refuter.
+"""
+
+from repro.core.basis import ComponentBasis, validate_for_component_basis
+from repro.core.decision import (
+    BooleanDeterminacyResult,
+    connected_case,
+    decide_bag_determinacy,
+)
+from repro.core.rewriting import (
+    MonomialRewriting,
+    integer_nth_root,
+    rewriting_from_span,
+)
+from repro.core.goodbasis import GoodBasis, construct_good_basis, find_distinguishers
+from repro.core.witness import (
+    CounterexamplePair,
+    VerificationReport,
+    construct_counterexample,
+)
+from repro.core.pathdet import (
+    CertificateStep,
+    PathDeterminacyResult,
+    PrefixGraph,
+    appendix_b_counterexample,
+    decide_path_determinacy,
+)
+from repro.core.qwalk import (
+    format_signed_word,
+    is_q_walk,
+    make_signed_word,
+    reduce_minus_plus_once,
+    reduce_plus_minus_once,
+    reduce_to_query,
+    walk_height_profile,
+)
+from repro.core.pathrewriting import (
+    PathRewritingEngine,
+    incidence_matrix,
+    relation_of_walk,
+    rewrite_and_answer,
+    view_matrices,
+    word_matrix,
+)
+from repro.core.pathcontainment import containment_homomorphism, path_contained
+from repro.core.workbench import ViewCatalog
+from repro.core.report import render_report
+from repro.core.setdet import (
+    SetDeterminacyResult,
+    decide_set_determinacy_boolean,
+)
+from repro.core.refuter import (
+    Refutation,
+    default_blocks,
+    search_exhaustive_counterexample,
+    search_lattice_counterexample,
+)
+
+__all__ = [
+    "ComponentBasis",
+    "validate_for_component_basis",
+    "BooleanDeterminacyResult",
+    "connected_case",
+    "decide_bag_determinacy",
+    "MonomialRewriting",
+    "integer_nth_root",
+    "rewriting_from_span",
+    "GoodBasis",
+    "construct_good_basis",
+    "find_distinguishers",
+    "CounterexamplePair",
+    "VerificationReport",
+    "construct_counterexample",
+    "CertificateStep",
+    "PathDeterminacyResult",
+    "PrefixGraph",
+    "appendix_b_counterexample",
+    "decide_path_determinacy",
+    "format_signed_word",
+    "is_q_walk",
+    "make_signed_word",
+    "reduce_minus_plus_once",
+    "reduce_plus_minus_once",
+    "reduce_to_query",
+    "walk_height_profile",
+    "PathRewritingEngine",
+    "incidence_matrix",
+    "relation_of_walk",
+    "rewrite_and_answer",
+    "view_matrices",
+    "word_matrix",
+    "ViewCatalog",
+    "containment_homomorphism",
+    "path_contained",
+    "render_report",
+    "SetDeterminacyResult",
+    "decide_set_determinacy_boolean",
+    "Refutation",
+    "default_blocks",
+    "search_exhaustive_counterexample",
+    "search_lattice_counterexample",
+]

@@ -1,0 +1,57 @@
+"""Containment of path queries — footnote 14 made executable.
+
+Footnote 14 of the paper observes that for path queries *containment*
+under set semantics trivially coincides with containment under bag
+semantics.  The reason is even stronger than the footnote lets on:
+
+    For non-empty path queries Λ, Λ' (with their two free variables),
+    Λ' ⊆ Λ — under either semantics — **iff Λ' = Λ as words**.
+
+Proof: a containment mapping is a homomorphism from the frozen body of
+Λ (a simple directed path spelling its word) into the frozen body of
+Λ' fixing both endpoints.  The image positions ``p_0 = 0, ..., p_n =
+|Λ'|`` must satisfy ``p_{i+1} = p_i + 1`` (the only edges go forward),
+so the map is the identity walk and the words coincide. ∎
+
+This module exposes the check plus the witnessing homomorphism test,
+and the bag-side sanity check used in tests (answers compared on
+random databases).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import QueryError
+from repro.hom.search import iter_homomorphisms
+from repro.queries.path import PathQuery
+
+
+def path_contained(inner: PathQuery, outer: PathQuery) -> bool:
+    """``inner ⊆ outer`` (both semantics coincide): word equality.
+
+    >>> from repro.queries.parser import parse_path
+    >>> path_contained(parse_path("A.B"), parse_path("A.B"))
+    True
+    >>> path_contained(parse_path("A.B"), parse_path("A"))
+    False
+    """
+    if inner.is_empty() or outer.is_empty():
+        raise QueryError("containment is defined for non-empty path queries")
+    return inner.letters == outer.letters
+
+
+def containment_homomorphism(inner: PathQuery, outer: PathQuery) -> Optional[dict]:
+    """The endpoint-fixing homomorphism witnessing containment, or
+    ``None``.  Provided so tests can confirm the word-equality
+    characterization against the homomorphism definition."""
+    if inner.is_empty() or outer.is_empty():
+        raise QueryError("containment is defined for non-empty path queries")
+    source = outer.frozen_path(tag="o")
+    target = inner.frozen_path(tag="i")
+    start_source, end_source = ("o", 0), ("o", len(outer))
+    start_target, end_target = ("i", 0), ("i", len(inner))
+    for hom in iter_homomorphisms(source, target):
+        if hom[start_source] == start_target and hom[end_source] == end_target:
+            return hom
+    return None

@@ -1,0 +1,239 @@
+"""Path-query determinacy (Theorem 1).
+
+Definition 9 attaches to ``(q, V)`` an undirected graph ``G_{q,V}``
+whose nodes are the prefixes of ``q``, with an edge ``w — w·v`` for
+each view ``v``.  Fact 10 (set semantics, [2, 13]) and Lemma 11 (bag
+semantics, this paper) both say: **V determines q iff ε reaches q** in
+that graph.  So one reachability check decides both semantics — that
+coincidence *is* Theorem 1.
+
+The decider returns a result object carrying, on success, the path
+certificate (and the induced q-walk, see :mod:`repro.core.qwalk`;
+feed it to :mod:`repro.core.pathrewriting` for an executable
+rewriting), and on failure the Appendix-B counterexample pair::
+
+    D  = q + q                       (two disjoint frozen copies of q)
+    D' = the "twisted" variant:      R([w,i], [wR, j]) with i = j iff
+                                     w ~ wR (both reachable or both not)
+
+which answers every view identically on ``D`` and ``D'`` but flips the
+query.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import DecisionError, QueryError
+from repro.queries.path import PathQuery
+from repro.structures.structure import Fact, Structure
+from repro.core.qwalk import SignedWord, is_q_walk, make_signed_word
+
+PrefixNode = Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CertificateStep:
+    """One edge of the ε→q path: from ``source`` via ``view`` with
+    ``sign=+1`` (appending) or ``sign=-1`` (peeling)."""
+
+    source: PathQuery
+    target: PathQuery
+    view: PathQuery
+    sign: int
+
+
+class PrefixGraph:
+    """The graph ``G_{q,V}`` of Definition 9."""
+
+    def __init__(self, views: Sequence[PathQuery], query: PathQuery):
+        for view in views:
+            if len(view) == 0:
+                raise QueryError("views must be non-empty path queries")
+        self.query = query
+        self.views = tuple(views)
+        self.nodes: List[PathQuery] = query.prefixes()
+        node_set = {p.letters for p in self.nodes}
+        self.adjacency: Dict[PrefixNode, List[CertificateStep]] = {
+            p.letters: [] for p in self.nodes
+        }
+        for prefix in self.nodes:
+            for view in self.views:
+                extended = prefix + view
+                if extended.letters in node_set:
+                    self.adjacency[prefix.letters].append(
+                        CertificateStep(prefix, extended, view, +1)
+                    )
+                    self.adjacency[extended.letters].append(
+                        CertificateStep(extended, prefix, view, -1)
+                    )
+
+    def reachable_from_epsilon(self) -> Set[PrefixNode]:
+        """BFS closure of ε under the (undirected) edges."""
+        seen: Set[PrefixNode] = {()}
+        frontier = deque([()])
+        while frontier:
+            node = frontier.popleft()
+            for step in self.adjacency[node]:
+                target = step.target.letters
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return seen
+
+    def to_dot(self) -> str:
+        """Graphviz DOT rendering of ``G_{q,V}`` with the ε-reachable
+        prefixes highlighted — handy for papers and debugging."""
+        reachable = self.reachable_from_epsilon()
+        lines = ["graph G_qV {", '  rankdir="LR";']
+        for prefix in self.nodes:
+            label = "".join(prefix.letters) or "ε"
+            shade = ' style="filled" fillcolor="palegreen"' \
+                if prefix.letters in reachable else ""
+            lines.append(f'  "{label}" [label="{label}"{shade}];')
+        seen = set()
+        for prefix in self.nodes:
+            for step in self.adjacency[prefix.letters]:
+                if step.sign != 1:
+                    continue
+                key = (step.source.letters, step.target.letters,
+                       step.view.letters)
+                if key in seen:
+                    continue
+                seen.add(key)
+                source = "".join(step.source.letters) or "ε"
+                target = "".join(step.target.letters) or "ε"
+                view = "".join(step.view.letters)
+                lines.append(f'  "{source}" -- "{target}" [label="{view}"];')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def path_to_query(self) -> Optional[List[CertificateStep]]:
+        """A shortest ε→q path as certificate steps, or ``None``."""
+        parents: Dict[PrefixNode, Optional[CertificateStep]] = {(): None}
+        frontier = deque([()])
+        goal = self.query.letters
+        while frontier:
+            node = frontier.popleft()
+            if node == goal:
+                break
+            for step in self.adjacency[node]:
+                target = step.target.letters
+                if target not in parents:
+                    parents[target] = step
+                    frontier.append(target)
+        if goal not in parents:
+            return None
+        steps: List[CertificateStep] = []
+        node = goal
+        while parents[node] is not None:
+            step = parents[node]
+            steps.append(step)
+            node = step.source.letters
+        steps.reverse()
+        return steps
+
+
+@dataclass
+class PathDeterminacyResult:
+    """Verdict for path-query determinacy — valid for *both* semantics
+    (Theorem 1)."""
+
+    query: PathQuery
+    views: Tuple[PathQuery, ...]
+    certificate: Optional[List[CertificateStep]]
+    reachable: Set[PrefixNode]
+
+    @property
+    def determined(self) -> bool:
+        return self.certificate is not None
+
+    def walk(self) -> SignedWord:
+        """The induced q-walk ``(v_{p1})^{ε_1} ...`` (Example 13)."""
+        if self.certificate is None:
+            raise DecisionError("no walk: the views do not determine the query")
+        word = make_signed_word([(s.view, s.sign) for s in self.certificate])
+        if not is_q_walk(word, self.query):
+            raise DecisionError("internal error: certificate did not induce a q-walk")
+        return word
+
+    def counterexample(self) -> Tuple[Structure, Structure]:
+        """The Appendix-B pair ``(D, D')`` for the negative case."""
+        if self.certificate is not None:
+            raise DecisionError("the views determine the query; no counterexample")
+        return appendix_b_counterexample(self.views, self.query, self.reachable)
+
+    def explain(self) -> str:
+        if self.determined:
+            pieces = " -> ".join(
+                ["ε"] + ["".join(s.target.letters) or "ε" for s in self.certificate]
+            )
+            return f"determined; certificate path: {pieces}"
+        return (
+            "not determined; ε cannot reach q in G_{q,V} "
+            f"(reachable prefixes: {sorted(''.join(n) or 'ε' for n in self.reachable)})"
+        )
+
+
+def decide_path_determinacy(
+    views: Sequence[PathQuery], query: PathQuery
+) -> PathDeterminacyResult:
+    """Decide ``V →set q`` ⟺ ``V →bag q`` for path queries.
+
+    >>> from repro.queries.parser import parse_path
+    >>> views = [parse_path('A.B.C'), parse_path('B.C'), parse_path('B.C.D')]
+    >>> decide_path_determinacy(views, parse_path('A.B.C.D')).determined
+    True
+    >>> decide_path_determinacy([parse_path('A.B')], parse_path('A')).determined
+    False
+    """
+    if len(query) == 0:
+        raise QueryError("the query must be a non-empty path query")
+    graph = PrefixGraph(views, query)
+    return PathDeterminacyResult(
+        query=query,
+        views=tuple(views),
+        certificate=graph.path_to_query(),
+        reachable=graph.reachable_from_epsilon(),
+    )
+
+
+def appendix_b_counterexample(
+    views: Sequence[PathQuery],
+    query: PathQuery,
+    reachable: Optional[Set[PrefixNode]] = None,
+) -> Tuple[Structure, Structure]:
+    """The Appendix-B construction.
+
+    ``D`` is ``q + q`` on domain ``{[w, j]}`` (``w`` prefix, ``j`` in
+    {0, 1}); ``D'`` keeps an edge inside copy ``j`` iff its endpoints
+    are ~-equivalent (both reachable from ε or both not), and crosses
+    copies otherwise.
+    """
+    if reachable is None:
+        reachable = PrefixGraph(views, query).reachable_from_epsilon()
+    prefixes = query.prefixes()
+    domain = [(p.letters, j) for p in prefixes for j in (0, 1)]
+
+    def similar(w: PrefixNode, u: PrefixNode) -> bool:
+        return (w in reachable) == (u in reachable)
+
+    plain_facts: List[Fact] = []
+    twisted_facts: List[Fact] = []
+    for index, letter in enumerate(query.letters):
+        shorter = query.letters[:index]
+        longer = query.letters[: index + 1]
+        for j in (0, 1):
+            plain_facts.append(Fact(letter, ((shorter, j), (longer, j))))
+        if similar(shorter, longer):
+            for j in (0, 1):
+                twisted_facts.append(Fact(letter, ((shorter, j), (longer, j))))
+        else:
+            for j in (0, 1):
+                twisted_facts.append(Fact(letter, ((shorter, j), (longer, 1 - j))))
+
+    left = Structure(plain_facts, domain=domain)
+    right = Structure(twisted_facts, domain=domain)
+    return left, right

@@ -1,0 +1,118 @@
+"""q-walks and their reductions (Definitions 12/14, Lemma 15).
+
+A signed word ``w = A_1^{ι_1} ... A_k^{ι_k}`` over ``Σ̄ = Σ ∪ Σ^{-1}``
+is a *q-walk* when its partial sign sums stay within ``[0, |q|]``, end
+at ``|q|``, and each letter matches the symbol of ``q`` at the position
+the walk currently occupies (Definition 12): the walk wanders up and
+down the word ``q`` and finally arrives at its end.
+
+A path ``ε → ... → q`` in the prefix graph ``G_{q,V}`` induces a
+q-walk ``(v_{p1})^{ε_1} (v_{p2})^{ε_2} ...`` (Example 13), and Lemma 15
+says every q-walk reduces to ``q`` by cancelling adjacent ``A A^{-1}``
+(the ``+/-`` reduction) or ``A^{-1} A`` (the ``-/+`` reduction) pairs.
+The two reduction orders give the two inclusion bounds of Lemma 23.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.queries.path import PathQuery, signed_word
+
+SignedLetter = Tuple[str, int]
+SignedWord = Tuple[SignedLetter, ...]
+
+
+def make_signed_word(pieces: Sequence[Tuple[PathQuery, int]]) -> SignedWord:
+    """Concatenate views with signs into one signed word.
+
+    ``(v, -1)`` contributes ``v`` reversed with all letters inverted
+    (footnote 18).
+    """
+    word: List[SignedLetter] = []
+    for path, sign in pieces:
+        word.extend(signed_word(path, sign))
+    return tuple(word)
+
+
+def is_q_walk(word: SignedWord, query: PathQuery) -> bool:
+    """Definition 12: check the three q-walk conditions."""
+    length = len(query)
+    height = 0
+    for letter, sign in word:
+        if sign == 1:
+            if height >= length or query.letters[height] != letter:
+                return False
+            height += 1
+        elif sign == -1:
+            if height <= 0 or query.letters[height - 1] != letter:
+                return False
+            height -= 1
+        else:
+            raise QueryError(f"signs must be ±1, got {sign}")
+        if not 0 <= height <= length:
+            return False
+    return height == length
+
+
+def walk_height_profile(word: SignedWord) -> List[int]:
+    """The partial sums ``Σ_{j<=i} ι_j`` — handy for debugging/tests."""
+    heights = [0]
+    for _, sign in word:
+        heights.append(heights[-1] + sign)
+    return heights
+
+
+def reduce_plus_minus_once(word: SignedWord) -> Optional[SignedWord]:
+    """One ``w A A^{-1} w' → w w'`` step (Definition 14), leftmost."""
+    for i in range(len(word) - 1):
+        (a, sa), (b, sb) = word[i], word[i + 1]
+        if a == b and sa == 1 and sb == -1:
+            return word[:i] + word[i + 2:]
+    return None
+
+
+def reduce_minus_plus_once(word: SignedWord) -> Optional[SignedWord]:
+    """One ``w A^{-1} A w' → w w'`` step, leftmost."""
+    for i in range(len(word) - 1):
+        (a, sa), (b, sb) = word[i], word[i + 1]
+        if a == b and sa == -1 and sb == 1:
+            return word[:i] + word[i + 2:]
+    return None
+
+
+def reduce_to_query(
+    word: SignedWord, query: PathQuery, mode: str = "+/-"
+) -> List[SignedWord]:
+    """Lemma 15: reduce a q-walk all the way to ``q`` using only the
+    chosen reduction, returning the full trace (input first, ``q``
+    last).
+
+    Raises :class:`QueryError` when the input is not a q-walk or the
+    reduction gets stuck (which Lemma 15 proves cannot happen).
+    """
+    if not is_q_walk(word, query):
+        raise QueryError(f"{word!r} is not a q-walk for {query!r}")
+    step = {"+/-": reduce_plus_minus_once, "-/+": reduce_minus_plus_once}.get(mode)
+    if step is None:
+        raise QueryError(f"mode must be '+/-' or '-/+', got {mode!r}")
+    target = signed_word(query, 1)
+    trace = [tuple(word)]
+    current = tuple(word)
+    while current != target:
+        reduced = step(current)
+        if reduced is None:
+            raise QueryError(
+                f"reduction stuck at {current!r}; Lemma 15 says this is impossible"
+            )
+        current = reduced
+        trace.append(current)
+    return trace
+
+
+def format_signed_word(word: SignedWord) -> str:
+    """``A.B⁻¹.C`` style rendering."""
+    if not word:
+        return "ε"
+    return ".".join(letter + ("⁻¹" if sign < 0 else "") for letter, sign in word)

@@ -1,0 +1,159 @@
+"""Monomial rewritings: the constructive content of Lemma 31 (⇐).
+
+When ``q⃗ = Σ_j α_j v⃗_j`` over the relevant views ``V``, Appendix D
+shows how to *answer q from the view answers alone*::
+
+    q(D) = Π_j  v_j(D)^{α_j}        when every v_j(D) > 0,
+    q(D) = 0                        when some v ∈ V has v(D) = 0
+                                    (Observation 26).
+
+The exponents ``α_j`` are rational, so evaluation takes exact integer
+roots; by Lemma 31 the result is guaranteed to be a natural number on
+answer tuples coming from a real database.  On inconsistent inputs the
+root extraction fails and we raise, rather than return nonsense.
+
+This is the artefact a view-based query-answering system would cache:
+determinacy plus an executable rewriting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.errors import DecisionError
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.evaluation import evaluate_boolean
+from repro.structures.structure import Structure
+
+
+def integer_nth_root(value: int, degree: int) -> int:
+    """The exact ``degree``-th root of a non-negative int.
+
+    Raises :class:`DecisionError` when the root is not integral.
+    """
+    if degree <= 0:
+        raise DecisionError(f"root degree must be positive, got {degree}")
+    if value < 0:
+        raise DecisionError(f"cannot take an even-style root of {value}")
+    if value in (0, 1) or degree == 1:
+        return value
+    low, high = 0, 1 << ((value.bit_length() + degree - 1) // degree + 1)
+    while low < high:
+        mid = (low + high) // 2
+        if mid ** degree < value:
+            low = mid + 1
+        else:
+            high = mid
+    if low ** degree != value:
+        raise DecisionError(f"{value} has no exact integer {degree}-th root")
+    return low
+
+
+@dataclass(frozen=True)
+class MonomialRewriting:
+    """An executable rewriting ``q(D) = Π_j v_j(D)^{α_j}``.
+
+    ``views`` are the relevant views ``V`` (Definition 25) in a fixed
+    order, ``exponents`` the matching rational ``α_j``.  Views with
+    ``α_j = 0`` still participate in the zero guard: Observation 26
+    applies to *all* of ``V``.
+    """
+
+    query: ConjunctiveQuery
+    views: Tuple[ConjunctiveQuery, ...]
+    exponents: Tuple[Fraction, ...]
+
+    def __post_init__(self):
+        if len(self.views) != len(self.exponents):
+            raise DecisionError("one exponent per view, please")
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, view_answers: Sequence[int]) -> int:
+        """Answer ``q`` from the view answers (aligned with ``views``).
+
+        >>> from repro.queries.parser import parse_boolean_cq
+        >>> q = parse_boolean_cq("R(x,y)")
+        >>> rw = MonomialRewriting(q, (q,), (Fraction(1),))
+        >>> rw.evaluate([7])
+        7
+        """
+        if len(view_answers) != len(self.views):
+            raise DecisionError(
+                f"expected {len(self.views)} view answers, got {len(view_answers)}"
+            )
+        for answer in view_answers:
+            if not isinstance(answer, int) or answer < 0:
+                raise DecisionError(f"view answers are naturals, got {answer!r}")
+        if any(answer == 0 for answer in view_answers):
+            return 0  # Observation 26
+        # Common root degree: q(D)^r = Π v_j^{α_j · r} with integer powers.
+        degree = 1
+        for alpha in self.exponents:
+            degree = _lcm(degree, alpha.denominator)
+        numerator, denominator = 1, 1
+        for answer, alpha in zip(view_answers, self.exponents):
+            exponent = int(alpha * degree)
+            if exponent >= 0:
+                numerator *= answer ** exponent
+            else:
+                denominator *= answer ** (-exponent)
+        if numerator % denominator != 0:
+            raise DecisionError(
+                "view answers are inconsistent with the rewriting "
+                "(not from a single database?)"
+            )
+        return integer_nth_root(numerator // denominator, degree)
+
+    def answer_on(self, database: Structure) -> int:
+        """Evaluate the *views* on ``database`` and answer ``q`` from
+        them — never touching ``q`` itself.  The round-trip test
+        ``answer_on(D) == q(D)`` is the executable statement of
+        determinacy."""
+        view_answers = [evaluate_boolean(view, database) for view in self.views]
+        return self.evaluate(view_answers)
+
+    def as_mapping(self) -> Mapping[ConjunctiveQuery, Fraction]:
+        return dict(zip(self.views, self.exponents))
+
+    def explain(self) -> str:
+        """Human-readable form of the rewriting."""
+        if not self.views:
+            return f"{_short(self.query)}(D) = 1   (empty query)"
+        factors = []
+        for view, alpha in zip(self.views, self.exponents):
+            if alpha == 0:
+                continue
+            factors.append(f"{_short(view)}(D)^({alpha})")
+        product = " * ".join(factors) if factors else "1"
+        guard = ", ".join(_short(v) for v in self.views)
+        return (
+            f"{_short(self.query)}(D) = {product}"
+            f"   [= 0 whenever any of {guard} answers 0]"
+        )
+
+
+def _short(query: ConjunctiveQuery) -> str:
+    atoms = ", ".join(sorted(str(a) for a in query.atoms))
+    return f"[{atoms}]"
+
+
+def _lcm(a: int, b: int) -> int:
+    from math import gcd
+    return a // gcd(a, b) * b
+
+
+def rewriting_from_span(
+    query: ConjunctiveQuery,
+    views: Sequence[ConjunctiveQuery],
+    coefficients: Sequence[Fraction],
+) -> MonomialRewriting:
+    """Package span coefficients (``q⃗ = Σ α_j v⃗_j``) as a rewriting."""
+    return MonomialRewriting(
+        query=query,
+        views=tuple(views),
+        exponents=tuple(Fraction(c) for c in coefficients),
+    )

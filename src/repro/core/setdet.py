@@ -1,0 +1,95 @@
+"""Set-semantics determinacy for boolean CQs.
+
+Section 4 of the paper remarks that, under set semantics, determinacy
+is "trivially decidable for boolean UCQs".  This module makes the
+boolean-CQ case executable, which lets the library demonstrate the
+paper's strictness corollary (→bag is strictly stronger than →set for
+boolean CQs) with both verdicts computed rather than asserted.
+
+Characterization (folklore; a proof is in this docstring because the
+paper leaves it as an exercise).  Let ``V_q = {v ∈ V0 : q ⊆set v}``
+and let ``A`` be the disjoint union of the frozen bodies of ``V_q``.
+
+    **V0 →set q   iff   ∧V_q ⊆set q,  i.e.  hom(q, A) ≠ ∅.**
+
+*If:* take ``D, D'`` with equal boolean view profiles.  When some
+``v ∈ V_q`` is false in them, ``q`` is false in both (``q ⊆set v``).
+When all of ``V_q`` hold, the body of each ``v`` maps in, so ``A``
+maps in, so ``q`` holds in both.
+
+*Only if:* suppose ``hom(q, A) = ∅``.  Set ``D = A`` and
+``D' = A + (q × q)``.  Every ``v ∈ V_q`` holds in both (its body sits
+inside ``A``).  For ``w ∉ V_q``: every connected component of ``A``
+maps into ``q`` (it is a component of some ``v`` with ``hom(v, q·) ≠
+∅``... precisely: ``v ∈ V_q`` means ``hom(v, frozen q) ≠ ∅``), and
+``q × q`` maps into ``q``, so if every component of ``w`` mapped into
+``D'`` then every component would map into ``frozen(q)`` — giving
+``hom(w, frozen q) ≠ ∅`` and ``w ∈ V_q``, contradiction; hence ``w``
+has the same boolean value on ``D`` and ``D'``.  But ``q`` is false on
+``D`` (assumption) and true on ``D'`` (via ``q × q``).  So ``V0`` does
+not set-determine ``q``. ∎
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import DecisionError
+from repro.hom.containment import views_containing
+from repro.hom.search import exists_homomorphism
+from repro.queries.cq import ConjunctiveQuery
+from repro.core.basis import validate_for_component_basis
+from repro.structures.operations import product, sum_structures
+from repro.structures.structure import Structure
+
+
+@dataclass
+class SetDeterminacyResult:
+    """Verdict for boolean set-semantics determinacy, with witness."""
+
+    query: ConjunctiveQuery
+    views: Tuple[ConjunctiveQuery, ...]
+    relevant_views: Tuple[ConjunctiveQuery, ...]
+    determined: bool
+    _conjunction_body: Structure
+
+    def counterexample(self) -> Tuple[Structure, Structure]:
+        """``(A, A + q×q)``: equal boolean view profiles, different
+        boolean query answers (see module docstring)."""
+        if self.determined:
+            raise DecisionError("the views set-determine the query")
+        frozen_query = self.query.frozen_body()
+        boosted = sum_structures(
+            [self._conjunction_body, product(frozen_query, frozen_query)]
+        )
+        return self._conjunction_body, boosted
+
+
+def decide_set_determinacy_boolean(
+    views: Sequence[ConjunctiveQuery],
+    query: ConjunctiveQuery,
+) -> SetDeterminacyResult:
+    """Decide ``V0 →set q`` for boolean CQs.
+
+    >>> from repro.queries.parser import parse_boolean_cq
+    >>> q = parse_boolean_cq("R(x,y), R(y,z)")
+    >>> v = parse_boolean_cq("R(x,y)")
+    >>> decide_set_determinacy_boolean([q], q).determined
+    True
+    >>> decide_set_determinacy_boolean([v], q).determined
+    False
+    """
+    validate_for_component_basis(query)
+    for view in views:
+        validate_for_component_basis(view)
+    relevant = tuple(views_containing(query, views))
+    conjunction_body = sum_structures([v.frozen_body() for v in relevant])
+    determined = exists_homomorphism(query.frozen_body(), conjunction_body)
+    return SetDeterminacyResult(
+        query=query,
+        views=tuple(views),
+        relevant_views=relevant,
+        determined=determined,
+        _conjunction_body=conjunction_body,
+    )

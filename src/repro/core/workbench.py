@@ -1,0 +1,159 @@
+"""Batch determinacy analysis against a fixed view catalog.
+
+A rewriting system doesn't decide one instance; it holds a *catalog* of
+materialized counting views and answers a stream of queries.  Most of
+the Theorem 3 pipeline cost is per-(view, query) containment checks and
+per-component hom counts — all reusable.  :class:`ViewCatalog` keeps:
+
+* frozen bodies of the views (computed once);
+* a shared hom-count cache threaded through every decision;
+* a cache of decided queries (keyed by the query object);
+* the roster of determined queries with their rewritings — i.e. the
+  part of the workload this catalog can serve.
+
+This is the application surface the "novelty" band points at: no OSS
+determinacy checker for CQ rewriting tools exists; this class is the
+shape such a tool would consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import DecisionError
+from repro.hom.count import CountCache
+from repro.queries.cq import ConjunctiveQuery
+from repro.core.basis import validate_for_component_basis
+from repro.core.decision import BooleanDeterminacyResult, decide_bag_determinacy
+from repro.core.rewriting import MonomialRewriting
+
+
+class ViewCatalog:
+    """A fixed set of boolean counting views, ready to judge queries.
+
+    >>> from repro.queries.parser import parse_boolean_cq
+    >>> catalog = ViewCatalog([parse_boolean_cq("R(x,y)")])
+    >>> catalog.can_answer(parse_boolean_cq("R(x,y), R(u,v)"))
+    True
+    """
+
+    def __init__(self, views: Sequence[ConjunctiveQuery]):
+        for view in views:
+            validate_for_component_basis(view)
+        self.views: Tuple[ConjunctiveQuery, ...] = tuple(views)
+        self._hom_cache: CountCache = {}
+        self._decisions: Dict[ConjunctiveQuery, BooleanDeterminacyResult] = {}
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def decide(self, query: ConjunctiveQuery) -> BooleanDeterminacyResult:
+        """Decide (and cache) whether the catalog determines ``query``."""
+        cached = self._decisions.get(query)
+        if cached is None:
+            cached = decide_bag_determinacy(self.views, query)
+            self._decisions[query] = cached
+        return cached
+
+    def can_answer(self, query: ConjunctiveQuery) -> bool:
+        return self.decide(query).determined
+
+    def rewriting(self, query: ConjunctiveQuery) -> MonomialRewriting:
+        """The rewriting serving ``query``; raises when undetermined."""
+        result = self.decide(query)
+        if not result.determined:
+            raise DecisionError(
+                f"the catalog does not determine {query!r}; "
+                f"call coverage_report for alternatives"
+            )
+        return result.rewriting()
+
+    # ------------------------------------------------------------------
+    # Workload analysis
+    # ------------------------------------------------------------------
+    def partition_workload(
+        self, queries: Iterable[ConjunctiveQuery]
+    ) -> Tuple[List[ConjunctiveQuery], List[ConjunctiveQuery]]:
+        """Split a workload into (answerable, unanswerable)."""
+        answerable: List[ConjunctiveQuery] = []
+        unanswerable: List[ConjunctiveQuery] = []
+        for query in queries:
+            (answerable if self.can_answer(query) else unanswerable).append(query)
+        return answerable, unanswerable
+
+    def missing_views_hint(self, query: ConjunctiveQuery) -> List[str]:
+        """Actionable hints for an unanswerable query: which basis
+        directions the current views fail to pin down."""
+        result = self.decide(query)
+        if result.determined:
+            return []
+        from repro.linalg.orthogonal import integer_orthogonal_witness
+
+        direction = integer_orthogonal_witness(
+            result.view_vectors, result.query_vector
+        )
+        hints: List[str] = []
+        if direction is not None:
+            for coefficient, component in zip(direction, result.basis.components):
+                if coefficient != 0:
+                    facts = ", ".join(sorted(str(f) for f in component.facts()))
+                    hints.append(
+                        f"count of component [{facts}] is unconstrained "
+                        f"(blind direction weight {coefficient})"
+                    )
+        uncovered = [v for v in result.views if v not in result.relevant_views]
+        if uncovered:
+            hints.append(
+                f"{len(uncovered)} view(s) are irrelevant to this query "
+                f"(q ⊄set v) and contribute nothing"
+            )
+        return hints
+
+    def coverage_report(
+        self, queries: Sequence[ConjunctiveQuery]
+    ) -> Dict[str, object]:
+        """Summary statistics for a workload against this catalog."""
+        answerable, unanswerable = self.partition_workload(queries)
+        return {
+            "views": len(self.views),
+            "queries": len(queries),
+            "answerable": len(answerable),
+            "unanswerable": len(unanswerable),
+            "coverage": (len(answerable) / len(queries)) if queries else 1.0,
+        }
+
+    # ------------------------------------------------------------------
+    # Catalog evolution
+    # ------------------------------------------------------------------
+    def with_view(self, view: ConjunctiveQuery) -> "ViewCatalog":
+        """A new catalog with one more view (decisions recomputed lazily;
+        determinacy is monotone, so answerable queries stay answerable)."""
+        return ViewCatalog(list(self.views) + [view])
+
+    def minimal_subcatalog(
+        self, queries: Sequence[ConjunctiveQuery]
+    ) -> Optional["ViewCatalog"]:
+        """A minimal-size view subset still answering every query in
+        ``queries``, or ``None`` when even the full catalog cannot.
+
+        Exhaustive over subsets (the catalog sizes this library targets
+        are small); greedy would not be minimal.
+        """
+        import itertools
+
+        full_answerable, missing = self.partition_workload(queries)
+        if missing:
+            return None
+        for size in range(len(self.views) + 1):
+            for combo in itertools.combinations(range(len(self.views)), size):
+                candidate = ViewCatalog([self.views[i] for i in combo])
+                answerable, missing = candidate.partition_workload(queries)
+                if not missing:
+                    return candidate
+        return None  # pragma: no cover — the full set always works here
+
+    def __len__(self) -> int:
+        return len(self.views)
+
+    def __repr__(self) -> str:
+        return f"ViewCatalog({len(self.views)} views, {len(self._decisions)} decided)"

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+client code can catch a single type.  Specific subclasses mark the layer
+at which the problem occurred (schema, query, linear algebra, decision
+procedure, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class SchemaError(ReproError):
+    """A relation symbol was used with an inconsistent or invalid arity."""
+
+
+class QueryError(ReproError):
+    """A query is malformed (bad atoms, bad free variables, ...)."""
+
+
+class ParseError(QueryError):
+    """The textual query syntax could not be parsed."""
+
+
+class StructureError(ReproError):
+    """A structure is malformed or an operation on structures is invalid."""
+
+
+class LinalgError(ReproError):
+    """An exact linear-algebra operation failed (singular matrix, ...)."""
+
+
+class UnsupportedQueryError(ReproError):
+    """The query falls outside the fragment a decider supports.
+
+    The Theorem 3 decider, for instance, requires boolean CQs whose atoms
+    all have arity at least one; 0-ary atoms break Lemma 4(1)/(2) on
+    which the whole component-basis machinery rests.
+    """
+
+
+class DecisionError(ReproError):
+    """A decision procedure reached an inconsistent internal state."""
+
+
+class SearchExhaustedError(ReproError):
+    """A bounded search (distinguisher search, refuter, Diophantine
+    solver) ran out of budget before finding what it was asked for."""

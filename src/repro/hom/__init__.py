@@ -1,0 +1,46 @@
+"""Homomorphism search, counting, containment and evaluation matrices."""
+
+from repro.hom.search import (
+    count_homomorphisms_direct,
+    exists_homomorphism,
+    find_homomorphism,
+    iter_homomorphisms,
+)
+from repro.hom.count import count_homs, count_homs_connected, hom_vector
+from repro.hom.containment import (
+    are_equivalent_set,
+    is_contained_set,
+    is_contained_set_ucq,
+    views_containing,
+)
+from repro.hom.matrix import answer_vector, evaluation_matrix
+from repro.hom.lovasz import (
+    distinguisher_battery,
+    find_left_distinguisher,
+    find_right_distinguisher,
+    hom_count_profile,
+)
+from repro.hom.cores import core, core_query, is_core
+
+__all__ = [
+    "count_homomorphisms_direct",
+    "exists_homomorphism",
+    "find_homomorphism",
+    "iter_homomorphisms",
+    "count_homs",
+    "count_homs_connected",
+    "hom_vector",
+    "are_equivalent_set",
+    "is_contained_set",
+    "is_contained_set_ucq",
+    "views_containing",
+    "answer_vector",
+    "evaluation_matrix",
+    "distinguisher_battery",
+    "find_left_distinguisher",
+    "find_right_distinguisher",
+    "hom_count_profile",
+    "core",
+    "core_query",
+    "is_core",
+]

@@ -1,0 +1,68 @@
+"""Cores of relational structures.
+
+The *core* of a structure is its smallest retract: an induced
+substructure ``C`` with a homomorphism ``G → C`` and no homomorphism
+into anything smaller inside it.  Cores are the canonical
+representatives of set-semantics equivalence classes of boolean CQs
+(``q ≡set q'`` iff their frozen bodies have isomorphic cores), which
+makes them a natural companion to the containment machinery of
+:mod:`repro.hom.containment`.
+
+Algorithm: repeatedly look for a *proper retraction* — an endomorphism
+whose image misses at least one element — and restrict to the image;
+stop when every endomorphism is surjective.  Exponential in the worst
+case (deciding core-ness is co-NP-hard), fine on query-sized inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hom.search import iter_homomorphisms
+from repro.queries.cq import ConjunctiveQuery, cq_from_structure
+from repro.structures.structure import Structure
+
+
+def _proper_retraction_image(structure: Structure) -> Optional[Structure]:
+    """The induced image of some non-surjective endomorphism, if any."""
+    domain = structure.domain()
+    for endomorphism in iter_homomorphisms(structure, structure):
+        image = set(endomorphism.values())
+        if len(image) < len(domain):
+            return structure.restrict_domain(image)
+    return None
+
+
+def core(structure: Structure) -> Structure:
+    """The core of a structure (unique up to isomorphism).
+
+    >>> from repro.structures.generators import cycle_structure, path_structure
+    >>> len(core(path_structure(['R', 'R'])).domain())   # path is rigid
+    3
+    >>> from repro.structures.structure import Structure
+    >>> with_loop = Structure([('R', ('a', 'a')), ('R', ('a', 'b'))])
+    >>> len(core(with_loop).domain())                    # collapses to loop
+    1
+    """
+    current = structure
+    while True:
+        smaller = _proper_retraction_image(current)
+        if smaller is None:
+            return current
+        current = smaller
+
+
+def is_core(structure: Structure) -> bool:
+    """True when every endomorphism is surjective."""
+    return _proper_retraction_image(structure) is None
+
+
+def core_query(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The minimized (set-semantics-equivalent) boolean CQ.
+
+    Note: minimization is a *set-semantics* notion.  Under bag
+    semantics a query and its core generally answer differently —
+    which is precisely why the paper's Section 4 works with the full
+    frozen bodies, not cores.
+    """
+    return cq_from_structure(core(query.frozen_body()))

@@ -1,0 +1,158 @@
+"""Homomorphism counting — the engine behind every answer count.
+
+``count_homs(A, B)`` counts homomorphisms from a structure ``A`` into a
+target that may be a concrete :class:`~repro.structures.structure.Structure`
+or a lazy :class:`~repro.structures.expression.StructureExpression`.
+
+Strategy (all identities are Lemma 4 of the paper):
+
+1. factor ``A`` into connected components and multiply
+   (``|hom(A+B, C)| = |hom(A,C)|·|hom(B,C)|``);
+2. evaluate each *connected* component against the target tree:
+
+   * ``Sum``:     add over terms, scaled by coefficients (4(1)+4(2);
+     needs connectedness — guaranteed by step 1; sums are nullary-free
+     by construction);
+   * ``Product``: multiply over factors (4(3) — any source);
+   * ``Power``:   exponentiate (4(4));
+   * ``Leaf``:    backtracking count, with two fast paths — a single
+     isolated vertex counts ``|dom|``, a single 0-ary fact counts
+     membership.
+
+Counts of (component, leaf) pairs are memoized per call through an
+optional shared cache, which the decision procedure and the witness
+verifier reuse across many queries against the same basis structures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import StructureError
+from repro.structures.components import connected_components
+from repro.structures.expression import (
+    LeafExpression,
+    PowerExpression,
+    ProductExpression,
+    StructureExpression,
+    SumExpression,
+    as_expression,
+)
+from repro.structures.structure import Structure
+from repro.hom.search import count_homomorphisms_direct
+
+Target = Structure | StructureExpression
+CountCache = Dict[Tuple[Structure, Structure], int]
+
+
+def count_homs(
+    source: Structure,
+    target: Target,
+    cache: Optional[CountCache] = None,
+) -> int:
+    """``|hom(source, target)|`` with component factorization.
+
+    >>> from repro.structures.generators import path_structure
+    >>> count_homs(path_structure(['R']), path_structure(['R', 'R']))
+    2
+    """
+    expression = as_expression(target)
+    total = 1
+    for component in connected_components(source):
+        total *= _count_connected(component, expression, cache)
+        if total == 0:
+            return 0
+    return total
+
+
+def count_homs_connected(
+    component: Structure,
+    target: Target,
+    cache: Optional[CountCache] = None,
+) -> int:
+    """Count for a source already known to be connected (no re-split)."""
+    return _count_connected(component, as_expression(target), cache)
+
+
+def _count_connected(
+    component: Structure,
+    target: StructureExpression,
+    cache: Optional[CountCache],
+) -> int:
+    if isinstance(target, LeafExpression):
+        return _count_into_leaf(component, target.structure, cache)
+    if isinstance(target, SumExpression):
+        # Lemma 4(1)/(2): valid because `component` is connected and the
+        # sum's operands carry no 0-ary facts (enforced at construction).
+        _require_summable(component)
+        return sum(
+            coefficient * _count_connected(component, term, cache)
+            for coefficient, term in target.terms
+        )
+    if isinstance(target, ProductExpression):
+        result = 1
+        for factor in target.factors:
+            result *= _count_connected(component, factor, cache)
+            if result == 0:
+                return 0
+        if not target.factors:
+            return _count_into_unit(component, target)
+        return result
+    if isinstance(target, PowerExpression):
+        if target.exponent == 0:
+            return _count_into_unit(component, target)
+        return _count_connected(component, target.base, cache) ** target.exponent
+    raise StructureError(f"unknown expression node {target!r}")
+
+
+def _count_into_leaf(
+    component: Structure,
+    leaf: Structure,
+    cache: Optional[CountCache],
+) -> int:
+    # Fast path: a single isolated vertex maps anywhere in the domain.
+    if not component.facts() and len(component.domain()) == 1:
+        return len(leaf.domain())
+    # Fast path: a lone 0-ary fact is a membership test.
+    facts = component.facts()
+    if len(facts) == 1 and not component.domain():
+        only = next(iter(facts))
+        if not only.terms:
+            return 1 if leaf.has_fact(only.relation) else 0
+    if cache is not None:
+        key = (component, leaf)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+    result = count_homomorphisms_direct(component, leaf)
+    if cache is not None:
+        cache[(component, leaf)] = result
+    return result
+
+
+def _count_into_unit(component: Structure, node: StructureExpression) -> int:
+    """Counts into ``A^0``: the all-loops singleton over ``node``'s schema.
+
+    Every constant must map to α, so the count is 1 exactly when each
+    fact of the component exists as the full loop — i.e. when the
+    component's relations are all in the unit's schema — else 0.
+    """
+    schema = node.schema()
+    for fact in component.facts():
+        if fact.relation not in schema or schema.arity(fact.relation) != len(fact.terms):
+            return 0
+    return 1
+
+
+def _require_summable(component: Structure) -> None:
+    for fact in component.facts():
+        if not fact.terms:
+            raise StructureError(
+                "cannot count a 0-ary fact into a disjoint union; "
+                "Lemma 4(1) fails for nullary sources"
+            )
+
+
+def hom_vector(sources, target: Target, cache: Optional[CountCache] = None):
+    """Counts for many sources against one target, as a list of ints."""
+    return [count_homs(source, target, cache) for source in sources]

@@ -1,0 +1,42 @@
+"""Evaluation matrices (Definition 37).
+
+For basis queries ``W = {w_1, ..., w_k}`` and structures
+``S = {s_1, ..., s_m}``, the evaluation matrix is
+``M_S(i, j) = |hom(w_i, s_j)| = w_i(s_j)``.
+
+Targets may be lazy expressions; counts are exact integers embedded in
+a rational :class:`~repro.linalg.matrix.QMatrix` so the rest of the
+pipeline (inverse, cone membership) stays exact.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.hom.count import CountCache, count_homs
+from repro.linalg.matrix import QMatrix
+from repro.structures.expression import StructureExpression
+from repro.structures.structure import Structure
+
+
+def evaluation_matrix(
+    basis: Sequence[Structure],
+    targets: Sequence[Structure | StructureExpression],
+    cache: Optional[CountCache] = None,
+) -> QMatrix:
+    """The k×m matrix ``M(i,j) = |hom(basis[i], targets[j])|``."""
+    rows = [
+        [count_homs(w, s, cache) for s in targets]
+        for w in basis
+    ]
+    return QMatrix(rows)
+
+
+def answer_vector(
+    basis: Sequence[Structure],
+    target: Structure | StructureExpression,
+    cache: Optional[CountCache] = None,
+) -> list:
+    """The column ``(w_1(D), ..., w_k(D))`` for a single structure —
+    a point of the answer space P of Definition 51 when ``D ∈ S``."""
+    return [count_homs(w, target, cache) for w in basis]

@@ -1,0 +1,164 @@
+"""Backtracking homomorphism search.
+
+A homomorphism ``h : dom(A) -> dom(B)`` (paper Section 2.1) maps every
+fact ``R(t̄) ∈ A`` to a fact ``R(h(t̄)) ∈ B``.  This module provides
+existence tests and full enumeration via backtracking with:
+
+* **static variable ordering** by decreasing constraint degree,
+* **unary/positional pre-filtering** of candidate sets (a constant that
+  occurs in position ``i`` of some ``R``-fact of ``A`` can only map to
+  constants occurring in position ``i`` of ``R``-facts of ``B``),
+* **incremental consistency** checks over the facts whose terms are
+  fully assigned.
+
+Isolated elements of ``A`` (domain elements in no fact) are
+unconstrained and contribute a factor ``|dom(B)|`` each — enumeration
+materializes them, the counting fast path in :mod:`repro.hom.count`
+multiplies instead.
+
+0-ary facts of ``A`` are handled up front: they must literally be
+present in ``B``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Optional, Set, Tuple
+
+from repro.structures.structure import Structure
+
+Constant = Hashable
+Assignment = Dict[Constant, Constant]
+
+
+def _prepare(source: Structure, target: Structure):
+    """Shared setup for existence/enumeration.
+
+    Returns ``None`` when a 0-ary fact of ``source`` is absent from
+    ``target`` (no homomorphism), else a tuple
+    ``(ordered_variables, candidates, facts_by_variable)``.
+    """
+    for fact in source.facts():
+        if not fact.terms and not target.has_fact(fact.relation):
+            return None
+
+    positions: Dict[Tuple[str, int], Set[Constant]] = {}
+    for fact in target.facts():
+        for index, term in enumerate(fact.terms):
+            positions.setdefault((fact.relation, index), set()).add(term)
+
+    target_domain = set(target.domain())
+    candidates: Dict[Constant, Set[Constant]] = {}
+    degree: Dict[Constant, int] = {}
+    facts_by_variable: Dict[Constant, List] = {}
+    for constant in source.domain():
+        candidates[constant] = set(target_domain)
+        degree[constant] = 0
+        facts_by_variable[constant] = []
+
+    for fact in source.facts():
+        for index, term in enumerate(fact.terms):
+            allowed = positions.get((fact.relation, index))
+            if allowed is None:
+                return None
+            candidates[term] &= allowed
+            degree[term] += 1
+        for term in set(fact.terms):
+            facts_by_variable[term].append(fact)
+
+    if any(not candidates[c] for c in source.active_domain()):
+        return None
+
+    ordered = sorted(
+        source.domain(),
+        key=lambda c: (-degree[c], len(candidates[c]), repr(c)),
+    )
+    return ordered, candidates, facts_by_variable
+
+
+def _consistent(
+    variable: Constant,
+    assignment: Assignment,
+    facts_by_variable: Dict[Constant, List],
+    target: Structure,
+) -> bool:
+    for fact in facts_by_variable[variable]:
+        if all(t in assignment for t in fact.terms):
+            image = tuple(assignment[t] for t in fact.terms)
+            if image not in target.tuples(fact.relation):
+                return False
+    return True
+
+
+def iter_homomorphisms(source: Structure, target: Structure) -> Iterator[Assignment]:
+    """Yield every homomorphism ``source -> target`` as a dict.
+
+    The empty structure has exactly one homomorphism anywhere (the
+    empty map), matching ``|hom(∅, D)| = 1``.
+    """
+    prepared = _prepare(source, target)
+    if prepared is None:
+        return
+    ordered, candidates, facts_by_variable = prepared
+
+    assignment: Assignment = {}
+
+    def backtrack(index: int) -> Iterator[Assignment]:
+        if index == len(ordered):
+            yield dict(assignment)
+            return
+        variable = ordered[index]
+        for value in sorted(candidates[variable], key=repr):
+            assignment[variable] = value
+            if _consistent(variable, assignment, facts_by_variable, target):
+                yield from backtrack(index + 1)
+            del assignment[variable]
+
+    yield from backtrack(0)
+
+
+def exists_homomorphism(source: Structure, target: Structure) -> bool:
+    """Existence test (stops at the first homomorphism)."""
+    for _ in iter_homomorphisms(source, target):
+        return True
+    return False
+
+
+def find_homomorphism(source: Structure, target: Structure) -> Optional[Assignment]:
+    """The first homomorphism found, or ``None``."""
+    for hom in iter_homomorphisms(source, target):
+        return hom
+    return None
+
+
+def count_homomorphisms_direct(source: Structure, target: Structure) -> int:
+    """Count by raw backtracking, *without* component factorization.
+
+    Isolated elements of ``source`` are counted by multiplication
+    rather than enumeration, but connected parts are enumerated
+    exhaustively.  Prefer :func:`repro.hom.count.count_homs`, which
+    factors into components first; this function is its ground truth in
+    tests (and the thing the E5 ablation benchmarks against).
+    """
+    prepared = _prepare(source, target)
+    if prepared is None:
+        return 0
+    ordered, candidates, facts_by_variable = prepared
+
+    isolated = source.isolated_elements()
+    constrained = [v for v in ordered if v not in isolated]
+    assignment: Assignment = {}
+
+    def backtrack(index: int) -> int:
+        if index == len(constrained):
+            return 1
+        variable = constrained[index]
+        total = 0
+        for value in candidates[variable]:
+            assignment[variable] = value
+            if _consistent(variable, assignment, facts_by_variable, target):
+                total += backtrack(index + 1)
+            del assignment[variable]
+        return total
+
+    base = backtrack(0)
+    return base * (len(target.domain()) ** len(isolated))

@@ -1,0 +1,40 @@
+"""Exact rational linear algebra used by the determinacy machinery."""
+
+from repro.linalg.matrix import QMatrix, QVector, dot, vector
+from repro.linalg.span import (
+    in_span,
+    integerize,
+    span_basis,
+    span_coefficients,
+    span_dimension,
+    verify_combination,
+)
+from repro.linalg.orthogonal import integer_orthogonal_witness, orthogonal_witness
+from repro.linalg.cone import SimplicialCone, perturb
+from repro.linalg.vandermonde import (
+    is_vandermonde_nonsingular,
+    vandermonde_determinant,
+    vandermonde_matrix,
+)
+from repro.linalg.linrel import LinearRelation
+
+__all__ = [
+    "QMatrix",
+    "QVector",
+    "dot",
+    "vector",
+    "in_span",
+    "integerize",
+    "span_basis",
+    "span_coefficients",
+    "span_dimension",
+    "verify_combination",
+    "integer_orthogonal_witness",
+    "orthogonal_witness",
+    "SimplicialCone",
+    "perturb",
+    "is_vandermonde_nonsingular",
+    "vandermonde_determinant",
+    "vandermonde_matrix",
+    "LinearRelation",
+]

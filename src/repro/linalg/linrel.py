@@ -1,0 +1,184 @@
+"""Linear relations: the executable model of the ``H_w`` machinery.
+
+Definition 19 of the paper turns incidence matrices into *relations* on
+``Q^n`` ("while we know that not all matrices are invertible ...
+relations can always be inverted!").  Every relation arising there —
+graphs of linear maps, their inverses, and compositions — is a linear
+subspace of ``Q^n × Q^n``.  :class:`LinearRelation` represents such a
+subspace by a canonical (RREF) generator matrix and implements exactly
+the operations the Section 3 proofs use:
+
+* ``graph_of(M)`` — the relation ``{(x, Mx)}`` (Def. 19(1)–(3));
+* ``inverse()`` — swap the two halves (always defined);
+* ``compose()`` — relational composition (Def. 19(4));
+* ``__le__`` — containment, the order in Lemmas 21–23;
+* ``as_function_graph()`` — recover ``M`` from ``{(x, Mx)}``
+  (used by the path-rewriting engine after Corollary 24).
+
+Containment and equality are exact subspace computations, so Lemma 21
+(``f̄ f̄⁻¹ ⊇ I`` and ``f̄⁻¹ f̄ ⊆ I``) and Lemma 22 are *checkable*, and
+the property tests in ``tests/test_linrel.py`` check them.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Sequence
+
+from repro.errors import LinalgError
+from repro.linalg.matrix import QMatrix, vector
+
+
+class LinearRelation:
+    """A linear subspace of ``Q^n × Q^n`` seen as a relation on ``Q^n``."""
+
+    __slots__ = ("n", "basis")
+
+    def __init__(self, n: int, generators: Sequence[Sequence] = ()):
+        if n < 0:
+            raise LinalgError("relation dimension must be >= 0")
+        self.n = n
+        rows = [vector(g) for g in generators]
+        for row in rows:
+            if len(row) != 2 * n:
+                raise LinalgError(
+                    f"generators must have length {2 * n}, got {len(row)}"
+                )
+        if rows:
+            reduced, pivots = QMatrix(rows).rref()
+            self.basis = tuple(reduced.rows[i] for i in range(len(pivots)))
+        else:
+            self.basis = ()
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def identity(n: int) -> "LinearRelation":
+        """``I = {(x, x)}``."""
+        eye = QMatrix.identity(n)
+        return LinearRelation(n, [list(eye.rows[i]) + list(eye.rows[i])
+                                  for i in range(n)])
+
+    @staticmethod
+    def graph_of(matrix: QMatrix) -> "LinearRelation":
+        """``{(x, Mx)} `` — the relation equal to the function ``h_M``."""
+        if not matrix.is_square():
+            raise LinalgError("graph_of expects a square matrix")
+        n = matrix.nrows
+        eye = QMatrix.identity(n)
+        generators = []
+        for i in range(n):
+            x = list(eye.rows[i])
+            y = list(matrix.matvec(eye.rows[i]))
+            generators.append(x + y)
+        return LinearRelation(n, generators)
+
+    @staticmethod
+    def full(n: int) -> "LinearRelation":
+        """The total relation ``Q^n × Q^n``."""
+        eye = QMatrix.identity(2 * n)
+        return LinearRelation(n, eye.rows)
+
+    @staticmethod
+    def empty(n: int) -> "LinearRelation":
+        """The zero subspace ``{(0, 0)}`` (smallest linear relation)."""
+        return LinearRelation(n, ())
+
+    # ------------------------------------------------------------------
+    # Relation algebra
+    # ------------------------------------------------------------------
+    def inverse(self) -> "LinearRelation":
+        """``{(y, x) : (x, y) ∈ R}``."""
+        flipped = [tuple(row[self.n:]) + tuple(row[:self.n]) for row in self.basis]
+        return LinearRelation(self.n, flipped)
+
+    def compose(self, other: "LinearRelation") -> "LinearRelation":
+        """``{(x, z) : ∃y (x, y) ∈ self ∧ (y, z) ∈ other}``.
+
+        Diagrammatic order: ``self`` is applied first.  For graphs this
+        matches ``graph_of(A).compose(graph_of(B)) == graph_of(B*A)``.
+        """
+        if self.n != other.n:
+            raise LinalgError("composing relations of different dimensions")
+        n = self.n
+        r1, r2 = len(self.basis), len(other.basis)
+        if r1 == 0 or r2 == 0:
+            return LinearRelation(n, ())
+        # Find all (a, b) with  a·Y1 = b·Y2  where self rows are (X1|Y1)
+        # and other rows are (Y2|Z2): nullspace of [Y1^T | -Y2^T].
+        coupling_rows = []
+        for coord in range(n):
+            row = [self.basis[i][n + coord] for i in range(r1)]
+            row += [-other.basis[j][coord] for j in range(r2)]
+            coupling_rows.append(row)
+        nullspace = QMatrix(coupling_rows).nullspace()
+        generators: List[List[Fraction]] = []
+        for solution in nullspace:
+            a, b = solution[:r1], solution[r1:]
+            x = [sum((a[i] * self.basis[i][c] for i in range(r1)), Fraction(0))
+                 for c in range(n)]
+            z = [sum((b[j] * other.basis[j][n + c] for j in range(r2)), Fraction(0))
+                 for c in range(n)]
+            generators.append(x + z)
+        return LinearRelation(n, generators)
+
+    # ------------------------------------------------------------------
+    # Order and equality
+    # ------------------------------------------------------------------
+    def dimension(self) -> int:
+        return len(self.basis)
+
+    def contains_pair(self, x: Sequence, y: Sequence) -> bool:
+        """Is the concrete pair ``(x, y)`` in the relation?"""
+        candidate = list(vector(x)) + list(vector(y))
+        if len(candidate) != 2 * self.n:
+            raise LinalgError("pair has wrong dimension")
+        if not self.basis:
+            return all(v == 0 for v in candidate)
+        stacked = QMatrix(list(self.basis) + [candidate])
+        return stacked.rank() == len(self.basis)
+
+    def __le__(self, other: "LinearRelation") -> bool:
+        """Subspace containment ``self ⊆ other``."""
+        if self.n != other.n:
+            raise LinalgError("comparing relations of different dimensions")
+        if not self.basis:
+            return True
+        stacked = QMatrix(list(other.basis) + list(self.basis))
+        return stacked.rank() == len(other.basis)
+
+    def __ge__(self, other: "LinearRelation") -> bool:
+        return other <= self
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinearRelation):
+            return NotImplemented
+        return self.n == other.n and self.basis == other.basis
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.basis))
+
+    # ------------------------------------------------------------------
+    # Function recovery
+    # ------------------------------------------------------------------
+    def as_function_graph(self) -> Optional[QMatrix]:
+        """If the relation is ``{(x, Mx)}`` for some matrix ``M``,
+        return ``M``; else ``None``.
+
+        A subspace is a total function graph iff its dimension is ``n``
+        and the projection onto the first block has full rank.
+        """
+        n = self.n
+        if len(self.basis) != n:
+            return None
+        x_block = QMatrix([row[:n] for row in self.basis])
+        y_block = QMatrix([row[n:] for row in self.basis])
+        if x_block.rank() != n:
+            return None
+        # rows satisfy y_i = M x_i, i.e.  Y = X Mᵀ  =>  M = (X⁻¹ Y)ᵀ.
+        m_transposed = x_block.inverse().matmul(y_block)
+        return m_transposed.transpose()
+
+    def __repr__(self) -> str:
+        return f"LinearRelation(n={self.n}, dim={len(self.basis)})"

@@ -1,0 +1,284 @@
+"""Exact rational matrices.
+
+Everything proof-carrying in this library (span membership for Lemma
+31, nonsingularity for Lemma 40, cone membership for Lemma 55/56) runs
+on exact :class:`fractions.Fraction` arithmetic — the matrices involved
+(radix-``T`` Vandermonde matrices) are catastrophically ill-conditioned
+for floating point.
+
+:class:`QMatrix` is a small, immutable, dependency-free implementation
+of the handful of operations we need: RREF with pivot tracking, rank,
+determinant, inverse, linear solve, matrix/vector products, and
+nullspace bases.  It is not a general numerics library and does not try
+to be one.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import LinalgError
+
+Scalar = Fraction | int
+QVector = Tuple[Fraction, ...]
+
+
+def _to_fraction(value) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    raise LinalgError(
+        f"exact matrices accept int/Fraction entries only, got {type(value).__name__}"
+    )
+
+
+def vector(values: Sequence[Scalar]) -> QVector:
+    """Normalize a sequence into a tuple of Fractions."""
+    return tuple(_to_fraction(v) for v in values)
+
+
+def dot(left: Sequence[Scalar], right: Sequence[Scalar]) -> Fraction:
+    """Exact dot product ``⟨u, v⟩``."""
+    if len(left) != len(right):
+        raise LinalgError(f"dot of lengths {len(left)} and {len(right)}")
+    return sum((_to_fraction(a) * _to_fraction(b) for a, b in zip(left, right)),
+               Fraction(0))
+
+
+class QMatrix:
+    """An immutable matrix over the rationals.
+
+    >>> m = QMatrix([[1, 2], [3, 4]])
+    >>> m.det()
+    Fraction(-2, 1)
+    >>> m.inverse().matvec([1, 0])
+    (Fraction(-2, 1), Fraction(3, 2))
+    """
+
+    __slots__ = ("rows", "nrows", "ncols")
+
+    def __init__(self, rows: Sequence[Sequence[Scalar]]):
+        normalized: List[QVector] = [vector(row) for row in rows]
+        widths = {len(row) for row in normalized}
+        if len(widths) > 1:
+            raise LinalgError(f"ragged rows with widths {sorted(widths)}")
+        self.rows = tuple(normalized)
+        self.nrows = len(self.rows)
+        self.ncols = next(iter(widths)) if widths else 0
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def identity(size: int) -> "QMatrix":
+        return QMatrix([
+            [Fraction(1) if i == j else Fraction(0) for j in range(size)]
+            for i in range(size)
+        ])
+
+    @staticmethod
+    def zeros(nrows: int, ncols: int) -> "QMatrix":
+        return QMatrix([[Fraction(0)] * ncols for _ in range(nrows)])
+
+    @staticmethod
+    def from_columns(columns: Sequence[Sequence[Scalar]]) -> "QMatrix":
+        if not columns:
+            return QMatrix([])
+        height = len(columns[0])
+        if any(len(c) != height for c in columns):
+            raise LinalgError("columns of unequal height")
+        return QMatrix([[columns[j][i] for j in range(len(columns))]
+                        for i in range(height)])
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def entry(self, i: int, j: int) -> Fraction:
+        return self.rows[i][j]
+
+    def row(self, i: int) -> QVector:
+        return self.rows[i]
+
+    def column(self, j: int) -> QVector:
+        return tuple(row[j] for row in self.rows)
+
+    def columns(self) -> List[QVector]:
+        return [self.column(j) for j in range(self.ncols)]
+
+    def is_square(self) -> bool:
+        return self.nrows == self.ncols
+
+    def transpose(self) -> "QMatrix":
+        return QMatrix([[self.rows[i][j] for i in range(self.nrows)]
+                        for j in range(self.ncols)])
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def matvec(self, x: Sequence[Scalar]) -> QVector:
+        if len(x) != self.ncols:
+            raise LinalgError(f"matvec: {self.ncols} columns vs vector of {len(x)}")
+        xs = vector(x)
+        return tuple(dot(row, xs) for row in self.rows)
+
+    def matmul(self, other: "QMatrix") -> "QMatrix":
+        if self.ncols != other.nrows:
+            raise LinalgError(
+                f"matmul: {self.nrows}x{self.ncols} times {other.nrows}x{other.ncols}"
+            )
+        other_cols = other.columns()
+        return QMatrix([
+            [dot(row, col) for col in other_cols]
+            for row in self.rows
+        ])
+
+    def __mul__(self, other):
+        if isinstance(other, QMatrix):
+            return self.matmul(other)
+        return NotImplemented
+
+    def scale(self, factor: Scalar) -> "QMatrix":
+        f = _to_fraction(factor)
+        return QMatrix([[f * v for v in row] for row in self.rows])
+
+    def add(self, other: "QMatrix") -> "QMatrix":
+        if (self.nrows, self.ncols) != (other.nrows, other.ncols):
+            raise LinalgError("matrix addition shape mismatch")
+        return QMatrix([
+            [a + b for a, b in zip(r1, r2)]
+            for r1, r2 in zip(self.rows, other.rows)
+        ])
+
+    # ------------------------------------------------------------------
+    # Elimination
+    # ------------------------------------------------------------------
+    def rref(self) -> Tuple["QMatrix", Tuple[int, ...]]:
+        """Reduced row echelon form and the pivot column indices."""
+        rows = [list(row) for row in self.rows]
+        pivots: List[int] = []
+        pivot_row = 0
+        for col in range(self.ncols):
+            chosen = None
+            for r in range(pivot_row, len(rows)):
+                if rows[r][col] != 0:
+                    chosen = r
+                    break
+            if chosen is None:
+                continue
+            rows[pivot_row], rows[chosen] = rows[chosen], rows[pivot_row]
+            pivot_value = rows[pivot_row][col]
+            rows[pivot_row] = [v / pivot_value for v in rows[pivot_row]]
+            for r in range(len(rows)):
+                if r != pivot_row and rows[r][col] != 0:
+                    factor = rows[r][col]
+                    rows[r] = [a - factor * b for a, b in zip(rows[r], rows[pivot_row])]
+            pivots.append(col)
+            pivot_row += 1
+            if pivot_row == len(rows):
+                break
+        return QMatrix(rows), tuple(pivots)
+
+    def rank(self) -> int:
+        _, pivots = self.rref()
+        return len(pivots)
+
+    def det(self) -> Fraction:
+        if not self.is_square():
+            raise LinalgError("determinant of a non-square matrix")
+        rows = [list(row) for row in self.rows]
+        size = self.nrows
+        determinant = Fraction(1)
+        for col in range(size):
+            chosen = None
+            for r in range(col, size):
+                if rows[r][col] != 0:
+                    chosen = r
+                    break
+            if chosen is None:
+                return Fraction(0)
+            if chosen != col:
+                rows[col], rows[chosen] = rows[chosen], rows[col]
+                determinant = -determinant
+            determinant *= rows[col][col]
+            inv = Fraction(1) / rows[col][col]
+            for r in range(col + 1, size):
+                if rows[r][col] != 0:
+                    factor = rows[r][col] * inv
+                    rows[r] = [a - factor * b for a, b in zip(rows[r], rows[col])]
+        return determinant
+
+    def is_nonsingular(self) -> bool:
+        return self.is_square() and self.det() != 0
+
+    def inverse(self) -> "QMatrix":
+        if not self.is_square():
+            raise LinalgError("inverse of a non-square matrix")
+        size = self.nrows
+        augmented = QMatrix([
+            list(self.rows[i]) + list(QMatrix.identity(size).rows[i])
+            for i in range(size)
+        ])
+        reduced, pivots = augmented.rref()
+        if tuple(pivots) != tuple(range(size)):
+            raise LinalgError("matrix is singular")
+        return QMatrix([row[size:] for row in reduced.rows])
+
+    def solve(self, b: Sequence[Scalar]) -> Optional[QVector]:
+        """A particular solution of ``A x = b``, or ``None`` when
+        inconsistent.  Free variables are set to zero."""
+        if len(b) != self.nrows:
+            raise LinalgError(f"solve: {self.nrows} rows vs rhs of {len(b)}")
+        bs = vector(b)
+        augmented = QMatrix([list(row) + [bs[i]] for i, row in enumerate(self.rows)])
+        reduced, pivots = augmented.rref()
+        if self.ncols in pivots:
+            return None  # pivot in the augmented column: inconsistent
+        solution = [Fraction(0)] * self.ncols
+        for row_index, col in enumerate(pivots):
+            solution[col] = reduced.rows[row_index][-1]
+        return tuple(solution)
+
+    def nullspace(self) -> List[QVector]:
+        """A basis of ``{x : A x = 0}``."""
+        reduced, pivots = self.rref()
+        pivot_set = set(pivots)
+        free_columns = [j for j in range(self.ncols) if j not in pivot_set]
+        basis: List[QVector] = []
+        for free in free_columns:
+            candidate = [Fraction(0)] * self.ncols
+            candidate[free] = Fraction(1)
+            for row_index, pivot_col in enumerate(pivots):
+                candidate[pivot_col] = -reduced.rows[row_index][free]
+            basis.append(tuple(candidate))
+        return basis
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QMatrix):
+            return NotImplemented
+        return self.rows == other.rows
+
+    def __hash__(self) -> int:
+        return hash(self.rows)
+
+    def __repr__(self) -> str:
+        body = "; ".join(
+            "[" + ", ".join(str(v) for v in row) + "]" for row in self.rows
+        )
+        return f"QMatrix({self.nrows}x{self.ncols}: {body})"
+
+    def to_int_rows(self) -> List[List[int]]:
+        """Rows as ints; raises when any entry is non-integral."""
+        result = []
+        for row in self.rows:
+            ints = []
+            for value in row:
+                if value.denominator != 1:
+                    raise LinalgError(f"entry {value} is not an integer")
+                ints.append(value.numerator)
+            result.append(ints)
+        return result

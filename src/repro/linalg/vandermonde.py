@@ -1,0 +1,44 @@
+"""Vandermonde matrices (Lemma 46).
+
+Step 3 of the Lemma 40 construction produces the evaluation matrix
+``M(i, j) = a_i^{j-1}`` where ``a_i = |hom(w_i, s⁽²⁾)|`` are pairwise
+distinct (Observation 45).  Lemma 46: such a matrix is nonsingular.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.linalg.matrix import QMatrix
+
+
+def vandermonde_matrix(values: Sequence) -> QMatrix:
+    """The k×k matrix ``A(i, j) = values[i]^j`` (j = 0..k-1).
+
+    >>> vandermonde_matrix([1, 2]).rows
+    ((Fraction(1, 1), Fraction(1, 1)), (Fraction(1, 1), Fraction(2, 1)))
+    """
+    k = len(values)
+    return QMatrix([
+        [Fraction(value) ** j for j in range(k)]
+        for value in values
+    ])
+
+
+def vandermonde_determinant(values: Sequence) -> Fraction:
+    """``Π_{i<j} (a_j - a_i)`` — the closed form, used to cross-check
+    :meth:`QMatrix.det` in tests."""
+    fractions = [Fraction(v) for v in values]
+    result = Fraction(1)
+    for j in range(len(fractions)):
+        for i in range(j):
+            result *= fractions[j] - fractions[i]
+    return result
+
+
+def is_vandermonde_nonsingular(values: Sequence) -> bool:
+    """Lemma 46: nonsingular iff the generating values are pairwise
+    distinct."""
+    fractions = [Fraction(v) for v in values]
+    return len(set(fractions)) == len(fractions)

@@ -1,0 +1,48 @@
+"""Query model: CQs, boolean UCQs, path queries, parsing, evaluation."""
+
+from repro.queries.cq import (
+    Atom,
+    ConjunctiveQuery,
+    boolean_cq,
+    cq_from_structure,
+)
+from repro.queries.ucq import UnionOfBooleanCQs, as_ucq
+from repro.queries.path import EPSILON, PathQuery, signed_word
+from repro.queries.parser import (
+    parse_boolean_cq,
+    parse_cq,
+    parse_path,
+    parse_ucq,
+)
+from repro.queries.printing import format_cq, format_path, format_ucq
+from repro.queries.evaluation import (
+    answers_agree,
+    evaluate_boolean,
+    evaluate_cq,
+    evaluate_path_boolean,
+    evaluate_path_query,
+)
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "boolean_cq",
+    "cq_from_structure",
+    "UnionOfBooleanCQs",
+    "as_ucq",
+    "EPSILON",
+    "PathQuery",
+    "signed_word",
+    "parse_boolean_cq",
+    "parse_cq",
+    "parse_path",
+    "parse_ucq",
+    "format_cq",
+    "format_path",
+    "format_ucq",
+    "answers_agree",
+    "evaluate_boolean",
+    "evaluate_cq",
+    "evaluate_path_boolean",
+    "evaluate_path_query",
+]

@@ -1,0 +1,104 @@
+"""Bag-semantics query evaluation.
+
+Section 2.1 of the paper: the result ``Φ(D)`` of a CQ is the multiset
+whose multiplicity at ``ā`` is the number of homomorphisms from the
+frozen body of ``Φ`` to ``D`` sending the frozen free tuple to ``ā``.
+For boolean queries that is just the total homomorphism count, and for
+a boolean UCQ the disjuncts' counts are summed.
+
+Path queries get a dedicated dynamic-programming evaluator (walk
+counting, Fact 18: ``w(D)[a_i, a_j] = M_w(i, j)``) so view answers on
+large-ish graphs don't pay general backtracking costs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+from repro.errors import QueryError
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.path import PathQuery
+from repro.queries.ucq import UnionOfBooleanCQs
+from repro.structures.multiset import Multiset
+from repro.structures.structure import Structure
+from repro.hom.count import count_homs
+from repro.hom.search import iter_homomorphisms
+
+Constant = Hashable
+
+
+def evaluate_boolean(query: ConjunctiveQuery | UnionOfBooleanCQs,
+                     database: Structure) -> int:
+    """``q(D)`` for a boolean CQ or UCQ, as a natural number.
+
+    (The paper writes ``q(D)`` for ``q(D)[⟨⟩]``; we follow suit.)
+    """
+    if isinstance(query, UnionOfBooleanCQs):
+        return sum(evaluate_boolean(d, database) for d in query.disjuncts)
+    if not query.is_boolean():
+        raise QueryError(f"expected a boolean query, got free variables {query.free}")
+    return count_homs(query.frozen_body(), database)
+
+
+def evaluate_cq(query: ConjunctiveQuery, database: Structure) -> Multiset:
+    """``Φ(D)`` as a multiset of answer tuples.
+
+    >>> from repro.queries.parser import parse_cq
+    >>> from repro.structures.generators import path_structure
+    >>> q = parse_cq("x, y | R(x, y)")
+    >>> answers = evaluate_cq(q, path_structure(['R', 'R']))
+    >>> answers.total()
+    2
+    """
+    if query.is_boolean():
+        count = evaluate_boolean(query, database)
+        return Multiset({(): count}) if count else Multiset()
+    body = query.frozen_body()
+    frozen_free = query.frozen_free_tuple()
+    counts: Dict[Tuple, int] = {}
+    for hom in iter_homomorphisms(body, database):
+        answer = tuple(hom[c] for c in frozen_free)
+        counts[answer] = counts.get(answer, 0) + 1
+    return Multiset(counts)
+
+
+def evaluate_path_query(path: PathQuery, database: Structure) -> Multiset:
+    """``Λ(D)`` for a path query, by walk-counting DP.
+
+    The empty word ε evaluates to ``{(a, a) : a ∈ dom(D)}`` with
+    multiplicity 1 (the identity, matching ``M_ε = I``).
+    """
+    counts: Dict[Tuple[Constant, Constant], int] = {
+        (a, a): 1 for a in database.domain()
+    }
+    for letter in path.letters:
+        edges = database.tuples(letter)
+        successors: Dict[Constant, list] = {}
+        for source, target in edges:
+            successors.setdefault(source, []).append(target)
+        next_counts: Dict[Tuple[Constant, Constant], int] = {}
+        for (start, current), multiplicity in counts.items():
+            for target in successors.get(current, ()):
+                key = (start, target)
+                next_counts[key] = next_counts.get(key, 0) + multiplicity
+        counts = next_counts
+    return Multiset(counts)
+
+
+def evaluate_path_boolean(path: PathQuery, database: Structure) -> int:
+    """Total number of walks spelling the word (the boolean closure)."""
+    return evaluate_path_query(path, database).total()
+
+
+def answers_agree(query, left: Structure, right: Structure) -> bool:
+    """``q(D) = q(D')`` under bag semantics — the building block of the
+    ♠ determinacy condition."""
+    if isinstance(query, PathQuery):
+        return evaluate_path_query(query, left) == evaluate_path_query(query, right)
+    if isinstance(query, UnionOfBooleanCQs):
+        return evaluate_boolean(query, left) == evaluate_boolean(query, right)
+    if isinstance(query, ConjunctiveQuery):
+        if query.is_boolean():
+            return evaluate_boolean(query, left) == evaluate_boolean(query, right)
+        return evaluate_cq(query, left) == evaluate_cq(query, right)
+    raise QueryError(f"cannot evaluate {query!r}")

@@ -1,0 +1,129 @@
+"""A small textual syntax for queries.
+
+Grammar (whitespace-insensitive)::
+
+    cq       :=  [ freevars '|' ] atoms
+    freevars :=  var [',' var]*           -- e.g.  "x, y |"
+    atoms    :=  atom [',' atom]*
+    atom     :=  NAME '(' [var [',' var]*] ')'
+    ucq      :=  cq ['|' cq]*  when every branch is boolean  -- see note
+    path     :=  NAME ['.' NAME]*         -- e.g.  "A.B.C"
+
+Because '|' is both the free-variable separator and the UCQ
+disjunction, UCQs use ``' or '`` (the keyword, surrounded by spaces) or
+``'∨'`` as the disjunction separator::
+
+    parse_ucq("P(x) or R(x)")
+
+Examples
+--------
+>>> q = parse_cq("R(x,y), S(y,z)")
+>>> q.is_boolean()
+True
+>>> parse_cq("x | P(u,x), R(x,y)").free
+('x',)
+>>> parse_path("A.B.C").letters
+('A', 'B', 'C')
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.errors import ParseError
+from repro.queries.cq import Atom, ConjunctiveQuery
+from repro.queries.path import PathQuery
+from repro.queries.ucq import UnionOfBooleanCQs
+from repro.structures.schema import Schema
+
+_ATOM_RE = re.compile(r"\s*([A-Za-z_][A-Za-z_0-9']*)\s*\(([^()]*)\)\s*")
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z_0-9']*$")
+
+
+def parse_cq(text: str, schema: Optional[Schema] = None) -> ConjunctiveQuery:
+    """Parse a conjunctive query.
+
+    A leading ``vars |`` segment declares the free variables; without
+    it the query is boolean.
+    """
+    if not isinstance(text, str) or not text.strip():
+        raise ParseError("empty query text")
+    free: tuple = ()
+    body = text
+    if "|" in text:
+        head, _, tail = text.partition("|")
+        free = _parse_varlist(head)
+        body = tail
+    atoms = _parse_atoms(body)
+    try:
+        return ConjunctiveQuery(atoms, free=free, schema=schema)
+    except Exception as exc:  # re-raise with parse context
+        raise ParseError(f"invalid query {text!r}: {exc}") from exc
+
+
+def parse_boolean_cq(text: str, schema: Optional[Schema] = None) -> ConjunctiveQuery:
+    """Parse and insist the result is boolean."""
+    query = parse_cq(text, schema=schema)
+    if not query.is_boolean():
+        raise ParseError(f"expected a boolean CQ, got free variables {query.free}")
+    return query
+
+
+def parse_ucq(text: str, schema: Optional[Schema] = None) -> UnionOfBooleanCQs:
+    """Parse a union of boolean CQs, disjuncts separated by ``or``/``∨``."""
+    if not isinstance(text, str) or not text.strip():
+        raise ParseError("empty UCQ text")
+    pieces = re.split(r"\s+or\s+|∨", text)
+    disjuncts = [parse_boolean_cq(piece, schema=schema) for piece in pieces]
+    return UnionOfBooleanCQs(disjuncts, schema=schema)
+
+
+def parse_path(text: str) -> PathQuery:
+    """Parse a path query word, letters separated by dots: ``"A.B.C"``.
+
+    The empty string (or ``"ε"``) parses to the empty word.
+    """
+    if text is None:
+        raise ParseError("path text must be a string")
+    stripped = text.strip()
+    if stripped in ("", "ε", "eps", "epsilon"):
+        return PathQuery(())
+    letters = [piece.strip() for piece in stripped.split(".")]
+    for letter in letters:
+        if not _NAME_RE.match(letter):
+            raise ParseError(f"bad path letter {letter!r} in {text!r}")
+    return PathQuery(letters)
+
+
+def _parse_varlist(text: str) -> tuple:
+    names = [piece.strip() for piece in text.split(",")]
+    for name in names:
+        if not _NAME_RE.match(name):
+            raise ParseError(f"bad variable name {name!r} in {text!r}")
+    return tuple(names)
+
+
+def _parse_atoms(text: str) -> List[Atom]:
+    atoms: List[Atom] = []
+    position = 0
+    stripped = text.strip()
+    if not stripped:
+        return atoms
+    while position < len(text):
+        match = _ATOM_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"cannot parse atom at ...{text[position:position+30]!r}")
+        relation, arguments = match.group(1), match.group(2)
+        variables = _parse_varlist(arguments) if arguments.strip() else ()
+        atoms.append(Atom(relation, variables))
+        position = match.end()
+        if position < len(text):
+            if text[position] != ",":
+                raise ParseError(
+                    f"expected ',' between atoms at ...{text[position:position+30]!r}"
+                )
+            position += 1
+    if not atoms:
+        raise ParseError(f"no atoms found in {text!r}")
+    return atoms

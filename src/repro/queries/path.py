@@ -1,0 +1,153 @@
+"""Path queries (paper Section 3).
+
+Over a binary schema Σ, a path query is a CQ of the shape::
+
+    Λ(x, y) = ∃x1..x_{n-1}  R1(x, x1), R2(x1, x2), ..., Rn(x_{n-1}, y)
+
+and the paper identifies path queries with *words* over Σ: the query
+above is the word ``R1 R2 ... Rn``.  The empty word ε is identified
+with the (non-path) query ``x = y``.
+
+:class:`PathQuery` is a thin immutable word wrapper with the prefix
+machinery Definition 9 needs, plus conversion to a two-free-variable
+:class:`~repro.queries.cq.ConjunctiveQuery`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.queries.cq import Atom, ConjunctiveQuery
+from repro.structures.schema import Schema
+from repro.structures.structure import Fact, Structure
+
+
+class PathQuery:
+    """A path query, i.e. a word over binary relation names.
+
+    >>> q = PathQuery(('A', 'B', 'C'))
+    >>> len(q), q.letters
+    (3, ('A', 'B', 'C'))
+    >>> [p.letters for p in q.prefixes()]
+    [(), ('A',), ('A', 'B'), ('A', 'B', 'C')]
+    """
+
+    __slots__ = ("letters",)
+
+    def __init__(self, letters: Sequence[str] = ()):
+        for letter in letters:
+            if not isinstance(letter, str) or not letter:
+                raise QueryError(f"path letters must be non-empty strings, got {letter!r}")
+        self.letters = tuple(letters)
+
+    # ------------------------------------------------------------------
+    # Word structure
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.letters)
+
+    def __bool__(self) -> bool:
+        """The empty word is falsy (it is ε, not a real path query)."""
+        return bool(self.letters)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.letters)
+
+    def __getitem__(self, index):
+        result = self.letters[index]
+        if isinstance(index, slice):
+            return PathQuery(result)
+        return result
+
+    def __add__(self, other: "PathQuery") -> "PathQuery":
+        """Concatenation of words."""
+        if not isinstance(other, PathQuery):
+            return NotImplemented
+        return PathQuery(self.letters + other.letters)
+
+    def is_empty(self) -> bool:
+        return not self.letters
+
+    def prefixes(self) -> List["PathQuery"]:
+        """All prefixes, ε first, the full word last (Definition 9)."""
+        return [PathQuery(self.letters[:i]) for i in range(len(self.letters) + 1)]
+
+    def is_prefix_of(self, other: "PathQuery") -> bool:
+        return self.letters == other.letters[: len(self.letters)]
+
+    def strip_prefix(self, prefix: "PathQuery") -> "PathQuery":
+        if not prefix.is_prefix_of(self):
+            raise QueryError(f"{prefix} is not a prefix of {self}")
+        return PathQuery(self.letters[len(prefix):])
+
+    def strip_suffix(self, suffix: "PathQuery") -> "PathQuery":
+        if len(suffix) > len(self) or (
+            suffix.letters != self.letters[len(self) - len(suffix):]
+        ):
+            raise QueryError(f"{suffix} is not a suffix of {self}")
+        return PathQuery(self.letters[: len(self) - len(suffix)])
+
+    def alphabet(self) -> frozenset:
+        return frozenset(self.letters)
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def schema(self) -> Schema:
+        return Schema({letter: 2 for letter in self.letters})
+
+    def to_cq(self, start: str = "x", end: str = "y") -> ConjunctiveQuery:
+        """The two-free-variable CQ this word denotes.
+
+        Raises for ε: ``x = y`` is not expressible as a (equality-free)
+        CQ, matching the paper's footnote 12.
+        """
+        if not self.letters:
+            raise QueryError("the empty word denotes x = y, which is not a CQ")
+        variables = [start] + [f"_p{i}" for i in range(1, len(self.letters))] + [end]
+        atoms = [
+            Atom(letter, (variables[i], variables[i + 1]))
+            for i, letter in enumerate(self.letters)
+        ]
+        return ConjunctiveQuery(atoms, free=(start, end))
+
+    def frozen_path(self, tag=0) -> Structure:
+        """The frozen body as a simple path structure with constants
+        ``(tag, 0), ..., (tag, n)``."""
+        facts = [
+            Fact(letter, ((tag, i), (tag, i + 1)))
+            for i, letter in enumerate(self.letters)
+        ]
+        domain = [(tag, i) for i in range(len(self.letters) + 1)]
+        return Structure(facts, domain=domain)
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PathQuery):
+            return NotImplemented
+        return self.letters == other.letters
+
+    def __hash__(self) -> int:
+        return hash(("pathquery", self.letters))
+
+    def __repr__(self) -> str:
+        if not self.letters:
+            return "PathQuery(ε)"
+        return f"PathQuery({'.'.join(self.letters)})"
+
+
+EPSILON = PathQuery(())
+
+
+def signed_word(path: PathQuery, sign: int = 1) -> Tuple[Tuple[str, int], ...]:
+    """The word as signed letters; ``sign=-1`` reverses and inverts
+    (paper footnote 18: ``w^{-1}`` is ``w`` reversed with every letter
+    inverted)."""
+    if sign == 1:
+        return tuple((letter, 1) for letter in path.letters)
+    if sign == -1:
+        return tuple((letter, -1) for letter in reversed(path.letters))
+    raise QueryError(f"sign must be +1 or -1, got {sign}")

@@ -1,0 +1,52 @@
+"""Canonical textual rendering of queries — inverse of the parser.
+
+``format_cq(parse_cq(text))`` is stable and ``parse_cq(format_cq(q))``
+returns a query equal to ``q`` (up to the set-of-atoms normalization
+the constructor already applies); the round trip is property-tested in
+``tests/test_printing.py``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.path import PathQuery
+from repro.queries.ucq import UnionOfBooleanCQs
+
+
+def format_atom(atom) -> str:
+    return f"{atom.relation}({', '.join(atom.variables)})"
+
+
+def format_cq(query: ConjunctiveQuery) -> str:
+    """Parser-compatible text for a CQ.
+
+    Raises for queries with isolated extra variables: the grammar has
+    no way to declare a variable that occurs in no atom.
+    """
+    body_variables = {v for atom in query.atoms for v in atom.variables}
+    stray = set(query.extra_variables) - body_variables
+    stray -= set(query.free)  # free-but-unused vars round-trip fine
+    if stray:
+        raise QueryError(
+            f"variables {sorted(stray)} occur in no atom; the textual "
+            f"syntax cannot express them"
+        )
+    if not query.atoms:
+        raise QueryError(
+            "the empty conjunction has no textual form in this grammar"
+        )
+    atoms = ", ".join(format_atom(a) for a in sorted(query.atoms, key=str))
+    if query.free:
+        return f"{', '.join(query.free)} | {atoms}"
+    return atoms
+
+
+def format_ucq(query: UnionOfBooleanCQs) -> str:
+    return " or ".join(format_cq(d) for d in query.disjuncts)
+
+
+def format_path(query: PathQuery) -> str:
+    if query.is_empty():
+        return "ε"
+    return ".".join(query.letters)

@@ -1,0 +1,89 @@
+"""Unions of boolean conjunctive queries.
+
+A boolean UCQ ``Ψ`` (paper Section 2.1) is a disjunction of boolean CQs
+and its *bag-semantics* answer on ``D`` is the natural number
+``Ψ(D) = Σ_{Φ∈Ψ} Φ(D)`` — the disjuncts' counts are *summed*, not
+maxed.  This additive reading is what makes the "p1 ∨ p2 trick" of the
+Theorem 2 reduction work.
+
+Disjuncts are kept as a list (a disjunct may appear several times,
+which matters: ``Φ ∨ Φ`` answers ``2·Φ(D)``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import QueryError
+from repro.queries.cq import ConjunctiveQuery
+from repro.structures.schema import Schema
+
+
+class UnionOfBooleanCQs:
+    """A finite disjunction of boolean CQs with multiplicity.
+
+    >>> from repro.queries.cq import boolean_cq
+    >>> p = boolean_cq([('P', ('x',))])
+    >>> r = boolean_cq([('R', ('x',))])
+    >>> psi = UnionOfBooleanCQs([p, r])
+    >>> len(psi.disjuncts)
+    2
+    """
+
+    __slots__ = ("disjuncts", "_schema")
+
+    def __init__(self, disjuncts: Iterable[ConjunctiveQuery],
+                 schema: Optional[Schema] = None):
+        normalized: List[ConjunctiveQuery] = []
+        for disjunct in disjuncts:
+            if not isinstance(disjunct, ConjunctiveQuery):
+                raise QueryError(f"UCQ disjunct must be a CQ, got {disjunct!r}")
+            if not disjunct.is_boolean():
+                raise QueryError(
+                    f"UCQ disjuncts must be boolean, got arity {disjunct.arity}"
+                )
+            normalized.append(disjunct)
+        if not normalized:
+            raise QueryError("a UCQ needs at least one disjunct")
+        self.disjuncts = tuple(normalized)
+        self._schema = schema
+
+    def schema(self) -> Schema:
+        if self._schema is not None:
+            return self._schema
+        merged = Schema({})
+        for disjunct in self.disjuncts:
+            merged = merged.union(disjunct.schema())
+        return merged
+
+    def is_single_cq(self) -> bool:
+        return len(self.disjuncts) == 1
+
+    def union(self, other: "UnionOfBooleanCQs") -> "UnionOfBooleanCQs":
+        return UnionOfBooleanCQs(self.disjuncts + other.disjuncts)
+
+    def repeated(self, times: int) -> "UnionOfBooleanCQs":
+        """``Ψ ∨ Ψ ∨ ...`` (``times`` copies) — multiplies the answer."""
+        if times < 1:
+            raise QueryError(f"need at least one copy, got {times}")
+        return UnionOfBooleanCQs(self.disjuncts * times)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UnionOfBooleanCQs):
+            return NotImplemented
+        return sorted(map(repr, self.disjuncts)) == sorted(map(repr, other.disjuncts))
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(map(repr, self.disjuncts))))
+
+    def __repr__(self) -> str:
+        return " | ".join(repr(d) for d in self.disjuncts)
+
+
+def as_ucq(query: ConjunctiveQuery | UnionOfBooleanCQs) -> UnionOfBooleanCQs:
+    """Coerce a boolean CQ into a one-disjunct UCQ."""
+    if isinstance(query, UnionOfBooleanCQs):
+        return query
+    if isinstance(query, ConjunctiveQuery):
+        return UnionOfBooleanCQs([query])
+    raise QueryError(f"cannot interpret {query!r} as a UCQ")

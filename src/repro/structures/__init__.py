@@ -1,0 +1,104 @@
+"""Relational structures and the Section 2.2 structure algebra."""
+
+from repro.structures.schema import RelationSymbol, Schema, binary_schema
+from repro.structures.structure import EMPTY_STRUCTURE, Fact, Structure, singleton
+from repro.structures.multiset import Multiset
+from repro.structures.operations import (
+    disjoint_union,
+    power,
+    product,
+    product_structures,
+    scalar_multiple,
+    sum_structures,
+    sum_with_multiplicities,
+    unit_structure,
+)
+from repro.structures.components import (
+    component_count,
+    connected_components,
+    is_connected,
+)
+from repro.structures.isomorphism import (
+    are_isomorphic,
+    dedupe_up_to_isomorphism,
+    find_isomorphism,
+    invariant_key,
+    refine_colors,
+)
+from repro.structures.expression import (
+    LeafExpression,
+    PowerExpression,
+    ProductExpression,
+    StructureExpression,
+    SumExpression,
+    as_expression,
+    materialize_or_none,
+    scaled_sum,
+)
+from repro.structures.serialization import (
+    SerializationError,
+    dumps,
+    from_dict,
+    loads,
+    to_dict,
+)
+from repro.structures.generators import (
+    clique_structure,
+    cycle_structure,
+    enumerate_structures,
+    grid_structure,
+    loop_structure,
+    path_structure,
+    random_connected_structure,
+    random_structure,
+    star_structure,
+)
+
+__all__ = [
+    "RelationSymbol",
+    "Schema",
+    "binary_schema",
+    "EMPTY_STRUCTURE",
+    "Fact",
+    "Structure",
+    "singleton",
+    "Multiset",
+    "disjoint_union",
+    "power",
+    "product",
+    "product_structures",
+    "scalar_multiple",
+    "sum_structures",
+    "sum_with_multiplicities",
+    "unit_structure",
+    "component_count",
+    "connected_components",
+    "is_connected",
+    "are_isomorphic",
+    "dedupe_up_to_isomorphism",
+    "find_isomorphism",
+    "invariant_key",
+    "refine_colors",
+    "LeafExpression",
+    "PowerExpression",
+    "ProductExpression",
+    "StructureExpression",
+    "SumExpression",
+    "as_expression",
+    "materialize_or_none",
+    "scaled_sum",
+    "SerializationError",
+    "dumps",
+    "from_dict",
+    "loads",
+    "to_dict",
+    "clique_structure",
+    "cycle_structure",
+    "enumerate_structures",
+    "grid_structure",
+    "loop_structure",
+    "path_structure",
+    "random_connected_structure",
+    "random_structure",
+    "star_structure",
+]

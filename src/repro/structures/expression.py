@@ -1,0 +1,268 @@
+"""Lazy structure expressions: formal sums, products and powers.
+
+Step 2 of Lemma 40 builds ``s⁽²⁾ = Σ_i T^i s⁽¹⁾_i`` with ``T`` larger
+than every entry of an evaluation matrix, and Step 3 raises it to
+powers up to ``k-1``.  Materializing these structures is hopeless (the
+domain of ``(Σ T^i s_i)^{k-1}`` has ``(Σ T^i |s_i|)^{k-1}`` elements),
+but *hom counts into them* are cheap thanks to Lemma 4:
+
+* ``|hom(A, B + C)| = |hom(A, B)| + |hom(A, C)|``   (A connected),
+* ``|hom(A, t·B)|   = t · |hom(A, B)|``             (A connected),
+* ``|hom(A, B × C)| = |hom(A, B)| · |hom(A, C)|``   (any A),
+* ``|hom(A, B^t)|   = |hom(A, B)|^t``               (any A).
+
+A :class:`StructureExpression` is an immutable tree of
+:class:`LeafExpression`, :class:`SumExpression` (with non-negative
+integer coefficients), :class:`ProductExpression` and
+:class:`PowerExpression`.  The hom-counting visitor lives in
+:mod:`repro.hom.count`; this module only knows the shape, the domain
+size, the schema, and how to materialize small expressions for
+cross-checking.
+
+Sum nodes refuse operands whose schema contains used 0-ary relations,
+mirroring :func:`repro.structures.operations.disjoint_union`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import StructureError
+from repro.structures.schema import Schema
+from repro.structures.operations import (
+    power,
+    product,
+    sum_structures,
+    unit_structure,
+)
+from repro.structures.structure import Structure
+
+
+class StructureExpression:
+    """Abstract base of the expression algebra.
+
+    Supports ``+`` (formal disjoint union), ``*`` (formal product),
+    ``int * expr`` (scalar multiple) and ``expr ** n`` (power).
+    """
+
+    def schema(self) -> Schema:
+        raise NotImplementedError
+
+    def domain_size(self) -> int:
+        """Size of the (virtual) domain; may be astronomically large."""
+        raise NotImplementedError
+
+    def materialize(self, max_domain: int = 100_000) -> Structure:
+        """Build the concrete structure; raises when the domain would
+        exceed ``max_domain`` elements."""
+        size = self.domain_size()
+        if size > max_domain:
+            raise StructureError(
+                f"refusing to materialize a structure with {size} domain "
+                f"elements (limit {max_domain})"
+            )
+        return self._materialize()
+
+    def _materialize(self) -> Structure:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Operator sugar
+    # ------------------------------------------------------------------
+    def __add__(self, other: "StructureExpression") -> "StructureExpression":
+        return SumExpression([(1, self), (1, as_expression(other))])
+
+    def __mul__(self, other: "StructureExpression") -> "StructureExpression":
+        return ProductExpression([self, as_expression(other)])
+
+    def __rmul__(self, coefficient: int) -> "StructureExpression":
+        if not isinstance(coefficient, int):
+            return NotImplemented
+        return SumExpression([(coefficient, self)])
+
+    def __pow__(self, exponent: int) -> "StructureExpression":
+        return PowerExpression(self, exponent)
+
+    # Subclasses implement value equality.
+    def key(self) -> Tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StructureExpression):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+
+class LeafExpression(StructureExpression):
+    """A concrete structure as an expression leaf."""
+
+    __slots__ = ("structure",)
+
+    def __init__(self, structure: Structure):
+        if not isinstance(structure, Structure):
+            raise StructureError(f"leaf must wrap a Structure, got {structure!r}")
+        self.structure = structure
+
+    def schema(self) -> Schema:
+        return self.structure.schema
+
+    def domain_size(self) -> int:
+        return len(self.structure.domain())
+
+    def _materialize(self) -> Structure:
+        return self.structure
+
+    def key(self) -> Tuple:
+        return ("leaf", self.structure)
+
+    def __repr__(self) -> str:
+        return f"LeafExpression({self.structure!r})"
+
+
+class SumExpression(StructureExpression):
+    """A formal sum ``Σ aᵢ·eᵢ`` with non-negative integer coefficients."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: Sequence[Tuple[int, StructureExpression]]):
+        normalized: List[Tuple[int, StructureExpression]] = []
+        for coefficient, expr in terms:
+            if not isinstance(coefficient, int) or coefficient < 0:
+                raise StructureError(
+                    f"sum coefficients must be non-negative ints, got {coefficient!r}"
+                )
+            expr = as_expression(expr)
+            _reject_nullary_expr(expr, "SumExpression")
+            if coefficient > 0:
+                normalized.append((coefficient, expr))
+        self.terms = tuple(normalized)
+
+    def schema(self) -> Schema:
+        merged = Schema({})
+        for _, expr in self.terms:
+            merged = merged.union(expr.schema())
+        return merged
+
+    def domain_size(self) -> int:
+        return sum(c * e.domain_size() for c, e in self.terms)
+
+    def _materialize(self) -> Structure:
+        parts: List[Structure] = []
+        for coefficient, expr in self.terms:
+            concrete = expr._materialize()
+            parts.extend([concrete] * coefficient)
+        return sum_structures(parts)
+
+    def key(self) -> Tuple:
+        return ("sum", tuple((c, e.key()) for c, e in self.terms))
+
+    def __repr__(self) -> str:
+        inner = " + ".join(f"{c}*{e!r}" for c, e in self.terms)
+        return f"SumExpression({inner})"
+
+
+class ProductExpression(StructureExpression):
+    """A formal product ``e₁ × e₂ × ...`` (empty product = unit)."""
+
+    __slots__ = ("factors", "_schema")
+
+    def __init__(self, factors: Sequence[StructureExpression],
+                 schema: Optional[Schema] = None):
+        self.factors = tuple(as_expression(f) for f in factors)
+        if not self.factors and schema is None:
+            raise StructureError("empty product needs an explicit schema")
+        self._schema = schema
+
+    def schema(self) -> Schema:
+        if self._schema is not None:
+            return self._schema
+        merged = Schema({})
+        for factor in self.factors:
+            merged = merged.union(factor.schema())
+        return merged
+
+    def domain_size(self) -> int:
+        size = 1
+        for factor in self.factors:
+            size *= factor.domain_size()
+        return size
+
+    def _materialize(self) -> Structure:
+        if not self.factors:
+            return unit_structure(self.schema())
+        result = self.factors[0]._materialize()
+        for factor in self.factors[1:]:
+            result = product(result, factor._materialize())
+        return result
+
+    def key(self) -> Tuple:
+        return ("product", tuple(f.key() for f in self.factors), self._schema)
+
+    def __repr__(self) -> str:
+        inner = " x ".join(repr(f) for f in self.factors)
+        return f"ProductExpression({inner})"
+
+
+class PowerExpression(StructureExpression):
+    """``e^t``; ``e^0`` is the all-loops unit over the base schema."""
+
+    __slots__ = ("base", "exponent")
+
+    def __init__(self, base: StructureExpression, exponent: int):
+        if not isinstance(exponent, int) or exponent < 0:
+            raise StructureError(f"exponent must be a non-negative int, got {exponent!r}")
+        self.base = as_expression(base)
+        self.exponent = exponent
+
+    def schema(self) -> Schema:
+        return self.base.schema()
+
+    def domain_size(self) -> int:
+        if self.exponent == 0:
+            return 1
+        return self.base.domain_size() ** self.exponent
+
+    def _materialize(self) -> Structure:
+        return power(self.base._materialize(), self.exponent, schema=self.schema())
+
+    def key(self) -> Tuple:
+        return ("power", self.base.key(), self.exponent)
+
+    def __repr__(self) -> str:
+        return f"PowerExpression({self.base!r}, {self.exponent})"
+
+
+def as_expression(value: Structure | StructureExpression) -> StructureExpression:
+    """Coerce a concrete structure into a leaf; pass expressions through."""
+    if isinstance(value, StructureExpression):
+        return value
+    if isinstance(value, Structure):
+        return LeafExpression(value)
+    raise StructureError(f"cannot interpret {value!r} as a structure expression")
+
+
+def scaled_sum(terms: Sequence[Tuple[int, Structure | StructureExpression]]) -> SumExpression:
+    """Convenience for ``Σ aᵢ·sᵢ`` (Definition 47 vector -> structure)."""
+    return SumExpression([(c, as_expression(s)) for c, s in terms])
+
+
+def _reject_nullary_expr(expr: StructureExpression, where: str) -> None:
+    schema = expr.schema()
+    for symbol in schema:
+        if symbol.arity == 0:
+            raise StructureError(
+                f"{where} is undefined over schemas with 0-ary relations "
+                f"(found {symbol.name!r})"
+            )
+
+
+def materialize_or_none(expr: StructureExpression, max_domain: int = 5000) -> Optional[Structure]:
+    """Materialize when small enough, else ``None`` (used by tests and
+    the witness verifier's direct-count cross-check)."""
+    try:
+        return expr.materialize(max_domain=max_domain)
+    except StructureError:
+        return None

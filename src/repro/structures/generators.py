@@ -1,0 +1,177 @@
+"""Structure generators: standard families and random structures.
+
+Used throughout the test suite, the benchmark workload generators, the
+randomized refuter (:mod:`repro.core.refuter`) and the Step 1
+distinguisher search of Lemma 40 (:mod:`repro.core.goodbasis`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import StructureError
+from repro.structures.schema import Schema
+from repro.structures.structure import Fact, Structure
+
+
+def path_structure(letters: Sequence[str], schema: Optional[Schema] = None) -> Structure:
+    """The frozen body of the path query ``letters``: a simple directed
+    path ``0 -R1-> 1 -R2-> 2 ...``.
+
+    >>> path_structure(['A', 'B']).count_facts()
+    2
+    """
+    facts = [Fact(letter, (i, i + 1)) for i, letter in enumerate(letters)]
+    domain = range(len(letters) + 1)
+    return Structure(facts, schema=schema, domain=domain)
+
+
+def cycle_structure(length: int, relation: str = "R",
+                    schema: Optional[Schema] = None) -> Structure:
+    """A directed cycle of the given length (length 1 = a loop)."""
+    if length < 1:
+        raise StructureError("cycle length must be >= 1")
+    facts = [Fact(relation, (i, (i + 1) % length)) for i in range(length)]
+    return Structure(facts, schema=schema)
+
+
+def clique_structure(size: int, relation: str = "R", loops: bool = False,
+                     schema: Optional[Schema] = None) -> Structure:
+    """The complete directed graph on ``size`` vertices."""
+    if size < 1:
+        raise StructureError("clique size must be >= 1")
+    facts = [
+        Fact(relation, (i, j))
+        for i in range(size)
+        for j in range(size)
+        if loops or i != j
+    ]
+    return Structure(facts, schema=schema, domain=range(size))
+
+
+def star_structure(rays: int, relation: str = "R",
+                   schema: Optional[Schema] = None) -> Structure:
+    """A center with ``rays`` out-edges."""
+    if rays < 0:
+        raise StructureError("rays must be >= 0")
+    facts = [Fact(relation, ("c", i)) for i in range(rays)]
+    domain: List = ["c", *range(rays)]
+    return Structure(facts, schema=schema, domain=domain)
+
+
+def grid_structure(rows: int, cols: int, horizontal: str = "H",
+                   vertical: str = "V") -> Structure:
+    """A rows×cols grid with horizontal and vertical edge relations."""
+    if rows < 1 or cols < 1:
+        raise StructureError("grid dimensions must be >= 1")
+    facts = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                facts.append(Fact(horizontal, ((r, c), (r, c + 1))))
+            if r + 1 < rows:
+                facts.append(Fact(vertical, ((r, c), (r + 1, c))))
+    domain = [(r, c) for r in range(rows) for c in range(cols)]
+    return Structure(facts, domain=domain)
+
+
+def loop_structure(relations: Iterable[str], constant="a") -> Structure:
+    """A single vertex carrying a loop for each given binary relation."""
+    facts = [Fact(name, (constant, constant)) for name in relations]
+    return Structure(facts, domain=[constant])
+
+
+def random_structure(
+    schema: Schema,
+    size: int,
+    density: float = 0.3,
+    rng: Optional[random.Random] = None,
+    ensure_nonempty: bool = False,
+) -> Structure:
+    """A random structure on ``size`` elements.
+
+    Each potential fact is kept with probability ``density``.  0-ary
+    relations are included with the same probability.  With
+    ``ensure_nonempty`` a random fact is forced when the draw produced
+    none (useful for distinguisher searches).
+    """
+    if size < 0:
+        raise StructureError("size must be >= 0")
+    if not 0.0 <= density <= 1.0:
+        raise StructureError("density must be in [0, 1]")
+    rng = rng or random.Random()
+    domain = list(range(size))
+    facts: List[Fact] = []
+    candidates: List[Fact] = []
+    for symbol in schema:
+        if symbol.arity == 0:
+            candidates.append(Fact(symbol.name, ()))
+            continue
+        for combo in _tuples(domain, symbol.arity):
+            candidates.append(Fact(symbol.name, combo))
+    for fact in candidates:
+        if rng.random() < density:
+            facts.append(fact)
+    if ensure_nonempty and not facts and candidates:
+        facts.append(rng.choice(candidates))
+    return Structure(facts, schema=schema, domain=domain)
+
+
+def random_connected_structure(
+    schema: Schema,
+    size: int,
+    extra_density: float = 0.2,
+    rng: Optional[random.Random] = None,
+) -> Structure:
+    """A random *connected* structure: a random spanning tree of facts
+    plus extra random facts.  Requires a relation of arity >= 2."""
+    rng = rng or random.Random()
+    binary = [s for s in schema if s.arity >= 2]
+    if not binary:
+        raise StructureError("need a relation of arity >= 2 to connect elements")
+    domain = list(range(size))
+    facts: List[Fact] = []
+    for index in range(1, size):
+        other = rng.randrange(index)
+        symbol = rng.choice(binary)
+        terms = [rng.choice([index, other]) for _ in range(symbol.arity)]
+        terms[0], terms[1] = other, index
+        facts.append(Fact(symbol.name, tuple(terms)))
+    extra = random_structure(schema, size, density=extra_density, rng=rng)
+    merged = Structure(facts, schema=schema, domain=domain).union(extra)
+    return merged
+
+
+def enumerate_structures(
+    schema: Schema, max_size: int, relations: Optional[Sequence[str]] = None
+) -> Iterator[Structure]:
+    """Exhaustively enumerate structures with domain {0..n-1}, n <=
+    ``max_size`` (all subsets of the possible facts).
+
+    The count explodes quickly; callers bound it.  Used as the last
+    resort of the Lemma 43 distinguisher search and by the brute-force
+    refuter on tiny schemas.
+    """
+    names = list(relations) if relations is not None else list(schema.names())
+    for size in range(max_size + 1):
+        domain = list(range(size))
+        candidates: List[Fact] = []
+        for name in names:
+            arity = schema.arity(name)
+            if arity == 0:
+                candidates.append(Fact(name, ()))
+            else:
+                candidates.extend(Fact(name, combo) for combo in _tuples(domain, arity))
+        for mask in range(1 << len(candidates)):
+            facts = [candidates[i] for i in range(len(candidates)) if mask >> i & 1]
+            yield Structure(facts, schema=schema, domain=domain)
+
+
+def _tuples(domain: Sequence, arity: int) -> Iterator[tuple]:
+    if arity == 0:
+        yield ()
+        return
+    for head in domain:
+        for tail in _tuples(domain, arity - 1):
+            yield (head, *tail)

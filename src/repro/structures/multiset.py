@@ -1,0 +1,174 @@
+"""Multisets (bags), the answer type of queries under bag semantics.
+
+The paper (Section 2.1) defines a multiset as a mapping ``Y -> N`` and
+query answers as multisets of tuples.  :class:`Multiset` is a thin,
+immutable-by-convention wrapper over a ``dict`` that implements exactly
+the operators the paper uses: union (pointwise ``+``), difference,
+multiplicity lookup, and equality as equality of mappings (ignoring
+zero-multiplicity entries).
+
+We keep this hand-rolled rather than using :class:`collections.Counter`
+because (a) ``Counter`` equality treats missing and zero keys
+inconsistently across operations, and (b) we want negative
+multiplicities to be a hard error — a bag never contains an element a
+negative number of times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Iterable, Iterator, Mapping, Tuple, TypeVar
+
+from repro.errors import StructureError
+
+T = TypeVar("T", bound=Hashable)
+
+
+class Multiset(Generic[T]):
+    """A finite multiset with non-negative integer multiplicities.
+
+    >>> m = Multiset({'a': 2, 'b': 1})
+    >>> m['a']
+    2
+    >>> m['missing']
+    0
+    >>> (m + Multiset({'a': 1})).multiplicity('a')
+    3
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Mapping[T, int] | Iterable[T] = ()):
+        data: Dict[T, int] = {}
+        if isinstance(counts, Mapping):
+            items = counts.items()
+            for element, multiplicity in items:
+                if not isinstance(multiplicity, int):
+                    raise StructureError(
+                        f"multiplicity of {element!r} must be an int, "
+                        f"got {type(multiplicity).__name__}"
+                    )
+                if multiplicity < 0:
+                    raise StructureError(
+                        f"negative multiplicity {multiplicity} for {element!r}"
+                    )
+                if multiplicity > 0:
+                    data[element] = data.get(element, 0) + multiplicity
+        else:
+            for element in counts:
+                data[element] = data.get(element, 0) + 1
+        self._counts = data
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def multiplicity(self, element: T) -> int:
+        """Number of occurrences of ``element`` (0 when absent)."""
+        return self._counts.get(element, 0)
+
+    def __getitem__(self, element: T) -> int:
+        return self.multiplicity(element)
+
+    def __contains__(self, element: T) -> bool:
+        return element in self._counts
+
+    def support(self) -> frozenset:
+        """The underlying set: elements with multiplicity > 0."""
+        return frozenset(self._counts)
+
+    def total(self) -> int:
+        """Total number of occurrences, counted with multiplicity."""
+        return sum(self._counts.values())
+
+    def __len__(self) -> int:
+        """Number of *distinct* elements."""
+        return len(self._counts)
+
+    def __bool__(self) -> bool:
+        return bool(self._counts)
+
+    def __iter__(self) -> Iterator[T]:
+        """Iterate over distinct elements (use :meth:`items` for counts)."""
+        return iter(self._counts)
+
+    def items(self) -> Iterable[Tuple[T, int]]:
+        return self._counts.items()
+
+    def elements(self) -> Iterator[T]:
+        """Iterate over elements *with* multiplicity."""
+        for element, multiplicity in self._counts.items():
+            for _ in range(multiplicity):
+                yield element
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Multiset[T]") -> "Multiset[T]":
+        """Multiset union: ``(X + Y)[a] = X[a] + Y[a]`` (paper Sec. 2.1)."""
+        if not isinstance(other, Multiset):
+            return NotImplemented
+        merged = dict(self._counts)
+        for element, multiplicity in other.items():
+            merged[element] = merged.get(element, 0) + multiplicity
+        return Multiset(merged)
+
+    def __sub__(self, other: "Multiset[T]") -> "Multiset[T]":
+        """Truncated difference: multiplicities floor at zero."""
+        if not isinstance(other, Multiset):
+            return NotImplemented
+        result: Dict[T, int] = {}
+        for element, multiplicity in self._counts.items():
+            remaining = multiplicity - other.multiplicity(element)
+            if remaining > 0:
+                result[element] = remaining
+        return Multiset(result)
+
+    def scale(self, factor: int) -> "Multiset[T]":
+        """Multiply every multiplicity by a non-negative ``factor``."""
+        if factor < 0:
+            raise StructureError(f"cannot scale a multiset by {factor}")
+        if factor == 0:
+            return Multiset()
+        return Multiset({e: m * factor for e, m in self._counts.items()})
+
+    def union_max(self, other: "Multiset[T]") -> "Multiset[T]":
+        """Pointwise maximum (the 'set-style' union)."""
+        merged = dict(self._counts)
+        for element, multiplicity in other.items():
+            merged[element] = max(merged.get(element, 0), multiplicity)
+        return Multiset(merged)
+
+    def intersection(self, other: "Multiset[T]") -> "Multiset[T]":
+        """Pointwise minimum."""
+        result: Dict[T, int] = {}
+        for element, multiplicity in self._counts.items():
+            m = min(multiplicity, other.multiplicity(element))
+            if m > 0:
+                result[element] = m
+        return Multiset(result)
+
+    # ------------------------------------------------------------------
+    # Comparison
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Multiset):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __le__(self, other: "Multiset[T]") -> bool:
+        """Sub-multiset test."""
+        return all(m <= other.multiplicity(e) for e, m in self._counts.items())
+
+    def __lt__(self, other: "Multiset[T]") -> bool:
+        return self <= other and self != other
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._counts.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{e!r}: {m}" for e, m in sorted(
+            self._counts.items(), key=lambda item: repr(item[0])))
+        return f"Multiset({{{inner}}})"
+
+    def as_set_semantics(self) -> frozenset:
+        """Collapse to set semantics (forget multiplicities)."""
+        return self.support()

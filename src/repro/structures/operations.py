@@ -1,0 +1,144 @@
+"""The structure algebra of paper Section 2.2.
+
+Following Lovász [16] the paper uses four operations on structures:
+
+* ``A + B`` — disjoint union (domains renamed apart first);
+* ``A × B`` — product on ``dom(A) × dom(B)`` with coordinatewise facts;
+* ``t·A``  — ``t``-fold disjoint union, ``0·A`` the empty structure;
+* ``A^t``  — ``t``-fold product, ``A^0`` the all-loops singleton.
+
+These operations drive the whole Theorem 3 machinery via Lemma 4 (hom
+counts are additive/multiplicative along them); property tests in
+``tests/test_lemma4.py`` check the identities on random inputs.
+
+Materializing large sums/products is exponential; see
+:mod:`repro.structures.expression` for the lazy counterpart used by the
+witness pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.errors import StructureError
+from repro.structures.schema import Schema
+from repro.structures.structure import Fact, Structure
+
+
+def disjoint_union(left: Structure, right: Structure) -> Structure:
+    """``A + B``: union after renaming the domains apart.
+
+    The constants of the result are pairs ``(0, a)`` / ``(1, b)`` so the
+    operation is deterministic and the two copies stay identifiable.
+
+    Raises :class:`StructureError` when either side has 0-ary facts:
+    nullary facts have no constants to rename, so "disjoint" union is
+    not defined for them (and Lemma 4(1) genuinely fails there).
+    """
+    _reject_nullary(left, "disjoint_union")
+    _reject_nullary(right, "disjoint_union")
+    return left.tagged(0).union(right.tagged(1))
+
+
+def sum_structures(parts: Sequence[Structure]) -> Structure:
+    """Generalized ``Σ``: disjoint union of all ``parts`` (empty sum = ∅)."""
+    schema = Schema({})
+    facts: List[Fact] = []
+    domain: List = []
+    for index, part in enumerate(parts):
+        _reject_nullary(part, "sum_structures")
+        tagged = part.tagged(index)
+        schema = schema.union(tagged.schema)
+        facts.extend(tagged.facts())
+        domain.extend(tagged.domain())
+    return Structure(facts, schema=schema, domain=domain)
+
+
+def scalar_multiple(count: int, structure: Structure) -> Structure:
+    """``t·A``: ``t`` disjoint copies; ``0·A`` is the empty structure."""
+    if count < 0:
+        raise StructureError(f"cannot take {count} copies of a structure")
+    return sum_structures([structure] * count)
+
+
+def product(left: Structure, right: Structure) -> Structure:
+    """``A × B`` (paper Sec. 2.2): domain is the cartesian product and
+    ``R((a1,b1),...,(ak,bk))`` holds iff ``R(a⃗) ∈ A`` and ``R(b⃗) ∈ B``.
+
+    Nullary relations are fine here: ``R() ∈ A×B`` iff in both.
+    """
+    schema = left.schema.union(right.schema)
+    facts: List[Fact] = []
+    for name in schema.names():
+        arity = schema.arity(name)
+        left_tuples = left.tuples(name)
+        right_tuples = right.tuples(name)
+        if arity == 0:
+            if left_tuples and right_tuples:
+                facts.append(Fact(name, ()))
+            continue
+        for a_terms in left_tuples:
+            for b_terms in right_tuples:
+                combined = tuple(zip(a_terms, b_terms))
+                facts.append(Fact(name, combined))
+    domain = [(a, b) for a in left.domain() for b in right.domain()]
+    return Structure(facts, schema=schema, domain=domain)
+
+
+def product_structures(parts: Sequence[Structure], schema: Schema | None = None) -> Structure:
+    """Generalized ``Π``.  The empty product is :func:`unit_structure`
+    over ``schema`` (which is then required)."""
+    if not parts:
+        if schema is None:
+            raise StructureError("empty product needs an explicit schema")
+        return unit_structure(schema)
+    result = parts[0]
+    for part in parts[1:]:
+        result = product(result, part)
+    return result
+
+
+def power(structure: Structure, exponent: int, schema: Schema | None = None) -> Structure:
+    """``A^t``; ``A^0`` is the all-loops singleton over the schema.
+
+    The paper defines ``A^0`` as a singleton ``{α}`` with loops of all
+    types — exactly the multiplicative unit of ``×`` up to isomorphism.
+    """
+    if exponent < 0:
+        raise StructureError(f"cannot raise a structure to power {exponent}")
+    if exponent == 0:
+        return unit_structure(schema if schema is not None else structure.schema)
+    return product_structures([structure] * exponent)
+
+
+def unit_structure(schema: Schema) -> Structure:
+    """The all-loops singleton ``{α}`` (paper: ``A^0``).
+
+    For each relation ``R`` of arity ``k`` it contains ``R(α, ..., α)``;
+    0-ary relations contribute the empty-tuple fact.
+    """
+    alpha = "α"
+    facts = [Fact(name, (alpha,) * schema.arity(name)) for name in schema.names()]
+    return Structure(facts, schema=schema, domain=[alpha])
+
+
+def sum_with_multiplicities(
+    terms: Iterable[tuple[int, Structure]],
+) -> Structure:
+    """``Σ a_i · s_i`` — the workhorse for building structures from
+    vector representations (Definition 47)."""
+    parts: List[Structure] = []
+    for multiplicity, structure in terms:
+        if multiplicity < 0:
+            raise StructureError("multiplicities must be non-negative")
+        parts.extend([structure] * multiplicity)
+    return sum_structures(parts)
+
+
+def _reject_nullary(structure: Structure, operation: str) -> None:
+    for name in structure.relations_used():
+        if structure.schema.arity(name) == 0:
+            raise StructureError(
+                f"{operation} is undefined for structures with 0-ary facts "
+                f"(found {name!r}); Lemma 4(1) does not hold for them"
+            )

@@ -1,0 +1,173 @@
+"""Relational schemas.
+
+A schema (paper Section 2.1) is a finite set of relational symbols, each
+with a fixed arity.  A schema is *n-ary* when every relation has arity
+at most ``n``; *binary* schemas (every arity exactly 2) are the home of
+path queries (Section 3).
+
+Schemas are immutable and hashable; structures and queries carry one and
+validate their atoms against it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+from repro.errors import SchemaError
+
+
+class RelationSymbol:
+    """A named relation with a fixed arity.
+
+    >>> R = RelationSymbol('R', 2)
+    >>> R.name, R.arity
+    ('R', 2)
+    """
+
+    __slots__ = ("name", "arity")
+
+    def __init__(self, name: str, arity: int):
+        if not name or not isinstance(name, str):
+            raise SchemaError(f"relation name must be a non-empty string, got {name!r}")
+        if not isinstance(arity, int) or arity < 0:
+            raise SchemaError(f"arity of {name!r} must be a non-negative int, got {arity!r}")
+        self.name = name
+        self.arity = arity
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationSymbol):
+            return NotImplemented
+        return self.name == other.name and self.arity == other.arity
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.arity))
+
+    def __repr__(self) -> str:
+        return f"RelationSymbol({self.name!r}, {self.arity})"
+
+    def __str__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+
+class Schema:
+    """An immutable finite set of relation symbols keyed by name.
+
+    >>> schema = Schema({'R': 2, 'S': 2, 'H': 0})
+    >>> schema.arity('R')
+    2
+    >>> schema.is_binary()
+    False
+    >>> Schema({'A': 2, 'B': 2}).is_binary()
+    True
+    """
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Mapping[str, int] | Iterable[RelationSymbol]):
+        table: Dict[str, RelationSymbol] = {}
+        if isinstance(relations, Mapping):
+            symbols: Iterable[RelationSymbol] = (
+                RelationSymbol(name, arity) for name, arity in relations.items()
+            )
+        else:
+            symbols = relations
+        for symbol in symbols:
+            if not isinstance(symbol, RelationSymbol):
+                raise SchemaError(f"expected RelationSymbol, got {symbol!r}")
+            existing = table.get(symbol.name)
+            if existing is not None and existing.arity != symbol.arity:
+                raise SchemaError(
+                    f"relation {symbol.name!r} declared with arities "
+                    f"{existing.arity} and {symbol.arity}"
+                )
+            table[symbol.name] = symbol
+        self._relations = dict(sorted(table.items()))
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def arity(self, name: str) -> int:
+        """Arity of relation ``name``; raises :class:`SchemaError` if unknown."""
+        symbol = self._relations.get(name)
+        if symbol is None:
+            raise SchemaError(f"unknown relation {name!r} (schema has {sorted(self._relations)})")
+        return symbol.arity
+
+    def symbol(self, name: str) -> RelationSymbol:
+        symbol = self._relations.get(name)
+        if symbol is None:
+            raise SchemaError(f"unknown relation {name!r} (schema has {sorted(self._relations)})")
+        return symbol
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def names(self) -> Tuple[str, ...]:
+        """Relation names in sorted order (deterministic iteration)."""
+        return tuple(self._relations)
+
+    def symbols(self) -> Tuple[RelationSymbol, ...]:
+        return tuple(self._relations.values())
+
+    def __iter__(self) -> Iterator[RelationSymbol]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    # ------------------------------------------------------------------
+    # Shape predicates
+    # ------------------------------------------------------------------
+    def max_arity(self) -> int:
+        """The ``n`` for which this schema is n-ary (0 for empty schema)."""
+        return max((s.arity for s in self), default=0)
+
+    def is_binary(self) -> bool:
+        """True when every relation has arity exactly 2 (path-query home)."""
+        return len(self) > 0 and all(s.arity == 2 for s in self)
+
+    def has_nullary(self) -> bool:
+        """True when some relation has arity 0 (Appendix-A reduction uses these)."""
+        return any(s.arity == 0 for s in self)
+
+    # ------------------------------------------------------------------
+    # Combination
+    # ------------------------------------------------------------------
+    def union(self, other: "Schema") -> "Schema":
+        """Merge two schemas; arities must agree on shared names."""
+        return Schema(list(self.symbols()) + list(other.symbols()))
+
+    def restrict(self, names: Iterable[str]) -> "Schema":
+        """Sub-schema containing only the given relation names."""
+        wanted = set(names)
+        missing = wanted - set(self._relations)
+        if missing:
+            raise SchemaError(f"cannot restrict to unknown relations {sorted(missing)}")
+        return Schema([s for s in self if s.name in wanted])
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._relations.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{s.name!r}: {s.arity}" for s in self)
+        return f"Schema({{{inner}}})"
+
+
+def binary_schema(letters: Iterable[str]) -> Schema:
+    """Convenience: the binary schema over the given relation names.
+
+    Path queries (Section 3) live over such schemas; the letters double
+    as the alphabet of the word encoding.
+
+    >>> binary_schema('AB').names()
+    ('A', 'B')
+    """
+    return Schema({letter: 2 for letter in letters})

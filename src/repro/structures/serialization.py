@@ -1,0 +1,206 @@
+"""JSON (de)serialization for structures and queries.
+
+A determinacy checker that other tools can adopt needs a wire format:
+witness pairs must be exportable, view catalogs importable.  The format
+is deliberately dumb JSON:
+
+Structure::
+
+    {"kind": "structure",
+     "schema": {"R": 2, "H": 0},
+     "facts": [["R", ["a", "b"]], ["H", []]],
+     "isolated": ["c"]}
+
+Constants are serialized through :func:`encode_constant`, which keeps
+strings/ints verbatim and renders tuples (products, tagged copies,
+frozen variables) as nested lists with a type tag — lossless for every
+constant shape the library itself produces.
+
+Queries::
+
+    {"kind": "cq", "free": ["x"], "atoms": [["R", ["x", "y"]]]}
+    {"kind": "ucq", "disjuncts": [...]}
+    {"kind": "path", "letters": ["A", "B"]}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.errors import ReproError
+from repro.queries.cq import Atom, ConjunctiveQuery
+from repro.queries.path import PathQuery
+from repro.queries.ucq import UnionOfBooleanCQs
+from repro.structures.schema import Schema
+from repro.structures.structure import Fact, Structure
+
+
+class SerializationError(ReproError):
+    """Malformed payloads and unserializable constants."""
+
+
+# ----------------------------------------------------------------------
+# Constants
+# ----------------------------------------------------------------------
+def encode_constant(constant) -> Any:
+    """Encode a constant losslessly into JSON-safe data."""
+    if isinstance(constant, (str, int, bool)) or constant is None:
+        return constant
+    if isinstance(constant, tuple):
+        return {"t": [encode_constant(part) for part in constant]}
+    raise SerializationError(
+        f"constant {constant!r} of type {type(constant).__name__} is not "
+        f"JSON-serializable; rename the structure's constants first"
+    )
+
+
+def decode_constant(payload) -> Any:
+    """Inverse of :func:`encode_constant`."""
+    if isinstance(payload, dict):
+        if set(payload) != {"t"}:
+            raise SerializationError(f"bad constant payload {payload!r}")
+        return tuple(decode_constant(part) for part in payload["t"])
+    if isinstance(payload, list):
+        raise SerializationError(
+            f"bare lists are not valid constants: {payload!r}"
+        )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Structures
+# ----------------------------------------------------------------------
+def structure_to_dict(structure: Structure) -> Dict[str, Any]:
+    facts: List[List[Any]] = []
+    for fact in sorted(structure.facts(), key=str):
+        facts.append([fact.relation, [encode_constant(t) for t in fact.terms]])
+    isolated = [encode_constant(c)
+                for c in sorted(structure.isolated_elements(), key=repr)]
+    return {
+        "kind": "structure",
+        "schema": {s.name: s.arity for s in structure.schema},
+        "facts": facts,
+        "isolated": isolated,
+    }
+
+
+def structure_from_dict(payload: Dict[str, Any]) -> Structure:
+    if payload.get("kind") != "structure":
+        raise SerializationError(f"expected kind 'structure', got {payload.get('kind')!r}")
+    try:
+        schema = Schema(dict(payload.get("schema", {})))
+        facts = [
+            Fact(relation, tuple(decode_constant(t) for t in terms))
+            for relation, terms in payload.get("facts", [])
+        ]
+        isolated = [decode_constant(c) for c in payload.get("isolated", [])]
+    except (TypeError, ValueError, KeyError) as exc:
+        raise SerializationError(f"malformed structure payload: {exc}") from exc
+    active = {t for fact in facts for t in fact.terms}
+    return Structure(facts, schema=schema, domain=list(active) + isolated)
+
+
+# ----------------------------------------------------------------------
+# Queries
+# ----------------------------------------------------------------------
+def cq_to_dict(query: ConjunctiveQuery) -> Dict[str, Any]:
+    return {
+        "kind": "cq",
+        "free": list(query.free),
+        "atoms": [
+            [atom.relation, list(atom.variables)]
+            for atom in sorted(query.atoms, key=str)
+        ],
+        "extra_variables": sorted(query.extra_variables),
+    }
+
+
+def cq_from_dict(payload: Dict[str, Any]) -> ConjunctiveQuery:
+    if payload.get("kind") != "cq":
+        raise SerializationError(f"expected kind 'cq', got {payload.get('kind')!r}")
+    try:
+        atoms = [Atom(relation, tuple(variables))
+                 for relation, variables in payload.get("atoms", [])]
+        return ConjunctiveQuery(
+            atoms,
+            free=tuple(payload.get("free", [])),
+            extra_variables=payload.get("extra_variables", []),
+        )
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed cq payload: {exc}") from exc
+
+
+def ucq_to_dict(query: UnionOfBooleanCQs) -> Dict[str, Any]:
+    return {
+        "kind": "ucq",
+        "disjuncts": [cq_to_dict(d) for d in query.disjuncts],
+    }
+
+
+def ucq_from_dict(payload: Dict[str, Any]) -> UnionOfBooleanCQs:
+    if payload.get("kind") != "ucq":
+        raise SerializationError(f"expected kind 'ucq', got {payload.get('kind')!r}")
+    return UnionOfBooleanCQs(
+        [cq_from_dict(d) for d in payload.get("disjuncts", [])]
+    )
+
+
+def path_to_dict(query: PathQuery) -> Dict[str, Any]:
+    return {"kind": "path", "letters": list(query.letters)}
+
+
+def path_from_dict(payload: Dict[str, Any]) -> PathQuery:
+    if payload.get("kind") != "path":
+        raise SerializationError(f"expected kind 'path', got {payload.get('kind')!r}")
+    return PathQuery(tuple(payload.get("letters", [])))
+
+
+# ----------------------------------------------------------------------
+# Uniform front door
+# ----------------------------------------------------------------------
+_ENCODERS = {
+    Structure: structure_to_dict,
+    ConjunctiveQuery: cq_to_dict,
+    UnionOfBooleanCQs: ucq_to_dict,
+    PathQuery: path_to_dict,
+}
+
+_DECODERS = {
+    "structure": structure_from_dict,
+    "cq": cq_from_dict,
+    "ucq": ucq_from_dict,
+    "path": path_from_dict,
+}
+
+
+def to_dict(value) -> Dict[str, Any]:
+    """Serialize any supported object to a plain dict."""
+    encoder = _ENCODERS.get(type(value))
+    if encoder is None:
+        raise SerializationError(f"cannot serialize {type(value).__name__}")
+    return encoder(value)
+
+
+def from_dict(payload: Dict[str, Any]):
+    """Deserialize a payload produced by :func:`to_dict`."""
+    if not isinstance(payload, dict):
+        raise SerializationError(f"expected a dict, got {type(payload).__name__}")
+    decoder = _DECODERS.get(payload.get("kind"))
+    if decoder is None:
+        raise SerializationError(f"unknown kind {payload.get('kind')!r}")
+    return decoder(payload)
+
+
+def dumps(value, **kwargs) -> str:
+    """JSON text for any supported object."""
+    return json.dumps(to_dict(value), sort_keys=True, **kwargs)
+
+
+def loads(text: str):
+    """Inverse of :func:`dumps`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    return from_dict(payload)

@@ -1,0 +1,283 @@
+"""Finite relational structures (databases).
+
+The paper (Section 2.1) defines a structure over a schema Σ as a finite
+set of *facts* ``R(t1, ..., tk)`` whose terms come from a fixed infinite
+set of constants; the *active domain* is the set of constants appearing
+in facts.
+
+Our :class:`Structure` follows that definition with one deliberate
+extension: a structure carries an explicit ``domain`` that is a superset
+of the active domain.  This keeps *isolated* elements (constants in no
+fact) first-class, which matters in two places:
+
+* frozen bodies of CQs with a variable that occurs in no atom — the
+  number of homomorphisms must pick up a factor ``|dom(D)|`` per such
+  variable;
+* the structure products of Section 2.2, whose domain is the full
+  cartesian product of domains, not just the active part.
+
+Structures are immutable and hashable, so they can live in sets and
+serve as dictionary keys (the component-basis machinery relies on it).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import StructureError
+from repro.structures.schema import Schema
+
+Constant = Hashable
+
+
+class Fact:
+    """A single fact ``R(t1, ..., tk)``.
+
+    >>> f = Fact('R', ('a', 'b'))
+    >>> f.relation, f.terms
+    ('R', ('a', 'b'))
+    """
+
+    __slots__ = ("relation", "terms")
+
+    def __init__(self, relation: str, terms: Sequence[Constant] = ()):
+        if not isinstance(relation, str) or not relation:
+            raise StructureError(f"relation must be a non-empty string, got {relation!r}")
+        self.relation = relation
+        self.terms = tuple(terms)
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def rename(self, mapping: Mapping[Constant, Constant]) -> "Fact":
+        """Apply a constant renaming, leaving unmapped constants alone."""
+        return Fact(self.relation, tuple(mapping.get(t, t) for t in self.terms))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Fact):
+            return NotImplemented
+        return self.relation == other.relation and self.terms == other.terms
+
+    def __hash__(self) -> int:
+        return hash((self.relation, self.terms))
+
+    def __repr__(self) -> str:
+        return f"Fact({self.relation!r}, {self.terms!r})"
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(map(str, self.terms))})"
+
+
+class Structure:
+    """An immutable finite relational structure.
+
+    Parameters
+    ----------
+    facts:
+        Iterable of :class:`Fact` (or ``(relation, terms)`` pairs).
+    schema:
+        Optional :class:`Schema`.  When omitted, the schema is inferred
+        from the facts.  When given, every fact is validated against it.
+    domain:
+        Optional iterable of constants; must contain the active domain.
+        Defaults to exactly the active domain.
+
+    >>> D = Structure([('R', ('a', 'b')), ('R', ('b', 'c'))])
+    >>> sorted(D.domain())
+    ['a', 'b', 'c']
+    >>> D.count_facts('R')
+    2
+    """
+
+    __slots__ = ("_facts", "_domain", "_schema", "_by_relation", "_hash")
+
+    def __init__(
+        self,
+        facts: Iterable[Fact | Tuple[str, Sequence[Constant]]] = (),
+        schema: Optional[Schema] = None,
+        domain: Optional[Iterable[Constant]] = None,
+    ):
+        normalized = []
+        for fact in facts:
+            if isinstance(fact, Fact):
+                normalized.append(fact)
+            else:
+                relation, terms = fact
+                normalized.append(Fact(relation, terms))
+        fact_set: FrozenSet[Fact] = frozenset(normalized)
+
+        inferred_arities: Dict[str, int] = {}
+        for fact in fact_set:
+            seen = inferred_arities.get(fact.relation)
+            if seen is not None and seen != fact.arity:
+                raise StructureError(
+                    f"relation {fact.relation!r} used with arities {seen} and {fact.arity}"
+                )
+            inferred_arities[fact.relation] = fact.arity
+
+        if schema is None:
+            schema = Schema(inferred_arities)
+        else:
+            for name, arity in inferred_arities.items():
+                if name not in schema:
+                    raise StructureError(f"fact uses relation {name!r} not in schema")
+                if schema.arity(name) != arity:
+                    raise StructureError(
+                        f"fact arity {arity} for {name!r} contradicts schema arity "
+                        f"{schema.arity(name)}"
+                    )
+
+        active = {t for fact in fact_set for t in fact.terms}
+        if domain is None:
+            dom: FrozenSet[Constant] = frozenset(active)
+        else:
+            dom = frozenset(domain)
+            missing = active - dom
+            if missing:
+                raise StructureError(
+                    f"domain must contain the active domain; missing {sorted(map(repr, missing))}"
+                )
+
+        by_relation: Dict[str, FrozenSet[Tuple[Constant, ...]]] = {}
+        grouped: Dict[str, set] = {}
+        for fact in fact_set:
+            grouped.setdefault(fact.relation, set()).add(fact.terms)
+        for name, tuples in grouped.items():
+            by_relation[name] = frozenset(tuples)
+
+        self._facts = fact_set
+        self._domain = dom
+        self._schema = schema
+        self._by_relation = by_relation
+        self._hash = hash((fact_set, dom))
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def facts(self) -> FrozenSet[Fact]:
+        return self._facts
+
+    def domain(self) -> FrozenSet[Constant]:
+        """The full domain (active domain plus declared isolated elements)."""
+        return self._domain
+
+    def active_domain(self) -> FrozenSet[Constant]:
+        """Constants appearing in at least one fact (paper's ``dom``)."""
+        return frozenset(t for fact in self._facts for t in fact.terms)
+
+    def isolated_elements(self) -> FrozenSet[Constant]:
+        """Domain elements in no fact."""
+        return self._domain - self.active_domain()
+
+    def tuples(self, relation: str) -> FrozenSet[Tuple[Constant, ...]]:
+        """All tuples of the given relation (empty set when none)."""
+        return self._by_relation.get(relation, frozenset())
+
+    def has_fact(self, relation: str, terms: Sequence[Constant] = ()) -> bool:
+        return tuple(terms) in self._by_relation.get(relation, frozenset())
+
+    def count_facts(self, relation: Optional[str] = None) -> int:
+        if relation is None:
+            return len(self._facts)
+        return len(self._by_relation.get(relation, frozenset()))
+
+    def relations_used(self) -> FrozenSet[str]:
+        return frozenset(self._by_relation)
+
+    def __len__(self) -> int:
+        """Number of facts (paper: a structure *is* a set of facts)."""
+        return len(self._facts)
+
+    def __bool__(self) -> bool:
+        """A structure is falsy only when it has no facts *and* no domain."""
+        return bool(self._facts) or bool(self._domain)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+    def __contains__(self, fact: Fact) -> bool:
+        return fact in self._facts
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+    def rename(self, mapping: Mapping[Constant, Constant]) -> "Structure":
+        """Rename constants.  The mapping must be injective on the domain."""
+        image = [mapping.get(c, c) for c in self._domain]
+        if len(set(image)) != len(image):
+            raise StructureError("renaming must be injective on the domain")
+        return Structure(
+            (fact.rename(mapping) for fact in self._facts),
+            schema=self._schema,
+            domain=image,
+        )
+
+    def tagged(self, tag: Hashable) -> "Structure":
+        """Rename every constant ``c`` to ``(tag, c)`` — used to make
+        domains disjoint before unions."""
+        return self.rename({c: (tag, c) for c in self._domain})
+
+    def with_schema(self, schema: Schema) -> "Structure":
+        """Re-type the structure under a (compatible, usually larger) schema."""
+        return Structure(self._facts, schema=schema, domain=self._domain)
+
+    def union(self, other: "Structure") -> "Structure":
+        """Plain union of facts and domains (no renaming).
+
+        For the paper's disjoint union ``A + B`` use
+        :func:`repro.structures.operations.disjoint_union`, which
+        renames first.
+        """
+        return Structure(
+            self._facts | other._facts,
+            schema=self._schema.union(other._schema),
+            domain=self._domain | other._domain,
+        )
+
+    def restrict_domain(self, keep: AbstractSet[Constant]) -> "Structure":
+        """Induced substructure on ``keep``."""
+        kept_facts = [f for f in self._facts
+                      if all(t in keep for t in f.terms)]
+        return Structure(kept_facts, schema=self._schema,
+                         domain=self._domain & keep)
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Structure):
+            return NotImplemented
+        return self._facts == other._facts and self._domain == other._domain
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        shown = ", ".join(sorted(str(f) for f in self._facts))
+        iso = self.isolated_elements()
+        extra = f", isolated={sorted(map(str, iso))}" if iso else ""
+        return f"Structure({{{shown}}}{extra})"
+
+
+EMPTY_STRUCTURE = Structure()
+
+
+def singleton(constant: Constant = 0) -> Structure:
+    """A one-element structure with no facts (an isolated vertex)."""
+    return Structure((), domain=[constant])

@@ -1,0 +1,65 @@
+"""The boolean-UCQ case (Theorem 2): reduction, profiles, analysis."""
+
+from repro.ucq.hilbert import (
+    DiophantineInstance,
+    Monomial,
+    fermat_like_instance,
+    iter_solutions,
+    linear_instance,
+    pythagoras_instance,
+    solve_bounded,
+    unsolvable_instance,
+)
+from repro.ucq.reduction import (
+    C_RELATION,
+    H_RELATION,
+    HilbertReduction,
+    build_reduction,
+    phi_for_monomial,
+    reduction_schema,
+    variable_relation,
+)
+from repro.ucq.profiles import (
+    Profile,
+    count_cq_on_profile,
+    count_ucq_on_profile,
+    view_profile_answers,
+)
+from repro.ucq.analysis import (
+    LinearUCQRewriting,
+    ReductionCounterexample,
+    counterexample_from_solution,
+    linear_certificate,
+    profile_pair_agrees,
+    search_reduction_counterexample,
+    semidecide_reduction_determinacy,
+)
+
+__all__ = [
+    "DiophantineInstance",
+    "Monomial",
+    "fermat_like_instance",
+    "iter_solutions",
+    "linear_instance",
+    "pythagoras_instance",
+    "solve_bounded",
+    "unsolvable_instance",
+    "C_RELATION",
+    "H_RELATION",
+    "HilbertReduction",
+    "build_reduction",
+    "phi_for_monomial",
+    "reduction_schema",
+    "variable_relation",
+    "Profile",
+    "count_cq_on_profile",
+    "count_ucq_on_profile",
+    "view_profile_answers",
+    "LinearUCQRewriting",
+    "ReductionCounterexample",
+    "counterexample_from_solution",
+    "linear_certificate",
+    "profile_pair_agrees",
+    "search_reduction_counterexample",
+    "semidecide_reduction_determinacy",
+]

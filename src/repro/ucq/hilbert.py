@@ -1,0 +1,183 @@
+"""Diophantine instances — the undecidability source of Theorem 2.
+
+Appendix A reduces (the complement of) **Hilbert's Tenth Problem** to
+boolean-UCQ bag-determinacy.  An instance is a finite set of monomials
+with integer coefficients (Problem 58); it has a solution when some
+assignment of naturals to the unknowns makes the polynomial vanish.
+
+Hilbert's Tenth is undecidable, so any solver here is necessarily
+bounded: :func:`solve_bounded` brute-forces assignments up to a bound —
+exactly the substitution DESIGN.md §2 documents (the reduction itself
+is exact; only the oracle is bounded).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class Monomial:
+    """``c · Π x_i^{e_i}`` with integer ``c`` and natural exponents.
+
+    >>> m = Monomial(-2, {'x': 1, 'y': 2})
+    >>> m.evaluate({'x': 3, 'y': 1})
+    -6
+    """
+
+    coefficient: int
+    exponents: Tuple[Tuple[str, int], ...]
+
+    def __init__(self, coefficient: int, exponents: Mapping[str, int] | Sequence = ()):
+        if coefficient == 0:
+            raise QueryError("monomials must have a non-zero coefficient")
+        if isinstance(exponents, Mapping):
+            items = exponents.items()
+        else:
+            items = exponents
+        cleaned = []
+        for variable, degree in sorted(items):
+            if not isinstance(degree, int) or degree < 0:
+                raise QueryError(f"degree of {variable!r} must be a natural, got {degree!r}")
+            if degree > 0:
+                cleaned.append((variable, degree))
+        object.__setattr__(self, "coefficient", coefficient)
+        object.__setattr__(self, "exponents", tuple(cleaned))
+
+    def degree(self, variable: str) -> int:
+        """``m(x)`` in the paper's notation (0 when absent)."""
+        for name, d in self.exponents:
+            if name == variable:
+                return d
+        return 0
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.exponents)
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        value = self.coefficient
+        for variable, degree in self.exponents:
+            value *= assignment.get(variable, 0) ** degree
+        return value
+
+    def monomial_value(self, assignment: Mapping[str, int]) -> int:
+        """The value *without* the coefficient: ``Π x_i^{e_i}``."""
+        value = 1
+        for variable, degree in self.exponents:
+            value *= assignment.get(variable, 0) ** degree
+        return value
+
+    def __str__(self) -> str:
+        parts = [str(self.coefficient)]
+        for variable, degree in self.exponents:
+            parts.append(variable if degree == 1 else f"{variable}^{degree}")
+        return "·".join(parts)
+
+
+@dataclass(frozen=True)
+class DiophantineInstance:
+    """A polynomial equation ``Σ monomials = 0`` over naturals."""
+
+    monomials: Tuple[Monomial, ...]
+
+    def __init__(self, monomials: Sequence[Monomial]):
+        if not monomials:
+            raise QueryError("an instance needs at least one monomial")
+        object.__setattr__(self, "monomials", tuple(monomials))
+
+    def variables(self) -> Tuple[str, ...]:
+        names = sorted({v for m in self.monomials for v in m.variables()})
+        return tuple(names)
+
+    def positive_monomials(self) -> Tuple[Monomial, ...]:
+        """``P`` in Appendix A."""
+        return tuple(m for m in self.monomials if m.coefficient > 0)
+
+    def negative_monomials(self) -> Tuple[Monomial, ...]:
+        """``N`` in Appendix A."""
+        return tuple(m for m in self.monomials if m.coefficient < 0)
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        return sum(m.evaluate(assignment) for m in self.monomials)
+
+    def is_solution(self, assignment: Mapping[str, int]) -> bool:
+        for variable, value in assignment.items():
+            if not isinstance(value, int) or value < 0:
+                raise QueryError(f"{variable!r} must be a natural, got {value!r}")
+        return self.evaluate(assignment) == 0
+
+    def __str__(self) -> str:
+        return " + ".join(str(m) for m in self.monomials) + " = 0"
+
+
+def solve_bounded(
+    instance: DiophantineInstance,
+    max_value: int,
+    max_assignments: int = 2_000_000,
+) -> Optional[Dict[str, int]]:
+    """Brute-force a natural solution with every unknown ≤ ``max_value``.
+
+    Returns the first solution in lexicographic order, or ``None``.
+
+    >>> pell = DiophantineInstance([Monomial(1, {'x': 2}),
+    ...                             Monomial(-2, {'y': 2})])
+    >>> solve_bounded(pell, 5)
+    {'x': 0, 'y': 0}
+    """
+    variables = instance.variables()
+    checked = 0
+    for values in itertools.product(range(max_value + 1), repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        if instance.is_solution(assignment):
+            return assignment
+        checked += 1
+        if checked >= max_assignments:
+            return None
+    return None
+
+
+def iter_solutions(
+    instance: DiophantineInstance, max_value: int
+) -> Iterator[Dict[str, int]]:
+    """All bounded solutions (exhaustive below the bound)."""
+    variables = instance.variables()
+    for values in itertools.product(range(max_value + 1), repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        if instance.is_solution(assignment):
+            yield assignment
+
+
+# A small gallery used by examples, tests and benchmarks.
+def linear_instance() -> DiophantineInstance:
+    """``x - y = 0`` — solvable (any x = y)."""
+    return DiophantineInstance([Monomial(1, {"x": 1}), Monomial(-1, {"y": 1})])
+
+
+def pythagoras_instance() -> DiophantineInstance:
+    """``x² + y² - z² = 0`` — solvable (3,4,5 among others)."""
+    return DiophantineInstance([
+        Monomial(1, {"x": 2}),
+        Monomial(1, {"y": 2}),
+        Monomial(-1, {"z": 2}),
+    ])
+
+
+def unsolvable_instance() -> DiophantineInstance:
+    """``x² + 1 = 0`` (as ``x² + 1 - 0·…``): no natural solution.
+
+    Encoded as ``x·x + 1 = 0`` via a constant monomial.
+    """
+    return DiophantineInstance([Monomial(1, {"x": 2}), Monomial(1, {})])
+
+
+def fermat_like_instance() -> DiophantineInstance:
+    """``x³ + y³ - z³ = 0`` — only trivial-ish solutions with zeros."""
+    return DiophantineInstance([
+        Monomial(1, {"x": 3}),
+        Monomial(1, {"y": 3}),
+        Monomial(-1, {"z": 3}),
+    ])

@@ -1,0 +1,112 @@
+"""Structure profiles for the Appendix A reduction.
+
+Every structure over the reduction schema ``{H/0, C/0, X_i/1}`` is,
+from the queries' point of view, fully described by the numbers
+``(D_H, D_C, D_{X_1}, ..., D_{X_n})`` with ``D_H, D_C ∈ {0, 1}`` — its
+*profile*.  Working with profiles turns the Lemma 59–61 computations
+into integer arithmetic and makes the Lemma 63 search exhaustive over
+a finite box.
+
+``Profile.to_structure()`` materializes a canonical structure, and the
+tests confirm (Lemma 59/60/61) that profile arithmetic agrees with
+honest homomorphism counting on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.errors import QueryError
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.ucq import UnionOfBooleanCQs
+from repro.structures.structure import Fact, Structure
+from repro.ucq.reduction import C_RELATION, H_RELATION, HilbertReduction, variable_relation
+
+
+@dataclass(frozen=True)
+class Profile:
+    """``(D_H, D_C, {x_i: D_{X_i}})``."""
+
+    h: int
+    c: int
+    unknowns: Tuple[Tuple[str, int], ...]
+
+    def __init__(self, h: int, c: int, unknowns: Mapping[str, int]):
+        if h not in (0, 1) or c not in (0, 1):
+            raise QueryError("H and C are nullary: their counts are 0 or 1")
+        for variable, value in unknowns.items():
+            if not isinstance(value, int) or value < 0:
+                raise QueryError(f"count of {variable!r} must be natural, got {value!r}")
+        object.__setattr__(self, "h", h)
+        object.__setattr__(self, "c", c)
+        object.__setattr__(self, "unknowns", tuple(sorted(unknowns.items())))
+
+    def unknown(self, variable: str) -> int:
+        for name, value in self.unknowns:
+            if name == variable:
+                return value
+        return 0
+
+    def assignment(self) -> Dict[str, int]:
+        return dict(self.unknowns)
+
+    def swapped_flags(self) -> "Profile":
+        """The partner profile of Lemma 62: H and C exchanged."""
+        return Profile(self.c, self.h, dict(self.unknowns))
+
+    def to_structure(self, reduction: HilbertReduction) -> Structure:
+        """A canonical structure with this profile."""
+        facts = []
+        if self.h:
+            facts.append(Fact(H_RELATION, ()))
+        if self.c:
+            facts.append(Fact(C_RELATION, ()))
+        domain = []
+        for variable, value in self.unknowns:
+            relation = variable_relation(variable)
+            for index in range(value):
+                element = (variable, index)
+                facts.append(Fact(relation, (element,)))
+                domain.append(element)
+        return Structure(facts, schema=reduction.schema, domain=domain)
+
+
+def count_cq_on_profile(query: ConjunctiveQuery, profile: Profile) -> int:
+    """``Φ(D)`` computed from the profile.
+
+    Each nullary atom contributes its flag; each unary ``X_i`` atom has
+    its own variable, contributing an independent ``D_{X_i}`` factor.
+    (This is exactly Lemma 59/60 arithmetic.)
+    """
+    value = 1
+    for atom in query.atoms:
+        if atom.relation == H_RELATION:
+            value *= profile.h
+        elif atom.relation == C_RELATION:
+            value *= profile.c
+        elif atom.relation.startswith("X_") and atom.arity == 1:
+            variable = atom.relation[2:]
+            value *= profile.unknown(variable)
+        else:
+            raise QueryError(
+                f"atom {atom} is outside the reduction schema; "
+                f"profile evaluation does not apply"
+            )
+        if value == 0:
+            return 0
+    return value
+
+
+def count_ucq_on_profile(query: UnionOfBooleanCQs, profile: Profile) -> int:
+    """``Ψ(D) = Σ_Φ Φ(D)`` on a profile."""
+    return sum(count_cq_on_profile(d, profile) for d in query.disjuncts)
+
+
+def view_profile_answers(
+    reduction: HilbertReduction, profile: Profile
+) -> Tuple[int, ...]:
+    """All view answers ``(V_1(D), V_{x_1}(D), ..., V_I(D))``."""
+    return tuple(
+        count_ucq_on_profile(view, profile) for view in reduction.views()
+    )

@@ -1,0 +1,134 @@
+"""The Appendix A reduction: Hilbert's Tenth → boolean-UCQ determinacy.
+
+Given an instance ``I = {m_1, ..., m_k}`` over unknowns
+``x_1, ..., x_n``, the reduction produces:
+
+* schema ``Σ = {H/0, C/0, X_1/1, ..., X_n/1}`` (nullary ``H``, ``C``
+  from the Segoufin–Vianu / Marcinkowski tricks, unary ``X_i`` from
+  Ioannidis–Ramakrishnan);
+* for each monomial ``m`` the boolean CQ ``Φ_m`` with ``m(x_i)``
+  distinct ``X_i``-atoms per unknown, so that
+  ``Φ_m(D) = Π_i (D_{X_i})^{m(x_i)}`` (Lemma 59 via Lemma 4(5));
+* ``Ψ_P = ⋁_{m∈P} ⋁^{c(m)} (Φ_m ∧ H)`` and
+  ``Ψ_N = ⋁_{m∈N} ⋁^{|c(m)|} (Φ_m ∧ C)`` — coefficients become
+  disjunct multiplicities (bag-UCQ answers add!);
+* views ``V = {V_1 = H ∨ C,  V_{x_i} = ∃y X_i(y),  V_I = Ψ_P ∨ Ψ_N}``
+  and query ``q = H``.
+
+Theorem 2: ``I`` has **no** natural solution  ⟺  ``V →bag q``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.queries.cq import Atom, ConjunctiveQuery
+from repro.queries.ucq import UnionOfBooleanCQs
+from repro.structures.schema import Schema
+from repro.ucq.hilbert import DiophantineInstance, Monomial
+
+H_RELATION = "H"
+C_RELATION = "C"
+
+
+def variable_relation(variable: str) -> str:
+    """The unary relation name for unknown ``variable``."""
+    return f"X_{variable}"
+
+
+def reduction_schema(instance: DiophantineInstance) -> Schema:
+    """``Σ`` of the reduction."""
+    relations: Dict[str, int] = {H_RELATION: 0, C_RELATION: 0}
+    for variable in instance.variables():
+        relations[variable_relation(variable)] = 1
+    return Schema(relations)
+
+
+def phi_for_monomial(monomial: Monomial, schema: Schema) -> ConjunctiveQuery:
+    """``Φ_m``: for each unknown ``x_i``, ``m(x_i)`` atoms
+    ``X_i(y_{i,j})`` over *distinct* existential variables.
+
+    Counting: each atom contributes an independent factor ``D_{X_i}``,
+    so ``Φ_m(D) = Π_i (D_{X_i})^{m(x_i)}`` (Lemma 59).
+    A constant monomial yields the empty conjunction (answers 1).
+    """
+    atoms: List[Atom] = []
+    for variable, degree in monomial.exponents:
+        for j in range(degree):
+            atoms.append(Atom(variable_relation(variable), (f"y_{variable}_{j}",)))
+    return ConjunctiveQuery(atoms, free=(), schema=schema)
+
+
+@dataclass
+class HilbertReduction:
+    """The full output of the Appendix A construction."""
+
+    instance: DiophantineInstance
+    schema: Schema
+    query: UnionOfBooleanCQs                       # q = H
+    view_flag: UnionOfBooleanCQs                   # V_1 = H ∨ C
+    view_unknowns: Tuple[UnionOfBooleanCQs, ...]   # V_{x_i}
+    view_polynomial: UnionOfBooleanCQs             # V_I = Ψ_P ∨ Ψ_N
+
+    def views(self) -> List[UnionOfBooleanCQs]:
+        return [self.view_flag, *self.view_unknowns, self.view_polynomial]
+
+    def all_queries(self) -> List[UnionOfBooleanCQs]:
+        return [self.query, *self.views()]
+
+    def summary(self) -> str:
+        return (
+            f"instance: {self.instance}\n"
+            f"schema:   {self.schema!r}\n"
+            f"|V_I| disjuncts: {len(self.view_polynomial.disjuncts)}"
+        )
+
+
+def build_reduction(instance: DiophantineInstance) -> HilbertReduction:
+    """Construct ``(Σ, q, V)`` from a Diophantine instance.
+
+    >>> from repro.ucq.hilbert import linear_instance
+    >>> red = build_reduction(linear_instance())
+    >>> len(red.views())
+    4
+    """
+    schema = reduction_schema(instance)
+    h_atom = ConjunctiveQuery([Atom(H_RELATION, ())], schema=schema)
+    c_atom = ConjunctiveQuery([Atom(C_RELATION, ())], schema=schema)
+
+    query = UnionOfBooleanCQs([h_atom], schema=schema)
+    view_flag = UnionOfBooleanCQs([h_atom, c_atom], schema=schema)
+
+    view_unknowns = tuple(
+        UnionOfBooleanCQs(
+            [ConjunctiveQuery([Atom(variable_relation(v), ("y",))], schema=schema)],
+            schema=schema,
+        )
+        for v in instance.variables()
+    )
+
+    polynomial_disjuncts: List[ConjunctiveQuery] = []
+    for monomial in instance.positive_monomials():
+        phi = phi_for_monomial(monomial, schema)
+        with_flag = phi.conjoin(h_atom)
+        polynomial_disjuncts.extend([with_flag] * monomial.coefficient)
+    for monomial in instance.negative_monomials():
+        phi = phi_for_monomial(monomial, schema)
+        with_flag = phi.conjoin(c_atom)
+        polynomial_disjuncts.extend([with_flag] * (-monomial.coefficient))
+    if not polynomial_disjuncts:
+        # Degenerate instance with no monomials cannot reach here
+        # (DiophantineInstance requires one), but a purely positive or
+        # negative instance is fine: Ψ_N or Ψ_P is simply absent.
+        raise AssertionError("unreachable: instance has at least one monomial")
+    view_polynomial = UnionOfBooleanCQs(polynomial_disjuncts, schema=schema)
+
+    return HilbertReduction(
+        instance=instance,
+        schema=schema,
+        query=query,
+        view_flag=view_flag,
+        view_unknowns=view_unknowns,
+        view_polynomial=view_polynomial,
+    )

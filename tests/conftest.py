@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.queries.cq import cq_from_structure
+from repro.queries.parser import parse_boolean_cq, parse_path
+from repro.structures.generators import (
+    cycle_structure,
+    path_structure,
+)
+from repro.structures.operations import sum_with_multiplicities
+from repro.structures.schema import Schema
+
+
+@pytest.fixture
+def binary_rs_schema() -> Schema:
+    """The workhorse schema {R/2, S/2}."""
+    return Schema({"R": 2, "S": 2})
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def edge_query():
+    return parse_boolean_cq("R(x,y)")
+
+
+@pytest.fixture
+def two_path_query():
+    return parse_boolean_cq("R(x,y), R(y,z)")
+
+
+@pytest.fixture
+def example32_instance():
+    """The paper's Example 32: q = w1+w2+2w3, v1 = 2w1+w2+3w3,
+    v2 = 5w1+2w2+7w3 over connected non-isomorphic w1, w2, w3."""
+    w1 = path_structure(["R"])
+    w2 = path_structure(["R", "R"])
+    w3 = cycle_structure(3)
+
+    def make(*pairs):
+        return cq_from_structure(sum_with_multiplicities(list(pairs)))
+
+    q = make((1, w1), (1, w2), (2, w3))
+    v1 = make((2, w1), (1, w2), (3, w3))
+    v2 = make((5, w1), (2, w2), (7, w3))
+    return [v1, v2], q
+
+
+@pytest.fixture
+def example13_paths():
+    """Example 13: q = ABCD, V = {ABC, BC, BCD}."""
+    views = [parse_path("A.B.C"), parse_path("B.C"), parse_path("B.C.D")]
+    return views, parse_path("A.B.C.D")

@@ -1,0 +1,106 @@
+"""Unit tests for the component basis (Definitions 27–29, Obs. 28/30)."""
+
+import pytest
+
+from repro.errors import DecisionError, UnsupportedQueryError
+from repro.queries.cq import ConjunctiveQuery, cq_from_structure
+from repro.queries.parser import parse_boolean_cq, parse_cq
+from repro.structures.generators import cycle_structure, path_structure
+from repro.structures.operations import sum_with_multiplicities
+from repro.core.basis import ComponentBasis, validate_for_component_basis
+
+
+EDGE_Q = parse_boolean_cq("R(x,y)")
+TWO_COMPONENT_Q = parse_boolean_cq("R(x,y), R(u,v)")
+MIXED_Q = parse_boolean_cq("R(x,y), S(u,v)")
+
+
+class TestConstruction:
+    def test_single_query(self):
+        basis = ComponentBasis.from_queries([EDGE_Q])
+        assert basis.dimension == 1
+
+    def test_components_deduplicated_across_queries(self):
+        basis = ComponentBasis.from_queries([EDGE_Q, TWO_COMPONENT_Q])
+        # Both queries only use the R-edge component.
+        assert basis.dimension == 1
+
+    def test_distinct_components_kept(self):
+        basis = ComponentBasis.from_queries([MIXED_Q])
+        assert basis.dimension == 2
+
+    def test_empty_query_contributes_nothing(self):
+        empty = ConjunctiveQuery([])
+        basis = ComponentBasis.from_queries([empty])
+        assert basis.dimension == 0
+
+    def test_nullary_rejected(self):
+        nullary = parse_boolean_cq("H()")
+        with pytest.raises(UnsupportedQueryError):
+            ComponentBasis.from_queries([nullary])
+
+    def test_free_variables_rejected(self):
+        unary = parse_cq("x | R(x,y)")
+        with pytest.raises(UnsupportedQueryError):
+            validate_for_component_basis(unary)
+
+
+class TestVectors:
+    def test_observation_28_multiplicities(self):
+        basis = ComponentBasis.from_queries([TWO_COMPONENT_Q])
+        assert basis.vector(TWO_COMPONENT_Q) == (2,)
+        assert basis.vector(EDGE_Q) == (1,)
+
+    def test_mixed_vector(self):
+        basis = ComponentBasis.from_queries([MIXED_Q, EDGE_Q])
+        vec = basis.vector(MIXED_Q)
+        assert sorted(vec) == [1, 1]
+        assert sum(basis.vector(EDGE_Q)) == 1
+
+    def test_vector_of_unknown_component_raises(self):
+        basis = ComponentBasis.from_queries([EDGE_Q])
+        triangle = cq_from_structure(cycle_structure(3))
+        with pytest.raises(DecisionError):
+            basis.vector(triangle)
+        assert basis.vector_or_none(triangle) is None
+
+    def test_empty_query_vector_is_zero(self):
+        basis = ComponentBasis.from_queries([EDGE_Q])
+        assert basis.vector(ConjunctiveQuery([])) == (0,)
+
+    def test_index_of(self):
+        basis = ComponentBasis.from_queries([MIXED_Q])
+        edge = path_structure(["R"])
+        index = basis.index_of(edge.rename({0: "a", 1: "b"}))
+        assert index is not None
+        assert basis.index_of(cycle_structure(4)) is None
+
+
+class TestObservation30:
+    def test_evaluation_from_counts(self):
+        # v = 2*w1 + 1*w2, counts (3, 5): v(D) = 3^2 * 5 = 45.
+        assert ComponentBasis.evaluate_from_counts([3, 5], [2, 1]) == 45
+
+    def test_zero_to_the_zero_is_one(self):
+        # Paper's convention 0^0 = 1 must hold.
+        assert ComponentBasis.evaluate_from_counts([0, 5], [0, 1]) == 5
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DecisionError):
+            ComponentBasis.evaluate_from_counts([1], [1, 2])
+
+    def test_observation_30_against_real_counts(self):
+        """v(D) = Π w_i(D)^{v_i} on concrete structures."""
+        from repro.queries.evaluation import evaluate_boolean
+        from repro.hom.count import count_homs
+
+        w1 = path_structure(["R"])
+        w2 = cycle_structure(3)
+        v = cq_from_structure(sum_with_multiplicities([(2, w1), (1, w2)]))
+        basis = ComponentBasis.from_queries([v])
+        vector = basis.vector(v)
+        database = sum_with_multiplicities([(1, w1), (2, w2)])
+        counts = [count_homs(w, database) for w in basis.components]
+        assert evaluate_boolean(v, database) == ComponentBasis.evaluate_from_counts(
+            counts, vector
+        )

@@ -1,0 +1,107 @@
+"""Tests for the command-line front end."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestDecideCQ:
+    def test_determined(self, capsys):
+        code = main([
+            "decide-cq", "--view", "R(x,y)", "--query", "R(x,y), R(u,v)",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "DETERMINED" in out
+        assert "rewriting" in out
+
+    def test_not_determined_with_witness(self, capsys):
+        code = main([
+            "decide-cq", "--view", "R(x,y), R(y,z)", "--query", "R(x,y)",
+            "--witness",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "NOT DETERMINED" in out
+        assert "witness verified: True" in out
+
+    def test_parse_error_reported(self, capsys):
+        code = main(["decide-cq", "--query", "R(x,,y)"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+
+
+class TestDecidePath:
+    def test_determined(self, capsys):
+        code = main([
+            "decide-path",
+            "--view", "A.B.C", "--view", "B.C", "--view", "B.C.D",
+            "--query", "A.B.C.D",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "DETERMINED" in out
+        assert "Theorem 1" in out
+
+    def test_not_determined(self, capsys):
+        code = main(["decide-path", "--view", "B", "--query", "A"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "NOT DETERMINED" in out
+
+
+class TestCertifyUCQ:
+    def test_example3(self, capsys):
+        code = main([
+            "certify-ucq",
+            "--view", "P(x)", "--view", "P(x) or R(x)",
+            "--query", "R(x)",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "DETERMINED via linear identity" in out
+
+    def test_no_certificate(self, capsys):
+        code = main(["certify-ucq", "--view", "P(x)", "--query", "R(x)"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "NO LINEAR CERTIFICATE" in out
+
+
+class TestHilbert:
+    def test_solvable(self, capsys):
+        # negative coefficients need --monomial=... (argparse would
+        # otherwise read "-1:y" as a flag)
+        code = main([
+            "hilbert", "--monomial", "1:x", "--monomial=-1:y",
+            "--bound", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "NOT DETERMINED" in out
+
+    def test_unsolvable(self, capsys):
+        code = main([
+            "hilbert", "--monomial", "1:x^2", "--monomial", "1:",
+            "--bound", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no counterexample" in out
+
+    def test_monomial_syntax(self):
+        from repro.cli import _parse_monomial
+
+        m = _parse_monomial("-2:x^2*y")
+        assert m.coefficient == -2
+        assert m.degree("x") == 2
+        assert m.degree("y") == 1
+        constant = _parse_monomial("3:")
+        assert constant.coefficient == 3
+        assert constant.variables() == ()
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

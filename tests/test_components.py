@@ -1,0 +1,67 @@
+"""Unit tests for connected-component decomposition."""
+
+from repro.structures.components import (
+    component_count,
+    connected_components,
+    is_connected,
+)
+from repro.structures.generators import cycle_structure, path_structure
+from repro.structures.operations import disjoint_union
+from repro.structures.structure import Fact, Structure, singleton
+
+
+class TestComponents:
+    def test_single_edge_is_connected(self):
+        assert is_connected(path_structure(["R"]))
+
+    def test_disjoint_union_splits(self):
+        two = disjoint_union(path_structure(["R"]), cycle_structure(3))
+        parts = connected_components(two)
+        assert len(parts) == 2
+        sizes = sorted(len(p.domain()) for p in parts)
+        assert sizes == [2, 3]
+
+    def test_empty_structure_has_no_components(self):
+        assert component_count(Structure()) == 0
+        assert not is_connected(Structure())
+
+    def test_isolated_vertex_is_singleton_component(self):
+        s = Structure([("R", ("a", "b"))], domain=["a", "b", "c"])
+        parts = connected_components(s)
+        assert len(parts) == 2
+        singleton_parts = [p for p in parts if not p.facts()]
+        assert len(singleton_parts) == 1
+        assert singleton_parts[0].domain() == frozenset({"c"})
+
+    def test_single_isolated_vertex_connected(self):
+        assert is_connected(singleton("v"))
+
+    def test_nullary_fact_is_own_component(self):
+        s = Structure([Fact("H", ()), ("R", ("a", "b"))])
+        parts = connected_components(s)
+        assert len(parts) == 2
+        nullary = [p for p in parts if p.has_fact("H")]
+        assert len(nullary) == 1
+        assert not nullary[0].domain()
+
+    def test_shared_constant_joins_facts(self):
+        s = Structure([("R", ("a", "b")), ("S", ("b", "c"))])
+        assert is_connected(s)
+
+    def test_higher_arity_connectivity(self):
+        s = Structure([("T", ("a", "b", "c")), ("T", ("c", "d", "e"))])
+        assert is_connected(s)
+
+    def test_components_cover_all_facts(self):
+        s = Structure([
+            ("R", ("a", "b")), ("R", ("c", "d")), ("S", ("d", "e")),
+        ])
+        parts = connected_components(s)
+        total = sum(p.count_facts() for p in parts)
+        assert total == s.count_facts()
+        domains = [p.domain() for p in parts]
+        assert frozenset().union(*domains) == s.domain()
+
+    def test_deterministic_order(self):
+        s = disjoint_union(cycle_structure(4), path_structure(["R"]))
+        assert connected_components(s) == connected_components(s)

@@ -1,0 +1,87 @@
+"""Unit tests for set-semantics containment (Chandra–Merlin)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.queries.parser import parse_boolean_cq, parse_cq, parse_ucq
+from repro.hom.containment import (
+    are_equivalent_set,
+    is_contained_set,
+    is_contained_set_ucq,
+    views_containing,
+)
+
+
+class TestBooleanContainment:
+    def test_longer_path_contained_in_shorter(self):
+        long_path = parse_boolean_cq("R(x,y), R(y,z)")
+        edge = parse_boolean_cq("R(x,y)")
+        assert is_contained_set(long_path, edge)
+        assert not is_contained_set(edge, long_path)
+
+    def test_self_containment(self):
+        q = parse_boolean_cq("R(x,y), S(y,z)")
+        assert is_contained_set(q, q)
+
+    def test_containment_respects_semantics(self):
+        """q ⊆set v must mean: q(D) > 0 ⇒ v(D) > 0 on samples."""
+        from repro.queries.evaluation import evaluate_boolean
+        from repro.structures.generators import random_structure
+        from repro.structures.schema import Schema
+        import random
+
+        q = parse_boolean_cq("R(x,y), R(y,z), S(z,u)")
+        v = parse_boolean_cq("R(x,y), S(u,w)")
+        assert is_contained_set(q, v)
+        schema = Schema({"R": 2, "S": 2})
+        rng = random.Random(3)
+        for _ in range(30):
+            D = random_structure(schema, 4, 0.3, rng)
+            if evaluate_boolean(q, D) > 0:
+                assert evaluate_boolean(v, D) > 0
+
+    def test_incomparable_queries(self):
+        q1 = parse_boolean_cq("R(x,y)")
+        q2 = parse_boolean_cq("S(x,y)")
+        assert not is_contained_set(q1, q2)
+        assert not is_contained_set(q2, q1)
+
+    def test_equivalence_up_to_redundancy(self):
+        # R(x,y) ∧ R(u,v) is equivalent to R(x,y) under set semantics.
+        redundant = parse_boolean_cq("R(x,y), R(u,v)")
+        edge = parse_boolean_cq("R(x,y)")
+        assert are_equivalent_set(redundant, edge)
+
+    def test_loop_contained_in_everything_r(self):
+        loop = parse_boolean_cq("R(x,x)")
+        path = parse_boolean_cq("R(x,y), R(y,z)")
+        assert is_contained_set(loop, path)
+        assert not is_contained_set(path, loop)
+
+    def test_free_variables_rejected(self):
+        unary = parse_cq("x | R(x,y)")
+        boolean = parse_boolean_cq("R(x,y)")
+        with pytest.raises(QueryError):
+            is_contained_set(unary, boolean)
+
+
+class TestUCQContainment:
+    def test_disjunct_wise(self):
+        small = parse_ucq("R(x,y), R(y,z)")
+        big = parse_ucq("R(x,y) or S(x,y)")
+        assert is_contained_set_ucq(small, big)
+        assert not is_contained_set_ucq(big, small)
+
+    def test_each_disjunct_needs_a_home(self):
+        left = parse_ucq("R(x,y) or S(x,y)")
+        right = parse_ucq("R(x,y)")
+        assert not is_contained_set_ucq(left, right)
+
+
+class TestViewsContaining:
+    def test_definition_25(self):
+        q = parse_boolean_cq("R(x,y), R(y,z)")
+        v1 = parse_boolean_cq("R(x,y)")          # q ⊆ v1
+        v2 = parse_boolean_cq("S(x,y)")          # q ⊄ v2
+        v3 = parse_boolean_cq("R(x,y), R(y,z)")  # q ⊆ v3
+        assert views_containing(q, [v1, v2, v3]) == [v1, v3]

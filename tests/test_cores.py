@@ -1,0 +1,79 @@
+"""Tests for structure cores."""
+
+from repro.hom.containment import are_equivalent_set
+from repro.hom.cores import core, core_query, is_core
+from repro.hom.search import exists_homomorphism
+from repro.queries.cq import cq_from_structure
+from repro.queries.parser import parse_boolean_cq
+from repro.structures.generators import clique_structure, cycle_structure, path_structure
+from repro.structures.isomorphism import are_isomorphic
+from repro.structures.structure import Structure
+
+
+class TestCore:
+    def test_rigid_structures_are_their_own_core(self):
+        path = path_structure(["R", "R"])
+        assert core(path) == path
+        assert is_core(path)
+
+    def test_loop_absorbs_everything(self):
+        with_loop = Structure([("R", ("a", "a")), ("R", ("a", "b")),
+                               ("R", ("b", "c"))])
+        reduced = core(with_loop)
+        assert len(reduced.domain()) == 1
+        assert reduced.count_facts("R") == 1
+
+    def test_directed_cycles_are_cores(self):
+        for length in (2, 3, 4, 5):
+            assert is_core(cycle_structure(length))
+
+    def test_even_cycle_with_symmetric_edges_collapses(self):
+        # Symmetric 4-cycle (undirected square) retracts onto a
+        # symmetric edge (the 2-clique).
+        square = Structure([
+            ("R", (0, 1)), ("R", (1, 0)),
+            ("R", (1, 2)), ("R", (2, 1)),
+            ("R", (2, 3)), ("R", (3, 2)),
+            ("R", (3, 0)), ("R", (0, 3)),
+        ])
+        reduced = core(square)
+        assert len(reduced.domain()) == 2
+        assert are_isomorphic(
+            reduced.rename({c: i for i, c in enumerate(sorted(reduced.domain()))}),
+            Structure([("R", (0, 1)), ("R", (1, 0))]),
+        )
+
+    def test_core_is_hom_equivalent(self):
+        square = clique_structure(3)
+        reduced = core(square)
+        assert exists_homomorphism(square, reduced)
+        assert exists_homomorphism(reduced, square)
+
+    def test_core_idempotent(self):
+        with_loop = Structure([("R", ("a", "a")), ("R", ("a", "b"))])
+        once = core(with_loop)
+        assert core(once) == once
+
+
+class TestCoreQuery:
+    def test_minimizes_redundant_query(self):
+        redundant = parse_boolean_cq("R(x,y), R(u,v)")
+        minimized = core_query(redundant)
+        assert len(minimized.atoms) == 1
+        assert are_equivalent_set(redundant, minimized)
+
+    def test_set_equivalence_preserved(self):
+        query = cq_from_structure(clique_structure(3))
+        assert are_equivalent_set(query, core_query(query))
+
+    def test_bag_semantics_not_preserved(self):
+        """Minimization is a set-semantics notion: under bag semantics
+        the core is a *different* query (the Section 4 machinery must
+        not minimize!)."""
+        from repro.queries.evaluation import evaluate_boolean
+
+        redundant = parse_boolean_cq("R(x,y), R(u,v)")
+        minimized = core_query(redundant)
+        database = clique_structure(3)
+        assert evaluate_boolean(redundant, database) == 36
+        assert evaluate_boolean(minimized, database) == 6

@@ -1,0 +1,147 @@
+"""Unit tests for the Theorem 3 decision procedure."""
+
+import random
+
+import pytest
+
+from repro.errors import DecisionError, UnsupportedQueryError
+from repro.queries.cq import ConjunctiveQuery, cq_from_structure
+from repro.queries.evaluation import evaluate_boolean
+from repro.queries.parser import parse_boolean_cq, parse_cq
+from repro.structures.generators import cycle_structure, path_structure, random_structure
+from repro.structures.schema import Schema
+from repro.core.decision import connected_case, decide_bag_determinacy
+
+
+class TestBasicVerdicts:
+    def test_query_among_views_determined(self):
+        q = parse_boolean_cq("R(x,y), S(y,z)")
+        result = decide_bag_determinacy([q], q)
+        assert result.determined
+        assert result.coefficients is not None
+
+    def test_no_views_nonempty_query_not_determined(self):
+        q = parse_boolean_cq("R(x,y)")
+        result = decide_bag_determinacy([], q)
+        assert not result.determined
+
+    def test_empty_query_always_determined(self):
+        empty = ConjunctiveQuery([])
+        result = decide_bag_determinacy([], empty)
+        assert result.determined
+        assert result.rewriting().evaluate([]) == 1
+
+    def test_irrelevant_views_filtered(self):
+        # q ⊄set v (v can be 0 while q > 0) -> v lands outside V.
+        q = parse_boolean_cq("R(x,y)")
+        v = parse_boolean_cq("S(x,y)")
+        result = decide_bag_determinacy([v], q)
+        assert result.relevant_views == ()
+        assert not result.determined
+
+    def test_power_view_determines(self):
+        # v = q ∧ q-copy: v(D) = q(D)^2, so q(D) = sqrt(v(D)).
+        q = parse_boolean_cq("U(x)")
+        v = parse_boolean_cq("U(x), U(y)")
+        result = decide_bag_determinacy([v], q)
+        assert result.determined
+        rewriting = result.rewriting()
+        assert rewriting.evaluate([9]) == 3
+
+    def test_unsupported_inputs(self):
+        with pytest.raises(UnsupportedQueryError):
+            decide_bag_determinacy([], parse_cq("x | R(x,y)"))
+        with pytest.raises(UnsupportedQueryError):
+            decide_bag_determinacy([parse_boolean_cq("H()")],
+                                   parse_boolean_cq("R(x,y)"))
+
+
+class TestPaperExample32:
+    def test_determined_with_coefficients_3_minus_1(self, example32_instance):
+        views, q = example32_instance
+        result = decide_bag_determinacy(views, q)
+        assert result.determined
+        # The paper: q⃗ = 3·v⃗1 − v⃗2.
+        assert list(result.coefficients) == [3, -1]
+
+    def test_rewriting_round_trip(self, example32_instance):
+        views, q = example32_instance
+        rewriting = decide_bag_determinacy(views, q).rewriting()
+        schema = Schema({"R": 2})
+        rng = random.Random(11)
+        for _ in range(5):
+            database = random_structure(schema, 4, 0.5, rng)
+            assert rewriting.answer_on(database) == evaluate_boolean(q, database)
+
+
+class TestExample42Analogue:
+    def test_relevant_but_independent_view_does_not_determine(self):
+        """q = C3, V0 = {C6}: the hexagon maps homomorphically onto the
+        triangle, so q ⊆set v and V = V0, but q⃗ = e1 ∉ span{e2}
+        (Example 42's shape: relevant yet linearly independent)."""
+        q = cq_from_structure(cycle_structure(3))
+        v = cq_from_structure(cycle_structure(6))
+        result = decide_bag_determinacy([v], q)
+        assert result.relevant_views == (v,)
+        assert result.basis.dimension == 2
+        assert not result.determined
+
+    def test_witness_requested_on_determined_raises(self):
+        q = parse_boolean_cq("R(x,y)")
+        result = decide_bag_determinacy([q], q)
+        with pytest.raises(DecisionError):
+            result.witness()
+
+    def test_rewriting_requested_on_undetermined_raises(self):
+        q = parse_boolean_cq("R(x,y)")
+        v = parse_boolean_cq("R(x,y), R(y,z)")
+        result = decide_bag_determinacy([v], q)
+        with pytest.raises(DecisionError):
+            result.rewriting()
+
+
+class TestCorollary33:
+    def test_connected_query_in_views(self):
+        q = cq_from_structure(cycle_structure(3))
+        views = [cq_from_structure(path_structure(["R"])), q]
+        assert connected_case(views, q)
+
+    def test_connected_query_not_in_views(self):
+        q = cq_from_structure(cycle_structure(3))
+        views = [cq_from_structure(cycle_structure(4))]
+        assert not connected_case(views, q)
+
+    def test_agrees_with_full_decider(self):
+        structures = [
+            cycle_structure(3),
+            cycle_structure(4),
+            path_structure(["R"]),
+            path_structure(["R", "R"]),
+        ]
+        queries = [cq_from_structure(s) for s in structures]
+        for q in queries:
+            for i in range(len(queries)):
+                views = queries[:i]
+                expected = decide_bag_determinacy(views, q).determined
+                assert connected_case(views, q) == expected
+
+    def test_disconnected_rejected(self):
+        disconnected = parse_boolean_cq("R(x,y), R(u,v)")
+        with pytest.raises(DecisionError):
+            connected_case([disconnected], disconnected)
+
+
+class TestResultObject:
+    def test_explain_mentions_verdict(self):
+        q = parse_boolean_cq("R(x,y)")
+        determined = decide_bag_determinacy([q], q)
+        assert "DETERMINED" in determined.explain()
+        refused = decide_bag_determinacy([], q)
+        assert "NOT determined" in refused.explain()
+
+    def test_vectors_exposed(self, example32_instance):
+        views, q = example32_instance
+        result = decide_bag_determinacy(views, q)
+        assert result.basis.dimension == 3
+        assert sorted(result.query_vector) == [1, 1, 2]
+        assert len(result.view_vectors) == 2

@@ -1,0 +1,136 @@
+"""Property-based invariance tests for the Theorem 3 decider.
+
+These check *mathematical consequences of the definition* that the
+implementation must respect, on randomized instances:
+
+* monotonicity — adding views can only help determinacy;
+* self-answering — q ∈ V0 always determines;
+* invariance under variable renaming of any query;
+* invariance under duplicating a view;
+* irrelevant views (q ⊄set v) never change the verdict;
+* the rewriting, when it exists, is a *verified* span certificate.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.linalg.span import verify_combination
+from repro.queries.cq import cq_from_structure
+from repro.structures.generators import (
+    cycle_structure,
+    path_structure,
+    random_connected_structure,
+)
+from repro.structures.operations import sum_with_multiplicities
+from repro.structures.schema import Schema
+from repro.core.decision import decide_bag_determinacy
+
+SCHEMA = Schema({"R": 2, "S": 2})
+POOL = [
+    path_structure(["R"]),
+    path_structure(["R", "R"]),
+    path_structure(["S"]),
+    path_structure(["R", "S"]),
+    cycle_structure(3),
+]
+
+
+def _random_query(rng: random.Random):
+    pieces = [
+        (rng.randint(0, 2), rng.choice(POOL))
+        for _ in range(rng.randint(1, 3))
+    ]
+    if all(multiplicity == 0 for multiplicity, _ in pieces):
+        pieces.append((1, POOL[0]))
+    return cq_from_structure(sum_with_multiplicities(pieces))
+
+
+def _instance(seed: int, n_views: int = 2):
+    rng = random.Random(seed)
+    return [_random_query(rng) for _ in range(n_views)], _random_query(rng)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_monotone_in_views(seed):
+    views, query = _instance(seed)
+    base = decide_bag_determinacy(views, query)
+    extra = _random_query(random.Random(seed + 999_999))
+    extended = decide_bag_determinacy(views + [extra], query)
+    if base.determined:
+        assert extended.determined
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_self_view_determines(seed):
+    views, query = _instance(seed)
+    result = decide_bag_determinacy(views + [query], query)
+    assert result.determined
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_invariant_under_renaming(seed):
+    views, query = _instance(seed)
+    mapping = {v: f"fresh_{v}" for v in query.variables()}
+    renamed_query = query.rename_variables(mapping)
+    original = decide_bag_determinacy(views, query)
+    renamed = decide_bag_determinacy(views, renamed_query)
+    assert original.determined == renamed.determined
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_invariant_under_view_duplication(seed):
+    views, query = _instance(seed)
+    original = decide_bag_determinacy(views, query)
+    duplicated = decide_bag_determinacy(views + views, query)
+    assert original.determined == duplicated.determined
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_irrelevant_views_never_change_verdict(seed):
+    views, query = _instance(seed)
+    # a view over a relation the query never uses: q ⊄set v unless the
+    # view maps into q — use a T-edge view, disjoint relation name.
+    foreign = cq_from_structure(path_structure(["T"]))
+    original = decide_bag_determinacy(views, query)
+    extended = decide_bag_determinacy(views + [foreign], query)
+    assert original.determined == extended.determined
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_span_certificate_verifies(seed):
+    views, query = _instance(seed, n_views=3)
+    result = decide_bag_determinacy(views, query)
+    if result.determined:
+        assert verify_combination(
+            result.view_vectors, result.coefficients, result.query_vector
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_connected_random_views_corollary33(seed):
+    """Random *connected* instances must satisfy Corollary 33: verdict
+    iff the query is isomorphic to some view."""
+    from repro.structures.isomorphism import are_isomorphic
+
+    rng = random.Random(seed)
+    views = [
+        cq_from_structure(random_connected_structure(SCHEMA, rng.randint(1, 3),
+                                                     rng=rng))
+        for _ in range(2)
+    ]
+    query = cq_from_structure(
+        random_connected_structure(SCHEMA, rng.randint(1, 3), rng=rng)
+    )
+    result = decide_bag_determinacy(views, query)
+    expected = any(
+        are_isomorphic(query.frozen_body(), v.frozen_body()) for v in views
+    )
+    assert result.determined == expected

@@ -1,0 +1,166 @@
+"""Edge cases and error paths across the library.
+
+Collects the awkward inputs every module must survive: empty
+everything, self-referential instances, degenerate dimensions, and the
+library's own error taxonomy.
+"""
+
+import pytest
+
+from repro.errors import (
+    DecisionError,
+    LinalgError,
+    ParseError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    StructureError,
+    UnsupportedQueryError,
+)
+
+
+class TestErrorTaxonomy:
+    def test_all_errors_are_repro_errors(self):
+        for error_type in (SchemaError, QueryError, ParseError,
+                           StructureError, LinalgError, DecisionError,
+                           UnsupportedQueryError):
+            assert issubclass(error_type, ReproError)
+
+    def test_parse_error_is_query_error(self):
+        assert issubclass(ParseError, QueryError)
+
+    def test_serialization_error_is_repro_error(self):
+        from repro.structures.serialization import SerializationError
+
+        assert issubclass(SerializationError, ReproError)
+
+
+class TestEmptyEverything:
+    def test_empty_structure_hom_counts(self):
+        from repro.hom.count import count_homs
+        from repro.structures.structure import EMPTY_STRUCTURE, Structure
+
+        assert count_homs(EMPTY_STRUCTURE, EMPTY_STRUCTURE) == 1
+        assert count_homs(EMPTY_STRUCTURE, Structure([("R", ("a", "b"))])) == 1
+
+    def test_empty_query_on_empty_structure(self):
+        from repro.queries.cq import ConjunctiveQuery
+        from repro.queries.evaluation import evaluate_boolean
+        from repro.structures.structure import EMPTY_STRUCTURE
+
+        assert evaluate_boolean(ConjunctiveQuery([]), EMPTY_STRUCTURE) == 1
+
+    def test_decision_with_empty_query_and_views(self):
+        from repro.queries.cq import ConjunctiveQuery
+        from repro.core.decision import decide_bag_determinacy
+
+        empty = ConjunctiveQuery([])
+        result = decide_bag_determinacy([], empty)
+        assert result.determined
+        assert result.basis.dimension == 0
+
+    def test_zero_dimensional_linear_algebra(self):
+        from repro.linalg.matrix import QMatrix
+        from repro.linalg.span import span_coefficients
+
+        empty = QMatrix([])
+        assert empty.nrows == 0 and empty.ncols == 0
+        assert span_coefficients([], []) == ()
+
+    def test_empty_relation_linear_relation(self):
+        from repro.linalg.linrel import LinearRelation
+
+        zero_dim = LinearRelation.identity(0)
+        assert zero_dim.compose(zero_dim) == zero_dim
+
+
+class TestSelfReference:
+    def test_query_is_its_own_view_with_noise(self):
+        from repro.queries.parser import parse_boolean_cq
+        from repro.core.decision import decide_bag_determinacy
+
+        q = parse_boolean_cq("R(x,y), S(y,z)")
+        noise = parse_boolean_cq("T(a,b)")
+        result = decide_bag_determinacy([noise, q, noise], q)
+        assert result.determined
+
+    def test_witness_deterministic_given_seed(self):
+        import random
+        from repro.queries.parser import parse_boolean_cq
+        from repro.core.decision import decide_bag_determinacy
+        from repro.core.witness import construct_counterexample
+
+        q = parse_boolean_cq("R(x,y)")
+        v = parse_boolean_cq("R(x,y), R(y,z)")
+        result = decide_bag_determinacy([v], q)
+        first = construct_counterexample(result, rng=random.Random(5))
+        second = construct_counterexample(result, rng=random.Random(5))
+        assert first.left_multiplicities == second.left_multiplicities
+        assert first.parameter == second.parameter
+
+
+class TestDegenerateDimensions:
+    def test_one_by_one_cone(self):
+        from fractions import Fraction
+        from repro.linalg.cone import SimplicialCone
+        from repro.linalg.matrix import QMatrix
+
+        cone = SimplicialCone(QMatrix([[3]]))
+        assert cone.contains([Fraction(6)])
+        assert not cone.contains([Fraction(-1)])
+        point = cone.interior_point()
+        t = cone.perturbation_parameter((1,), point)
+        assert t != 1
+
+    def test_single_letter_path_query(self):
+        from repro.queries.parser import parse_path
+        from repro.core.pathdet import decide_path_determinacy
+
+        q = parse_path("A")
+        result = decide_path_determinacy([q], q)
+        assert result.determined
+        assert len(result.walk()) == 1
+
+    def test_loop_only_instance(self):
+        from repro.queries.parser import parse_boolean_cq
+        from repro.core.decision import decide_bag_determinacy
+
+        loop = parse_boolean_cq("R(x,x)")
+        result = decide_bag_determinacy([loop], loop)
+        assert result.determined
+
+    def test_single_variable_unary_query_witness(self):
+        from repro.queries.parser import parse_boolean_cq
+        from repro.core.decision import decide_bag_determinacy
+
+        q = parse_boolean_cq("U(x)")
+        result = decide_bag_determinacy([], q)
+        pair = result.witness()
+        assert pair.verify().ok
+
+
+class TestBigNumbers:
+    def test_rewriting_with_large_counts(self):
+        from fractions import Fraction
+        from repro.queries.parser import parse_boolean_cq
+        from repro.core.rewriting import MonomialRewriting
+
+        q = parse_boolean_cq("R(x,y)")
+        v = parse_boolean_cq("R(x,y), R(u,w)")
+        rewriting = MonomialRewriting(q, (v,), (Fraction(1, 2),))
+        big = 10 ** 50
+        assert rewriting.evaluate([big ** 2]) == big
+
+    def test_huge_multiset_scaling(self):
+        from repro.structures.multiset import Multiset
+
+        m = Multiset({"a": 1}).scale(10 ** 30)
+        assert m["a"] == 10 ** 30
+
+    def test_matrix_with_huge_exact_entries(self):
+        from repro.linalg.matrix import QMatrix
+
+        big = 10 ** 40
+        m = QMatrix([[big, 1], [1, big]])
+        assert m.is_nonsingular()
+        assert m.inverse().matmul(m) == QMatrix.identity(2)

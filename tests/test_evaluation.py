@@ -1,0 +1,121 @@
+"""Unit tests for bag-semantics query evaluation."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.evaluation import (
+    answers_agree,
+    evaluate_boolean,
+    evaluate_cq,
+    evaluate_path_boolean,
+    evaluate_path_query,
+)
+from repro.queries.parser import parse_boolean_cq, parse_cq, parse_path, parse_ucq
+from repro.structures.generators import clique_structure, cycle_structure, path_structure
+from repro.structures.multiset import Multiset
+from repro.structures.structure import Fact, Structure
+
+
+class TestBooleanEvaluation:
+    def test_count_is_hom_count(self):
+        q = parse_boolean_cq("R(x,y)")
+        assert evaluate_boolean(q, clique_structure(3)) == 6
+
+    def test_zero_when_no_match(self):
+        q = parse_boolean_cq("R(x,y), R(y,x)")
+        assert evaluate_boolean(q, path_structure(["R"])) == 0
+
+    def test_empty_query_answers_one(self):
+        q = ConjunctiveQuery([])
+        assert evaluate_boolean(q, path_structure(["R"])) == 1
+        assert evaluate_boolean(q, Structure()) == 1
+
+    def test_ucq_sums_disjuncts(self):
+        # Bag semantics: Ψ(D) = Σ Φ(D), *not* max.
+        u = parse_ucq("R(x,y) or R(x,y)")
+        D = clique_structure(3)
+        assert evaluate_boolean(u, D) == 12
+
+    def test_nullary_queries(self):
+        h = parse_boolean_cq("H()")
+        with_h = Structure([Fact("H", ())])
+        assert evaluate_boolean(h, with_h) == 1
+        assert evaluate_boolean(h, Structure()) == 0
+
+    def test_free_variables_rejected(self):
+        q = parse_cq("x | R(x,y)")
+        with pytest.raises(QueryError):
+            evaluate_boolean(q, Structure())
+
+
+class TestCQEvaluation:
+    def test_answers_with_multiplicity(self):
+        # q(x) = ∃y,z R(x,y), R(y,z): on a path a->b->c->d,
+        # a has 1 grandchild-witness, b has 1.
+        q = parse_cq("x | R(x,y), R(y,z)")
+        answers = evaluate_cq(q, path_structure(["R", "R", "R"]))
+        assert answers == Multiset({(0,): 1, (1,): 1})
+
+    def test_multiplicity_counts_witnesses(self):
+        # Two witnesses y for the same x.
+        q = parse_cq("x | R(x,y)")
+        D = Structure([("R", ("a", "b")), ("R", ("a", "c"))])
+        assert evaluate_cq(q, D) == Multiset({("a",): 2})
+
+    def test_boolean_query_gives_empty_tuple_bag(self):
+        q = parse_boolean_cq("R(x,y)")
+        answers = evaluate_cq(q, path_structure(["R"]))
+        assert answers == Multiset({(): 1})
+
+    def test_zero_answers(self):
+        q = parse_cq("x | R(x,x)")
+        assert evaluate_cq(q, path_structure(["R"])) == Multiset()
+
+
+class TestPathEvaluation:
+    def test_matches_cq_semantics(self):
+        word = parse_path("R.R")
+        cq = word.to_cq()
+        D = clique_structure(3)
+        assert evaluate_path_query(word, D) == evaluate_cq(cq, D)
+
+    def test_epsilon_is_identity(self):
+        D = path_structure(["R"])
+        answers = evaluate_path_query(parse_path(""), D)
+        assert answers == Multiset({(0, 0): 1, (1, 1): 1})
+
+    def test_walk_multiplicities(self):
+        # Diamond: a->b1->c, a->b2->c gives multiplicity 2 for (a, c).
+        D = Structure([
+            ("R", ("a", "b1")), ("R", ("a", "b2")),
+            ("R", ("b1", "c")), ("R", ("b2", "c")),
+        ])
+        answers = evaluate_path_query(parse_path("R.R"), D)
+        assert answers[("a", "c")] == 2
+
+    def test_cycle_walks(self):
+        answers = evaluate_path_query(parse_path("R.R.R"), cycle_structure(3))
+        assert answers.total() == 3
+        assert all(pair[0] == pair[1] for pair in answers)
+
+    def test_boolean_total(self):
+        assert evaluate_path_boolean(parse_path("R"), clique_structure(3)) == 6
+
+
+class TestAnswersAgree:
+    def test_boolean_agreement(self):
+        q = parse_boolean_cq("R(x,y)")
+        assert answers_agree(q, cycle_structure(3), path_structure(["R", "R", "R"]))
+
+    def test_path_agreement_uses_full_bag(self):
+        word = parse_path("R")
+        left = path_structure(["R"])
+        right = cycle_structure(1)
+        # Same count (1 edge) but different answer tuples.
+        assert not answers_agree(word, left, right)
+
+    def test_cq_with_free_variables(self):
+        q = parse_cq("x | R(x,y)")
+        D = Structure([("R", ("a", "b"))])
+        assert answers_agree(q, D, D)

@@ -1,0 +1,122 @@
+"""Unit tests for lazy structure expressions."""
+
+import pytest
+
+from repro.errors import StructureError
+from repro.structures.expression import (
+    LeafExpression,
+    PowerExpression,
+    ProductExpression,
+    SumExpression,
+    as_expression,
+    materialize_or_none,
+    scaled_sum,
+)
+from repro.structures.generators import cycle_structure, path_structure
+from repro.structures.isomorphism import are_isomorphic
+from repro.structures.operations import (
+    disjoint_union,
+    power,
+    product,
+    scalar_multiple,
+)
+from repro.structures.schema import Schema
+from repro.structures.structure import Fact, Structure
+
+EDGE = path_structure(["R"])
+C3 = cycle_structure(3)
+
+
+class TestConstruction:
+    def test_leaf(self):
+        leaf = LeafExpression(EDGE)
+        assert leaf.domain_size() == 2
+        assert leaf.materialize() == EDGE
+
+    def test_as_expression_coerces(self):
+        assert isinstance(as_expression(EDGE), LeafExpression)
+        leaf = LeafExpression(EDGE)
+        assert as_expression(leaf) is leaf
+
+    def test_operator_sugar(self):
+        expr = 2 * as_expression(EDGE) + as_expression(C3)
+        assert expr.domain_size() == 2 * 2 + 3
+
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(StructureError):
+            SumExpression([(-1, LeafExpression(EDGE))])
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(StructureError):
+            PowerExpression(LeafExpression(EDGE), -2)
+
+    def test_sum_rejects_nullary(self):
+        h = Structure([Fact("H", ())])
+        with pytest.raises(StructureError):
+            SumExpression([(1, LeafExpression(h))])
+
+    def test_zero_coefficient_terms_dropped(self):
+        expr = SumExpression([(0, LeafExpression(EDGE)), (2, LeafExpression(C3))])
+        assert len(expr.terms) == 1
+
+
+class TestDomainSize:
+    def test_sum(self):
+        expr = scaled_sum([(3, EDGE), (2, C3)])
+        assert expr.domain_size() == 3 * 2 + 2 * 3
+
+    def test_product(self):
+        expr = ProductExpression([as_expression(EDGE), as_expression(C3)])
+        assert expr.domain_size() == 6
+
+    def test_power(self):
+        expr = PowerExpression(as_expression(C3), 3)
+        assert expr.domain_size() == 27
+
+    def test_power_zero_is_unit(self):
+        expr = PowerExpression(as_expression(C3), 0)
+        assert expr.domain_size() == 1
+
+
+class TestMaterialization:
+    def test_sum_matches_eager(self):
+        expr = scaled_sum([(2, EDGE)])
+        assert are_isomorphic(expr.materialize(), scalar_multiple(2, EDGE))
+
+    def test_product_matches_eager(self):
+        expr = ProductExpression([as_expression(C3), as_expression(C3)])
+        assert are_isomorphic(expr.materialize(), product(C3, C3))
+
+    def test_power_matches_eager(self):
+        expr = PowerExpression(as_expression(C3), 2)
+        assert are_isomorphic(expr.materialize(), power(C3, 2))
+
+    def test_nested(self):
+        expr = PowerExpression(scaled_sum([(1, EDGE), (1, C3)]), 2)
+        eager = power(disjoint_union(EDGE, C3), 2)
+        assert are_isomorphic(expr.materialize(), eager)
+
+    def test_materialize_limit(self):
+        expr = PowerExpression(as_expression(C3), 20)
+        with pytest.raises(StructureError):
+            expr.materialize(max_domain=1000)
+        assert materialize_or_none(expr, max_domain=1000) is None
+
+    def test_empty_product_materializes_unit(self):
+        expr = ProductExpression([], schema=Schema({"R": 2}))
+        unit = expr.materialize()
+        assert len(unit.domain()) == 1
+        assert unit.count_facts("R") == 1
+
+
+class TestEqualityAndSchema:
+    def test_structural_equality(self):
+        left = scaled_sum([(2, EDGE)])
+        right = scaled_sum([(2, EDGE)])
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_schema_merging(self):
+        s_edge = path_structure(["S"])
+        expr = scaled_sum([(1, EDGE), (1, s_edge)])
+        assert set(expr.schema().names()) == {"R", "S"}

@@ -1,0 +1,124 @@
+"""Algebraic laws of the structure algebra, observed through counting.
+
+Two structures are "equal" for every purpose in this library when all
+hom counts into them agree (Lemma 43).  These property tests check the
+semiring-style laws of `+` and `×` at the counting level — for lazy
+expressions AND for the eager operations, against random probes:
+
+* commutativity and associativity of `+` and `×`;
+* distributivity of `×` over `+`;
+* units: the empty structure for `+`, the all-loops unit for `×`;
+* power laws `A^{m+n} = A^m × A^n`.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hom.count import count_homs
+from repro.structures.expression import (
+    PowerExpression,
+    ProductExpression,
+    SumExpression,
+    as_expression,
+)
+from repro.structures.generators import random_connected_structure, random_structure
+from repro.structures.schema import Schema
+
+SCHEMA = Schema({"R": 2, "S": 2})
+
+
+def _probe(seed: int):
+    """Random connected probe (connected, so sum rules apply)."""
+    return random_connected_structure(SCHEMA, 1 + seed % 3,
+                                      rng=random.Random(seed))
+
+
+def _operand(seed: int):
+    return random_structure(SCHEMA, 1 + seed % 3, 0.4, random.Random(seed))
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=st.integers(0, 9999), b=st.integers(0, 9999), p=st.integers(0, 9999))
+def test_sum_commutes(a, b, p):
+    probe = _probe(p)
+    left = SumExpression([(1, as_expression(_operand(a))),
+                          (1, as_expression(_operand(b)))])
+    right = SumExpression([(1, as_expression(_operand(b))),
+                           (1, as_expression(_operand(a)))])
+    assert count_homs(probe, left) == count_homs(probe, right)
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=st.integers(0, 9999), b=st.integers(0, 9999), c=st.integers(0, 9999),
+       p=st.integers(0, 9999))
+def test_sum_associates(a, b, c, p):
+    probe = _probe(p)
+    x, y, z = map(_operand, (a, b, c))
+    left = SumExpression([(1, as_expression(x)),
+                          (1, SumExpression([(1, as_expression(y)),
+                                             (1, as_expression(z))]))])
+    right = SumExpression([(1, SumExpression([(1, as_expression(x)),
+                                              (1, as_expression(y))])),
+                           (1, as_expression(z))])
+    assert count_homs(probe, left) == count_homs(probe, right)
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=st.integers(0, 9999), b=st.integers(0, 9999), p=st.integers(0, 9999))
+def test_product_commutes(a, b, p):
+    probe = _operand(p)  # product rules need no connectedness
+    left = ProductExpression([as_expression(_operand(a)),
+                              as_expression(_operand(b))])
+    right = ProductExpression([as_expression(_operand(b)),
+                               as_expression(_operand(a))])
+    assert count_homs(probe, left) == count_homs(probe, right)
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=st.integers(0, 9999), b=st.integers(0, 9999), c=st.integers(0, 9999),
+       p=st.integers(0, 9999))
+def test_product_distributes_over_sum(a, b, c, p):
+    probe = _probe(p)
+    x, y, z = map(_operand, (a, b, c))
+    bundled = ProductExpression([
+        as_expression(x),
+        SumExpression([(1, as_expression(y)), (1, as_expression(z))]),
+    ])
+    spread = SumExpression([
+        (1, ProductExpression([as_expression(x), as_expression(y)])),
+        (1, ProductExpression([as_expression(x), as_expression(z)])),
+    ])
+    assert count_homs(probe, bundled) == count_homs(probe, spread)
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=st.integers(0, 9999), p=st.integers(0, 9999))
+def test_multiplicative_unit(a, p):
+    """A × unit ≡ A (counting-wise), when the unit carries the full
+    ambient schema — the subtlety behind the 0^0 = 1 convention."""
+    probe = _operand(p)
+    operand = _operand(a).with_schema(SCHEMA)
+    unit = PowerExpression(as_expression(operand), 0)  # all-loops over SCHEMA
+    with_unit = ProductExpression([as_expression(operand), unit])
+    assert count_homs(probe, with_unit) == count_homs(probe, operand)
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=st.integers(0, 9999), m=st.integers(0, 2), n=st.integers(0, 2),
+       p=st.integers(0, 9999))
+def test_power_addition_law(a, m, n, p):
+    probe = _operand(p)
+    base = as_expression(_operand(a))
+    combined = PowerExpression(base, m + n)
+    split = ProductExpression([PowerExpression(base, m), PowerExpression(base, n)])
+    assert count_homs(probe, combined) == count_homs(probe, split)
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=st.integers(0, 9999), p=st.integers(0, 9999))
+def test_additive_unit(a, p):
+    probe = _probe(p)
+    operand = _operand(a)
+    padded = SumExpression([(1, as_expression(operand)), (0, as_expression(operand))])
+    assert count_homs(probe, padded) == count_homs(probe, as_expression(operand))

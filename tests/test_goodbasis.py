@@ -1,0 +1,101 @@
+"""Unit tests for the Lemma 40 good-basis construction."""
+
+import random
+
+import pytest
+
+from repro.errors import DecisionError
+from repro.hom.count import count_homs
+from repro.queries.cq import cq_from_structure
+from repro.queries.parser import parse_boolean_cq
+from repro.structures.generators import cycle_structure, path_structure
+from repro.structures.schema import Schema
+from repro.core.basis import ComponentBasis
+from repro.core.goodbasis import construct_good_basis, find_distinguishers
+
+
+EDGE = path_structure(["R"])
+PATH2 = path_structure(["R", "R"])
+C3 = cycle_structure(3)
+AMBIENT = Schema({"R": 2, "S": 2})
+
+
+class TestStep1Distinguishers:
+    def test_distinguishes_every_pair(self):
+        components = [EDGE, PATH2, C3]
+        chosen = find_distinguishers(components, AMBIENT,
+                                     rng=random.Random(1))
+        for i in range(len(components)):
+            for j in range(i + 1, len(components)):
+                assert any(
+                    count_homs(components[i], s) != count_homs(components[j], s)
+                    for s in chosen
+                ), (i, j)
+
+    def test_single_component_gets_nonempty_set(self):
+        chosen = find_distinguishers([EDGE], AMBIENT, rng=random.Random(1))
+        assert len(chosen) >= 1
+
+
+class TestFullConstruction:
+    def _build(self, structures, query_structure, irrelevant=()):
+        queries = [cq_from_structure(s) for s in structures]
+        query = cq_from_structure(query_structure)
+        basis = ComponentBasis.from_queries(queries + [query])
+        return basis, construct_good_basis(
+            basis.components, query,
+            irrelevant_views=list(irrelevant),
+            rng=random.Random(7),
+        )
+
+    def test_matrix_nonsingular(self):
+        basis, good = self._build([EDGE, PATH2], C3)
+        assert good.matrix.is_nonsingular()
+        assert good.dimension == basis.dimension
+
+    def test_merged_counts_pairwise_distinct(self):
+        # Observation 45.
+        _, good = self._build([EDGE, PATH2], C3)
+        assert len(set(good.merged_counts)) == len(good.merged_counts)
+
+    def test_radix_exceeds_step1_entries(self):
+        _, good = self._build([EDGE, PATH2], C3)
+        for w in good.components:
+            for s in good.distinguishers:
+                assert count_homs(w, s) < good.radix
+
+    def test_matrix_matches_symbolic_counts(self):
+        basis, good = self._build([EDGE, PATH2], C3)
+        for i, w in enumerate(good.components):
+            for j, s in enumerate(good.structures):
+                assert good.matrix.entry(i, j) == count_homs(w, s)
+
+    def test_decency_enforced(self):
+        # irrelevant view over S never embeds into R-only structures x q.
+        irrelevant = parse_boolean_cq("S(x,y)")
+        basis, good = self._build([EDGE], PATH2, irrelevant=[irrelevant])
+        for s in good.structures:
+            assert count_homs(irrelevant.frozen_body(), s) == 0
+
+    def test_empty_components_rejected(self):
+        query = cq_from_structure(EDGE)
+        with pytest.raises(DecisionError):
+            construct_good_basis([], query)
+
+    def test_component_without_hom_into_query_rejected(self):
+        """Step 4 precondition: every component must map into q
+        (Definition 27 guarantees it; outside callers might not)."""
+        query = cq_from_structure(cycle_structure(5))
+        with pytest.raises(DecisionError):
+            construct_good_basis([cycle_structure(3)], query)
+
+    def test_vandermonde_shape(self):
+        """Column j of M_{S^(3)} x q is (merged^j count) * w(q):
+        check rows are geometric progressions scaled by w(q)."""
+        _, good = self._build([EDGE, PATH2], C3)
+        k = good.dimension
+        for i in range(k):
+            a = good.merged_counts[i]
+            first = good.matrix.entry(i, 0)
+            for j in range(k):
+                assert good.matrix.entry(i, j) == first * a ** j

@@ -1,0 +1,68 @@
+"""Property tests for the good-basis construction on random instances.
+
+For random component bases built the way the decider builds them (from
+V ∪ {q}), the construction must always deliver Definition 38's two
+promises: a nonsingular evaluation matrix and decency against the
+irrelevant views — and the Observation 45 radix separation must hold.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hom.count import count_homs
+from repro.queries.cq import cq_from_structure
+from repro.structures.generators import cycle_structure, path_structure
+from repro.structures.operations import sum_with_multiplicities
+from repro.core.basis import ComponentBasis
+from repro.core.goodbasis import construct_good_basis
+
+POOL = [
+    path_structure(["R"]),
+    path_structure(["R", "R"]),
+    path_structure(["S"]),
+    cycle_structure(3),
+]
+
+
+def _instance(seed: int):
+    rng = random.Random(seed)
+    view_pieces = [(rng.randint(1, 2), rng.choice(POOL))
+                   for _ in range(rng.randint(1, 2))]
+    view = cq_from_structure(sum_with_multiplicities(view_pieces))
+    query_pieces = view_pieces + [(1, rng.choice(POOL))]
+    query = cq_from_structure(sum_with_multiplicities(query_pieces))
+    return view, query
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_good_basis_contract(seed):
+    view, query = _instance(seed)
+    # query contains the view's components, so q ⊆set view holds and
+    # the basis is exactly Definition 27's.
+    basis = ComponentBasis.from_queries([view, query])
+    good = construct_good_basis(basis.components, query,
+                                rng=random.Random(seed))
+    # Definition 38 (nonsingular)
+    assert good.matrix.is_nonsingular()
+    # Observation 45 (radix merge separates)
+    assert len(set(good.merged_counts)) == len(good.merged_counts)
+    # the matrix really is the hom-count matrix
+    for i, w in enumerate(good.components):
+        for j, s in enumerate(good.structures):
+            assert good.matrix.entry(i, j) == count_homs(w, s)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_good_basis_decent_against_foreign_views(seed):
+    view, query = _instance(seed)
+    basis = ComponentBasis.from_queries([view, query])
+    foreign = cq_from_structure(path_structure(["T"]))  # q ⊄set foreign
+    good = construct_good_basis(
+        basis.components, query, irrelevant_views=[foreign],
+        rng=random.Random(seed),
+    )
+    for s in good.structures:
+        assert count_homs(foreign.frozen_body(), s) == 0

@@ -1,0 +1,101 @@
+"""Unit tests for Diophantine instances and the bounded solver."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.ucq.hilbert import (
+    DiophantineInstance,
+    Monomial,
+    fermat_like_instance,
+    iter_solutions,
+    linear_instance,
+    pythagoras_instance,
+    solve_bounded,
+    unsolvable_instance,
+)
+
+
+class TestMonomial:
+    def test_evaluate(self):
+        m = Monomial(-2, {"x": 1, "y": 2})
+        assert m.evaluate({"x": 3, "y": 1}) == -6
+        assert m.monomial_value({"x": 3, "y": 1}) == 3
+
+    def test_degree(self):
+        m = Monomial(1, {"x": 2})
+        assert m.degree("x") == 2
+        assert m.degree("z") == 0
+
+    def test_constant_monomial(self):
+        m = Monomial(5, {})
+        assert m.evaluate({}) == 5
+        assert m.variables() == ()
+
+    def test_zero_degree_dropped(self):
+        m = Monomial(1, {"x": 0, "y": 1})
+        assert m.variables() == ("y",)
+
+    def test_zero_coefficient_rejected(self):
+        with pytest.raises(QueryError):
+            Monomial(0, {"x": 1})
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(QueryError):
+            Monomial(1, {"x": -1})
+
+    def test_missing_variable_evaluates_to_zero_base(self):
+        m = Monomial(1, {"x": 1})
+        assert m.evaluate({}) == 0
+
+
+class TestInstance:
+    def test_variables_sorted(self):
+        instance = DiophantineInstance([
+            Monomial(1, {"z": 1}), Monomial(-1, {"a": 1})
+        ])
+        assert instance.variables() == ("a", "z")
+
+    def test_sign_partition(self):
+        instance = pythagoras_instance()
+        assert len(instance.positive_monomials()) == 2
+        assert len(instance.negative_monomials()) == 1
+
+    def test_is_solution(self):
+        assert pythagoras_instance().is_solution({"x": 3, "y": 4, "z": 5})
+        assert not pythagoras_instance().is_solution({"x": 1, "y": 1, "z": 1})
+
+    def test_solution_must_be_natural(self):
+        with pytest.raises(QueryError):
+            linear_instance().is_solution({"x": -1, "y": -1})
+
+    def test_empty_instance_rejected(self):
+        with pytest.raises(QueryError):
+            DiophantineInstance([])
+
+
+class TestBoundedSolver:
+    def test_finds_pythagorean_triple(self):
+        nontrivial = [
+            s for s in iter_solutions(pythagoras_instance(), 5)
+            if any(v > 0 for v in s.values())
+        ]
+        assert {"x": 3, "y": 4, "z": 5} in nontrivial
+
+    def test_unsolvable_returns_none(self):
+        assert solve_bounded(unsolvable_instance(), 10) is None
+
+    def test_linear_solutions(self):
+        solutions = list(iter_solutions(linear_instance(), 2))
+        assert {"x": 0, "y": 0} in solutions
+        assert {"x": 2, "y": 2} in solutions
+        assert len(solutions) == 3
+
+    def test_budget_respected(self):
+        assert solve_bounded(unsolvable_instance(), 10_000, max_assignments=5) is None
+
+    def test_fermat_like_only_degenerate(self):
+        solutions = [
+            s for s in iter_solutions(fermat_like_instance(), 4)
+            if all(v > 0 for v in s.values())
+        ]
+        assert solutions == []

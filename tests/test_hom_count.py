@@ -1,0 +1,133 @@
+"""Unit + property tests for component-factorized hom counting."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.structures.expression import (
+    PowerExpression,
+    ProductExpression,
+    as_expression,
+    scaled_sum,
+)
+from repro.structures.generators import (
+    clique_structure,
+    cycle_structure,
+    path_structure,
+    random_structure,
+)
+from repro.structures.operations import disjoint_union
+from repro.structures.schema import Schema
+from repro.structures.structure import Fact, Structure, singleton
+from repro.hom.count import count_homs, count_homs_connected, hom_vector
+from repro.hom.search import count_homomorphisms_direct
+
+EDGE = path_structure(["R"])
+C3 = cycle_structure(3)
+SCHEMA = Schema({"R": 2, "U": 1})
+
+
+class TestAgainstDirectCounting:
+    def test_simple_cases(self):
+        assert count_homs(EDGE, C3) == 3
+        assert count_homs(C3, C3) == 3
+        assert count_homs(EDGE, clique_structure(3)) == 6
+
+    def test_multi_component_source(self):
+        source = disjoint_union(EDGE, EDGE)
+        target = clique_structure(3)
+        assert count_homs(source, target) == 6 * 6
+        assert count_homs(source, target) == count_homomorphisms_direct(source, target)
+
+    def test_isolated_vertex_counts_domain(self):
+        assert count_homs(singleton(), clique_structure(4)) == 4
+
+    def test_nullary_fact_membership(self):
+        h = Structure([Fact("H", ())])
+        assert count_homs(h, h) == 1
+        assert count_homs(h, Structure()) == 0
+
+    def test_empty_source(self):
+        assert count_homs(Structure(), C3) == 1
+
+    def test_cache_reuse(self):
+        cache = {}
+        first = count_homs(EDGE, C3, cache)
+        second = count_homs(EDGE, C3, cache)
+        assert first == second == 3
+        assert cache  # something was stored
+
+    def test_hom_vector(self):
+        assert hom_vector([EDGE, C3], C3) == [3, 3]
+
+
+class TestExpressionTargets:
+    def test_sum_target(self):
+        expr = scaled_sum([(2, C3), (1, EDGE)])
+        # edge into 2*C3 + edge: 2*3 + 1 = 7
+        assert count_homs(EDGE, expr) == 7
+        assert count_homs(EDGE, expr) == count_homomorphisms_direct(
+            EDGE, expr.materialize()
+        )
+
+    def test_product_target(self):
+        expr = ProductExpression([as_expression(C3), as_expression(C3)])
+        assert count_homs(EDGE, expr) == 9
+        assert count_homs(EDGE, expr) == count_homomorphisms_direct(
+            EDGE, expr.materialize()
+        )
+
+    def test_power_target(self):
+        expr = PowerExpression(as_expression(C3), 3)
+        assert count_homs(EDGE, expr) == 27
+
+    def test_power_zero_unit(self):
+        expr = PowerExpression(as_expression(C3), 0)
+        assert count_homs(EDGE, expr) == 1
+        assert count_homs(C3, expr) == 1
+
+    def test_unit_missing_relation_gives_zero(self):
+        expr = PowerExpression(as_expression(C3), 0)  # schema {R}
+        s_edge = path_structure(["S"])
+        assert count_homs(s_edge, expr) == 0
+
+    def test_deep_nesting_matches_materialization(self):
+        expr = PowerExpression(scaled_sum([(1, EDGE), (1, C3)]), 2)
+        concrete = expr.materialize()
+        for probe in (EDGE, C3, path_structure(["R", "R"])):
+            assert count_homs(probe, expr) == count_homomorphisms_direct(
+                probe, concrete
+            ), probe
+
+    def test_multi_component_source_into_sum(self):
+        source = disjoint_union(EDGE, C3)
+        expr = scaled_sum([(2, C3), (3, EDGE)])
+        concrete = expr.materialize()
+        assert count_homs(source, expr) == count_homomorphisms_direct(
+            source, concrete
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    source_seed=st.integers(0, 10_000),
+    target_seed=st.integers(0, 10_000),
+    source_size=st.integers(1, 3),
+    target_size=st.integers(1, 4),
+)
+def test_factorized_count_equals_direct(source_seed, target_seed, source_size, target_size):
+    """Property: Lemma 4(5) factorization never changes the count."""
+    source = random_structure(SCHEMA, source_size, 0.4, random.Random(source_seed))
+    target = random_structure(SCHEMA, target_size, 0.4, random.Random(target_seed))
+    assert count_homs(source, target) == count_homomorphisms_direct(source, target)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), copies=st.integers(0, 4))
+def test_connected_count_scales_linearly(seed, copies):
+    """Property: Lemma 4(2) — |hom(A, tB)| = t|hom(A, B)| for connected A."""
+    rng = random.Random(seed)
+    target = random_structure(Schema({"R": 2}), 3, 0.5, rng)
+    base = count_homs_connected(C3, target)
+    expr = scaled_sum([(copies, target)])
+    assert count_homs_connected(C3, expr) == copies * base

@@ -1,0 +1,59 @@
+"""Tests for evaluation matrices and answer vectors (Definition 37/51)."""
+
+from repro.hom.count import count_homs
+from repro.hom.matrix import answer_vector, evaluation_matrix
+from repro.structures.expression import PowerExpression, as_expression, scaled_sum
+from repro.structures.generators import cycle_structure, path_structure
+from repro.structures.operations import sum_with_multiplicities
+
+
+EDGE = path_structure(["R"])
+PATH2 = path_structure(["R", "R"])
+C3 = cycle_structure(3)
+
+
+class TestEvaluationMatrix:
+    def test_entries_are_hom_counts(self):
+        matrix = evaluation_matrix([EDGE, C3], [PATH2, C3])
+        assert matrix.entry(0, 0) == count_homs(EDGE, PATH2)
+        assert matrix.entry(0, 1) == count_homs(EDGE, C3)
+        assert matrix.entry(1, 0) == count_homs(C3, PATH2)
+        assert matrix.entry(1, 1) == count_homs(C3, C3)
+
+    def test_rectangular_shapes(self):
+        matrix = evaluation_matrix([EDGE], [PATH2, C3, EDGE])
+        assert (matrix.nrows, matrix.ncols) == (1, 3)
+
+    def test_expression_targets(self):
+        expr = PowerExpression(as_expression(C3), 2)
+        matrix = evaluation_matrix([EDGE], [expr])
+        assert matrix.entry(0, 0) == 9
+
+    def test_shared_cache(self):
+        cache = {}
+        evaluation_matrix([EDGE, C3], [C3], cache)
+        size_after_first = len(cache)
+        evaluation_matrix([EDGE, C3], [C3], cache)
+        assert len(cache) == size_after_first  # second pass fully cached
+
+    def test_empty_matrix(self):
+        matrix = evaluation_matrix([], [])
+        assert matrix.nrows == 0
+
+
+class TestAnswerVector:
+    def test_matches_linearity(self):
+        """answer_vector(Σ a_j s_j) = M · a (Lemma 4 additivity), the
+        identity behind Definition 51's P."""
+        basis = [EDGE, C3]
+        targets = [PATH2, C3]
+        matrix = evaluation_matrix(basis, targets)
+        for a, b in ((1, 0), (2, 1), (0, 3)):
+            database = sum_with_multiplicities([(a, PATH2), (b, C3)])
+            vec = answer_vector(basis, database)
+            expected = matrix.matvec([a, b])
+            assert [int(v) for v in expected] == vec
+
+    def test_expression_target(self):
+        expr = scaled_sum([(2, C3)])
+        assert answer_vector([EDGE], expr) == [6]

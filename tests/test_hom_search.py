@@ -1,0 +1,109 @@
+"""Unit tests for backtracking homomorphism search."""
+
+from repro.structures.generators import (
+    clique_structure,
+    cycle_structure,
+    path_structure,
+    star_structure,
+)
+from repro.structures.structure import Fact, Structure, singleton
+from repro.hom.search import (
+    count_homomorphisms_direct,
+    exists_homomorphism,
+    find_homomorphism,
+    iter_homomorphisms,
+)
+
+
+class TestExistence:
+    def test_edge_into_edge(self):
+        edge = path_structure(["R"])
+        assert exists_homomorphism(edge, edge)
+
+    def test_path_into_shorter_path_fails(self):
+        assert not exists_homomorphism(
+            path_structure(["R", "R"]), path_structure(["R"])
+        )
+
+    def test_anything_into_loop(self):
+        loop = cycle_structure(1)
+        assert exists_homomorphism(path_structure(["R", "R", "R"]), loop)
+        assert exists_homomorphism(clique_structure(3), loop)
+
+    def test_odd_cycle_into_even_cycle_fails(self):
+        assert not exists_homomorphism(cycle_structure(3), cycle_structure(4))
+
+    def test_even_cycle_into_smaller_even(self):
+        assert exists_homomorphism(cycle_structure(4), cycle_structure(2))
+
+    def test_empty_source_always_maps(self):
+        assert exists_homomorphism(Structure(), path_structure(["R"]))
+        assert exists_homomorphism(Structure(), Structure())
+
+    def test_nullary_fact_requires_presence(self):
+        h = Structure([Fact("H", ())])
+        assert exists_homomorphism(h, h)
+        assert not exists_homomorphism(h, Structure())
+
+    def test_relation_missing_in_target(self):
+        assert not exists_homomorphism(path_structure(["S"]), path_structure(["R"]))
+
+    def test_find_returns_valid_mapping(self):
+        source = path_structure(["R", "R"])
+        target = cycle_structure(3)
+        mapping = find_homomorphism(source, target)
+        assert mapping is not None
+        for fact in source.facts():
+            image = tuple(mapping[t] for t in fact.terms)
+            assert image in target.tuples(fact.relation)
+
+    def test_find_none_when_impossible(self):
+        assert find_homomorphism(cycle_structure(3), path_structure(["R"])) is None
+
+
+class TestEnumeration:
+    def test_edge_into_path2(self):
+        homs = list(iter_homomorphisms(path_structure(["R"]), path_structure(["R", "R"])))
+        assert len(homs) == 2
+
+    def test_edge_into_clique(self):
+        homs = list(iter_homomorphisms(path_structure(["R"]), clique_structure(3)))
+        assert len(homs) == 6
+
+    def test_all_mappings_distinct(self):
+        homs = list(iter_homomorphisms(path_structure(["R"]), clique_structure(3)))
+        as_tuples = {tuple(sorted(h.items(), key=repr)) for h in homs}
+        assert len(as_tuples) == len(homs)
+
+    def test_isolated_vertices_enumerated(self):
+        source = singleton("v")
+        target = path_structure(["R"])
+        homs = list(iter_homomorphisms(source, target))
+        assert len(homs) == 2
+
+
+class TestDirectCounting:
+    def test_cycle_into_itself(self):
+        # A directed 3-cycle has exactly 3 homs into itself (rotations).
+        assert count_homomorphisms_direct(cycle_structure(3), cycle_structure(3)) == 3
+
+    def test_edge_into_star(self):
+        assert count_homomorphisms_direct(path_structure(["R"]), star_structure(4)) == 4
+
+    def test_count_matches_enumeration(self):
+        source = path_structure(["R", "R"])
+        target = clique_structure(3)
+        enumerated = len(list(iter_homomorphisms(source, target)))
+        assert count_homomorphisms_direct(source, target) == enumerated
+
+    def test_isolated_vertices_multiply(self):
+        source = Structure([("R", ("a", "b"))], domain=["a", "b", "c"])
+        target = clique_structure(3)
+        base = count_homomorphisms_direct(path_structure(["R"]), target)
+        assert count_homomorphisms_direct(source, target) == base * 3
+
+    def test_empty_source_counts_one(self):
+        assert count_homomorphisms_direct(Structure(), cycle_structure(3)) == 1
+
+    def test_zero_when_impossible(self):
+        assert count_homomorphisms_direct(cycle_structure(3), cycle_structure(4)) == 0

@@ -1,0 +1,136 @@
+"""Unit + property tests for isomorphism checking."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.structures.generators import (
+    clique_structure,
+    cycle_structure,
+    path_structure,
+    random_structure,
+    star_structure,
+)
+from repro.structures.isomorphism import (
+    are_isomorphic,
+    dedupe_up_to_isomorphism,
+    find_isomorphism,
+    invariant_key,
+    refine_colors,
+)
+from repro.structures.schema import Schema
+from repro.structures.structure import Fact, Structure
+
+
+class TestBasicIsomorphism:
+    def test_identical_structures(self):
+        s = cycle_structure(4)
+        assert are_isomorphic(s, s)
+
+    def test_renamed_structures(self):
+        s = cycle_structure(4)
+        renamed = s.rename({i: f"n{i}" for i in range(4)})
+        assert are_isomorphic(s, renamed)
+
+    def test_different_cycle_lengths(self):
+        assert not are_isomorphic(cycle_structure(3), cycle_structure(4))
+
+    def test_path_vs_cycle(self):
+        assert not are_isomorphic(path_structure(["R", "R"]), cycle_structure(3))
+
+    def test_direction_matters(self):
+        out_star = star_structure(2)
+        in_star = Structure([("R", (0, "c")), ("R", (1, "c"))])
+        assert not are_isomorphic(out_star, in_star)
+
+    def test_isolated_vertices_matter(self):
+        plain = path_structure(["R"])
+        padded = Structure([("R", (0, 1))], domain=[0, 1, 2])
+        assert not are_isomorphic(plain, padded)
+
+    def test_nullary_facts(self):
+        h = Structure([Fact("H", ())])
+        c = Structure([Fact("C", ())])
+        assert are_isomorphic(h, h)
+        assert not are_isomorphic(h, c)
+
+    def test_mapping_is_real_isomorphism(self):
+        left = cycle_structure(5)
+        right = left.rename({i: (i + 2) % 5 for i in range(5)})
+        mapping = find_isomorphism(left, right)
+        assert mapping is not None
+        for fact in left.facts():
+            image = tuple(mapping[t] for t in fact.terms)
+            assert image in right.tuples(fact.relation)
+
+    def test_none_when_not_isomorphic(self):
+        assert find_isomorphism(cycle_structure(3), cycle_structure(4)) is None
+
+
+class TestInvariantKey:
+    def test_isomorphic_structures_share_key(self):
+        s = clique_structure(3)
+        renamed = s.rename({i: f"x{i}" for i in range(3)})
+        assert invariant_key(s) == invariant_key(renamed)
+
+    def test_key_separates_easy_cases(self):
+        assert invariant_key(cycle_structure(3)) != invariant_key(cycle_structure(4))
+
+    def test_refinement_separates_degrees(self):
+        s = star_structure(3)
+        colors = refine_colors(s)
+        center_color = colors["c"]
+        leaf_colors = {colors[i] for i in range(3)}
+        assert center_color not in leaf_colors
+        assert len(leaf_colors) == 1
+
+
+class TestDedupe:
+    def test_dedupes_isomorphic_copies(self):
+        copies = [cycle_structure(3).rename({i: (tag, i) for i in range(3)})
+                  for tag in range(4)]
+        assert len(dedupe_up_to_isomorphism(copies)) == 1
+
+    def test_keeps_distinct_classes(self):
+        mixed = [cycle_structure(3), cycle_structure(4), path_structure(["R"])]
+        assert len(dedupe_up_to_isomorphism(mixed)) == 3
+
+    def test_preserves_first_occurrence_order(self):
+        first = cycle_structure(3)
+        second = cycle_structure(4)
+        result = dedupe_up_to_isomorphism([first, second, first])
+        assert result == [first, second]
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), size=st.integers(1, 5))
+def test_random_structure_isomorphic_to_own_renaming(seed, size):
+    """Property: renaming constants never changes the isomorphism class."""
+    rng = random.Random(seed)
+    schema = Schema({"R": 2, "U": 1})
+    s = random_structure(schema, size, density=0.4, rng=rng)
+    shift = {c: ("moved", c) for c in s.domain()}
+    assert are_isomorphic(s, s.rename(shift))
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_adding_a_fact_breaks_isomorphism(seed):
+    """Property: a strictly larger fact set is never isomorphic."""
+    rng = random.Random(seed)
+    schema = Schema({"R": 2})
+    s = random_structure(schema, 3, density=0.3, rng=rng)
+    missing = [
+        (a, b)
+        for a in s.domain()
+        for b in s.domain()
+        if (a, b) not in s.tuples("R")
+    ]
+    if not missing:
+        return
+    extra = Structure(
+        list(s.facts()) + [Fact("R", rng.choice(missing))],
+        domain=s.domain(),
+    )
+    assert not are_isomorphic(s, extra)

@@ -1,0 +1,96 @@
+"""Property-based tests of Lemma 4 — the paper's counting calculus.
+
+Lemma 4 (Lovász):
+  (1) |hom(A, B+C)| = |hom(A, B)| + |hom(A, C)|   for connected A
+  (2) |hom(A, tB)|   = t·|hom(A, B)|              for connected A
+  (3) |hom(A, B×C)| = |hom(A, B)|·|hom(A, C)|
+  (4) |hom(A, B^t)| = |hom(A, B)|^t
+  (5) |hom(A+B, C)| = |hom(A, C)|·|hom(B, C)|
+
+These identities carry the entire Theorem 3 machinery, so we hammer
+them with random structures.  All counts below go through the *direct*
+backtracking counter so the test is independent of the factorized
+evaluator (which is itself built on these identities).
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.structures.generators import random_connected_structure, random_structure
+from repro.structures.operations import (
+    disjoint_union,
+    power,
+    product,
+    scalar_multiple,
+)
+from repro.structures.schema import Schema
+from repro.hom.search import count_homomorphisms_direct as hom
+
+SCHEMA = Schema({"R": 2, "S": 2})
+
+
+def _connected(seed: int, size: int):
+    return random_connected_structure(SCHEMA, size, rng=random.Random(seed))
+
+
+def _any(seed: int, size: int):
+    return random_structure(SCHEMA, size, 0.4, random.Random(seed))
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=st.integers(0, 9999), b=st.integers(0, 9999), c=st.integers(0, 9999))
+def test_lemma4_1_sum_additivity_for_connected_sources(a, b, c):
+    source = _connected(a, 1 + a % 3)
+    left, right = _any(b, 2), _any(c, 2)
+    assert hom(source, disjoint_union(left, right)) == (
+        hom(source, left) + hom(source, right)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=st.integers(0, 9999), b=st.integers(0, 9999), t=st.integers(0, 3))
+def test_lemma4_2_scalar_multiples(a, b, t):
+    source = _connected(a, 1 + a % 3)
+    target = _any(b, 2)
+    assert hom(source, scalar_multiple(t, target)) == t * hom(source, target)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=st.integers(0, 9999), b=st.integers(0, 9999), c=st.integers(0, 9999))
+def test_lemma4_3_product_multiplicativity(a, b, c):
+    source = _any(a, 2)  # (3) holds for arbitrary sources
+    left, right = _any(b, 2), _any(c, 2)
+    assert hom(source, product(left, right)) == hom(source, left) * hom(source, right)
+
+
+@settings(max_examples=25, deadline=None)
+@given(a=st.integers(0, 9999), b=st.integers(0, 9999), t=st.integers(0, 2))
+def test_lemma4_4_powers(a, b, t):
+    source = _any(a, 2)
+    target = _any(b, 2)
+    assert hom(source, power(target, t, schema=SCHEMA)) == hom(source, target) ** t
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=st.integers(0, 9999), b=st.integers(0, 9999), c=st.integers(0, 9999))
+def test_lemma4_5_source_factorization(a, b, c):
+    left, right = _any(a, 2), _any(b, 2)
+    target = _any(c, 3)
+    assert hom(disjoint_union(left, right), target) == (
+        hom(left, target) * hom(right, target)
+    )
+
+
+def test_lemma4_1_fails_for_disconnected_sources():
+    """Sanity: the connectedness hypothesis in (1) is necessary."""
+    from repro.structures.generators import path_structure
+
+    edge = path_structure(["R"])
+    two_edges = disjoint_union(edge, edge)  # disconnected source
+    target = edge
+    lhs = hom(two_edges, disjoint_union(target, target))
+    rhs = hom(two_edges, target) + hom(two_edges, target)
+    assert lhs == 4  # (1+1)^2 by (5)
+    assert rhs == 2
+    assert lhs != rhs

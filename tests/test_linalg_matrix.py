@@ -1,0 +1,150 @@
+"""Unit + property tests for exact rational matrices."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LinalgError
+from repro.linalg.matrix import QMatrix, dot, vector
+
+
+class TestConstruction:
+    def test_entries_become_fractions(self):
+        m = QMatrix([[1, 2], [3, 4]])
+        assert m.entry(0, 1) == Fraction(2)
+        assert isinstance(m.entry(0, 0), Fraction)
+
+    def test_ragged_rejected(self):
+        with pytest.raises(LinalgError):
+            QMatrix([[1, 2], [3]])
+
+    def test_float_rejected(self):
+        with pytest.raises(LinalgError):
+            QMatrix([[0.5]])
+
+    def test_identity(self):
+        eye = QMatrix.identity(3)
+        assert eye.matvec([1, 2, 3]) == vector([1, 2, 3])
+
+    def test_from_columns(self):
+        m = QMatrix.from_columns([[1, 2], [3, 4]])
+        assert m.column(0) == vector([1, 2])
+        assert m.row(0) == vector([1, 3])
+
+
+class TestArithmetic:
+    def test_matvec(self):
+        m = QMatrix([[1, 2], [3, 4]])
+        assert m.matvec([1, 1]) == vector([3, 7])
+
+    def test_matmul(self):
+        a = QMatrix([[1, 2], [3, 4]])
+        b = QMatrix([[0, 1], [1, 0]])
+        assert a.matmul(b) == QMatrix([[2, 1], [4, 3]])
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(LinalgError):
+            QMatrix([[1, 2]]).matmul(QMatrix([[1, 2]]))
+
+    def test_dot(self):
+        assert dot([1, 2], [3, 4]) == Fraction(11)
+        with pytest.raises(LinalgError):
+            dot([1], [1, 2])
+
+    def test_transpose(self):
+        m = QMatrix([[1, 2, 3]])
+        assert m.transpose() == QMatrix([[1], [2], [3]])
+
+    def test_scale_and_add(self):
+        m = QMatrix([[1, 2]])
+        assert m.scale(Fraction(1, 2)) == QMatrix([[Fraction(1, 2), 1]])
+        assert m.add(m) == QMatrix([[2, 4]])
+
+
+class TestElimination:
+    def test_rref_pivots(self):
+        m = QMatrix([[2, 4], [1, 2]])  # Figure 1 matrix: singular
+        reduced, pivots = m.rref()
+        assert pivots == (0,)
+        assert m.rank() == 1
+
+    def test_det_singular(self):
+        assert QMatrix([[2, 4], [1, 2]]).det() == 0
+        assert not QMatrix([[2, 4], [1, 2]]).is_nonsingular()
+
+    def test_det_2x2(self):
+        assert QMatrix([[1, 4], [1, 2]]).det() == Fraction(-2)
+
+    def test_det_non_square_rejected(self):
+        with pytest.raises(LinalgError):
+            QMatrix([[1, 2]]).det()
+
+    def test_inverse_roundtrip(self):
+        m = QMatrix([[1, 4], [1, 2]])
+        assert m.matmul(m.inverse()) == QMatrix.identity(2)
+
+    def test_inverse_singular_rejected(self):
+        with pytest.raises(LinalgError):
+            QMatrix([[2, 4], [1, 2]]).inverse()
+
+    def test_solve_consistent(self):
+        m = QMatrix([[1, 1], [0, 1]])
+        solution = m.solve([3, 1])
+        assert m.matvec(solution) == vector([3, 1])
+
+    def test_solve_inconsistent(self):
+        m = QMatrix([[1, 1], [1, 1]])
+        assert m.solve([0, 1]) is None
+
+    def test_solve_underdetermined_picks_particular(self):
+        m = QMatrix([[1, 1]])
+        solution = m.solve([5])
+        assert m.matvec(solution) == vector([5])
+
+    def test_nullspace(self):
+        m = QMatrix([[1, 1]])
+        basis = m.nullspace()
+        assert len(basis) == 1
+        assert dot(m.row(0), basis[0]) == 0
+
+    def test_nullspace_of_nonsingular_is_empty(self):
+        assert QMatrix([[1, 0], [0, 1]]).nullspace() == []
+
+    def test_to_int_rows(self):
+        assert QMatrix([[1, 2]]).to_int_rows() == [[1, 2]]
+        with pytest.raises(LinalgError):
+            QMatrix([[Fraction(1, 2)]]).to_int_rows()
+
+
+def _random_matrix(seed: int, size: int) -> QMatrix:
+    rng = random.Random(seed)
+    return QMatrix([
+        [rng.randint(-5, 5) for _ in range(size)] for _ in range(size)
+    ])
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 100_000), size=st.integers(1, 4))
+def test_det_zero_iff_rank_deficient(seed, size):
+    m = _random_matrix(seed, size)
+    assert (m.det() == 0) == (m.rank() < size)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 100_000), size=st.integers(1, 4))
+def test_inverse_property(seed, size):
+    m = _random_matrix(seed, size)
+    if m.det() == 0:
+        return
+    assert m.matmul(m.inverse()) == QMatrix.identity(size)
+    assert m.inverse().matmul(m) == QMatrix.identity(size)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 100_000), size=st.integers(1, 4))
+def test_nullspace_vectors_annihilate(seed, size):
+    m = _random_matrix(seed, size)
+    for candidate in m.nullspace():
+        assert all(value == 0 for value in m.matvec(candidate))

@@ -1,0 +1,137 @@
+"""Unit + property tests for span membership, orthogonal witnesses and
+Vandermonde matrices (Facts 5/7, Lemmas 46/55 plumbing)."""
+
+import random
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.linalg.matrix import dot, vector
+from repro.linalg.orthogonal import integer_orthogonal_witness, orthogonal_witness
+from repro.linalg.span import (
+    in_span,
+    integerize,
+    span_basis,
+    span_coefficients,
+    span_dimension,
+    verify_combination,
+)
+from repro.linalg.vandermonde import (
+    is_vandermonde_nonsingular,
+    vandermonde_determinant,
+    vandermonde_matrix,
+)
+
+
+class TestSpan:
+    def test_membership_with_certificate(self):
+        coefficients = span_coefficients([[1, 0], [1, 1]], [3, 2])
+        assert coefficients == vector([1, 2])
+        assert verify_combination([[1, 0], [1, 1]], coefficients, [3, 2])
+
+    def test_non_membership(self):
+        assert span_coefficients([[1, 1]], [1, 2]) is None
+        assert not in_span([[1, 1]], [1, 2])
+
+    def test_empty_generators_span_zero(self):
+        assert span_coefficients([], [0, 0]) == ()
+        assert span_coefficients([], [1, 0]) is None
+
+    def test_rational_coefficients(self):
+        coefficients = span_coefficients([[2, 0]], [1, 0])
+        assert coefficients == (Fraction(1, 2),)
+
+    def test_span_basis_prunes_dependents(self):
+        basis = span_basis([[1, 0], [2, 0], [0, 1]])
+        assert len(basis) == 2
+
+    def test_span_dimension(self):
+        assert span_dimension([[1, 1], [2, 2], [1, 0]]) == 2
+
+    def test_verify_combination_rejects_wrong(self):
+        assert not verify_combination([[1, 0]], [2], [1, 0])
+
+    def test_integerize(self):
+        scale, scaled = integerize([Fraction(1, 2), Fraction(1, 3)])
+        assert scale == 6
+        assert scaled == [3, 2]
+
+
+class TestOrthogonalWitness:
+    def test_fact5_basic(self):
+        z = orthogonal_witness([[1, 0, 0]], [0, 0, 1])
+        assert z is not None
+        assert dot(z, [1, 0, 0]) == 0
+        assert dot(z, [0, 0, 1]) != 0
+
+    def test_none_when_target_in_span(self):
+        assert orthogonal_witness([[1, 0], [0, 1]], [1, 1]) is None
+
+    def test_empty_generators(self):
+        z = orthogonal_witness([], [2, 5])
+        assert z is not None
+        assert dot(z, [2, 5]) != 0
+
+    def test_integer_scaling(self):
+        z = integer_orthogonal_witness([[2, 1, 0]], [0, 0, 3])
+        assert z is not None
+        assert all(isinstance(value, int) for value in z)
+        assert dot(vector(z), [2, 1, 0]) == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 100_000), dim=st.integers(1, 4), count=st.integers(0, 3))
+def test_witness_exists_iff_outside_span(seed, dim, count):
+    """Fact 5 as a biconditional, on random rational data."""
+    rng = random.Random(seed)
+    generators = [[rng.randint(-3, 3) for _ in range(dim)] for _ in range(count)]
+    target = [rng.randint(-3, 3) for _ in range(dim)]
+    witness = orthogonal_witness(generators, target)
+    member = in_span(generators, target)
+    assert (witness is None) == member
+    if witness is not None:
+        for generator in generators:
+            assert dot(witness, generator) == 0
+        assert dot(witness, target) != 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 100_000), dim=st.integers(1, 4), count=st.integers(1, 4))
+def test_span_certificate_always_verifies(seed, dim, count):
+    rng = random.Random(seed)
+    generators = [[rng.randint(-3, 3) for _ in range(dim)] for _ in range(count)]
+    weights = [rng.randint(-3, 3) for _ in range(count)]
+    target = [
+        sum(w * g[i] for w, g in zip(weights, generators)) for i in range(dim)
+    ]
+    coefficients = span_coefficients(generators, target)
+    assert coefficients is not None
+    assert verify_combination(generators, coefficients, target)
+
+
+class TestVandermonde:
+    def test_lemma46_distinct_values(self):
+        matrix = vandermonde_matrix([3, 5, 7])
+        assert matrix.is_nonsingular()
+        assert is_vandermonde_nonsingular([3, 5, 7])
+
+    def test_repeated_values_singular(self):
+        matrix = vandermonde_matrix([2, 2, 5])
+        assert not matrix.is_nonsingular()
+        assert not is_vandermonde_nonsingular([2, 2, 5])
+
+    def test_closed_form_determinant(self):
+        values = [1, 3, 4, 9]
+        assert vandermonde_matrix(values).det() == vandermonde_determinant(values)
+
+    def test_zero_value_uses_00_equals_1(self):
+        # First column is all ones even when a value is 0 (0^0 = 1).
+        matrix = vandermonde_matrix([0, 2])
+        assert matrix.entry(0, 0) == 1
+        assert matrix.is_nonsingular()
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=st.lists(st.integers(-20, 20), min_size=1, max_size=5))
+def test_vandermonde_det_closed_form(values):
+    assert vandermonde_matrix(values).det() == vandermonde_determinant(values)

@@ -1,0 +1,131 @@
+"""Unit + property tests for linear relations (Def. 19, Lemmas 21–24)."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LinalgError
+from repro.linalg.linrel import LinearRelation
+from repro.linalg.matrix import QMatrix
+
+
+def _random_matrix(seed: int, size: int) -> QMatrix:
+    rng = random.Random(seed)
+    return QMatrix([
+        [rng.randint(-2, 2) for _ in range(size)] for _ in range(size)
+    ])
+
+
+class TestConstruction:
+    def test_identity_contains_diagonal_pairs(self):
+        eye = LinearRelation.identity(2)
+        assert eye.contains_pair([1, 2], [1, 2])
+        assert not eye.contains_pair([1, 2], [2, 1])
+
+    def test_graph_of_contains_images(self):
+        m = QMatrix([[1, 1], [0, 1]])
+        graph = LinearRelation.graph_of(m)
+        assert graph.contains_pair([1, 0], [1, 0])
+        assert graph.contains_pair([0, 1], [1, 1])
+        assert not graph.contains_pair([0, 1], [0, 1])
+
+    def test_dimension_of_graph(self):
+        assert LinearRelation.graph_of(QMatrix([[0, 0], [0, 0]])).dimension() == 2
+
+    def test_wrong_generator_length_rejected(self):
+        with pytest.raises(LinalgError):
+            LinearRelation(2, [[1, 2, 3]])
+
+    def test_full_and_empty(self):
+        full = LinearRelation.full(2)
+        assert full.contains_pair([1, 2], [3, 4])
+        empty = LinearRelation.empty(2)
+        assert empty.contains_pair([0, 0], [0, 0])
+        assert not empty.contains_pair([1, 0], [0, 0])
+
+
+class TestAlgebra:
+    def test_compose_matches_matrix_product(self):
+        a = QMatrix([[1, 1], [0, 1]])
+        b = QMatrix([[2, 0], [0, 3]])
+        composed = LinearRelation.graph_of(a).compose(LinearRelation.graph_of(b))
+        # compose(self, other): self applied first -> graph of b·a
+        assert composed == LinearRelation.graph_of(b.matmul(a))
+
+    def test_inverse_swaps(self):
+        m = QMatrix([[2, 0], [0, 3]])
+        inverse = LinearRelation.graph_of(m).inverse()
+        assert inverse.contains_pair([2, 0], [1, 0])
+
+    def test_inverse_of_invertible_is_graph_of_inverse(self):
+        m = QMatrix([[2, 1], [1, 1]])
+        assert LinearRelation.graph_of(m).inverse() == LinearRelation.graph_of(
+            m.inverse()
+        )
+
+    def test_compose_with_identity(self):
+        m = QMatrix([[1, 2], [3, 4]])
+        graph = LinearRelation.graph_of(m)
+        eye = LinearRelation.identity(2)
+        assert graph.compose(eye) == graph
+        assert eye.compose(graph) == graph
+
+    def test_containment_order(self):
+        eye = LinearRelation.identity(2)
+        full = LinearRelation.full(2)
+        assert eye <= full
+        assert not full <= eye
+
+    def test_as_function_graph_roundtrip(self):
+        m = QMatrix([[1, 2], [3, 4]])
+        recovered = LinearRelation.graph_of(m).as_function_graph()
+        assert recovered == m
+
+    def test_as_function_graph_none_for_non_functions(self):
+        assert LinearRelation.full(1).as_function_graph() is None
+        # inverse of a singular matrix graph is not a function
+        singular = QMatrix([[1, 0], [0, 0]])
+        inverted = LinearRelation.graph_of(singular).inverse()
+        assert inverted.as_function_graph() is None
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000), size=st.integers(1, 3))
+def test_lemma21_inequalities(seed, size):
+    """Lemma 21: f̄ (f̄)⁻¹ ⊇ I  and  (f̄)⁻¹ f̄ ⊆ I — in our diagrammatic
+    composition, applying f then f⁻¹ contains I, and f⁻¹ then f is
+    contained in I... careful with conventions: we verify both
+    inclusions with the correct orientation."""
+    m = _random_matrix(seed, size)
+    graph = LinearRelation.graph_of(m)
+    eye = LinearRelation.identity(size)
+    # {(x,y): f(x)=f(y)} ⊇ I : apply f, then come back along f.
+    forward_back = graph.compose(graph.inverse())
+    assert eye <= forward_back
+    # {(x,x): x ∈ im f} ⊆ I : go back along f, then forward.
+    back_forward = graph.inverse().compose(graph)
+    assert back_forward <= eye
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100_000), size=st.integers(1, 3),
+       other=st.integers(0, 100_000))
+def test_lemma22_style_monotonicity(seed, other, size):
+    """Inserting f f⁻¹ in the middle of a composition can only grow the
+    relation; inserting f⁻¹ f can only shrink it (Lemma 22)."""
+    f = LinearRelation.graph_of(_random_matrix(seed, size))
+    g = LinearRelation.graph_of(_random_matrix(other, size))
+    plain = g.compose(g)
+    grown = g.compose(f.compose(f.inverse())).compose(g)
+    shrunk = g.compose(f.inverse().compose(f)).compose(g)
+    assert plain <= grown
+    assert shrunk <= plain
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100_000), size=st.integers(1, 3))
+def test_double_inverse_is_identity_operation(seed, size):
+    graph = LinearRelation.graph_of(_random_matrix(seed, size))
+    assert graph.inverse().inverse() == graph

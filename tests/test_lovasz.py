@@ -1,0 +1,85 @@
+"""Tests for Lovász distinguishers (Lemmas 43/44)."""
+
+import random
+
+import pytest
+
+from repro.hom.count import count_homs
+from repro.hom.lovasz import (
+    distinguisher_battery,
+    find_left_distinguisher,
+    find_right_distinguisher,
+    hom_count_profile,
+)
+from repro.structures.generators import (
+    clique_structure,
+    cycle_structure,
+    path_structure,
+    random_structure,
+)
+from repro.structures.schema import Schema
+
+
+class TestRightDistinguishers:
+    def test_none_for_isomorphic(self):
+        c3 = cycle_structure(3)
+        renamed = c3.rename({i: f"v{i}" for i in range(3)})
+        assert find_right_distinguisher(c3, renamed) is None
+
+    def test_distinguishes_cycles(self):
+        witness = find_right_distinguisher(cycle_structure(3), cycle_structure(4))
+        assert witness is not None
+        assert count_homs(cycle_structure(3), witness) != count_homs(
+            cycle_structure(4), witness
+        )
+
+    def test_distinguishes_path_lengths(self):
+        left = path_structure(["R"])
+        right = path_structure(["R", "R"])
+        witness = find_right_distinguisher(left, right, rng=random.Random(1))
+        assert count_homs(left, witness) != count_homs(right, witness)
+
+    def test_random_pairs(self):
+        schema = Schema({"R": 2})
+        rng = random.Random(9)
+        for seed in range(5):
+            left = random_structure(schema, 3, 0.4, random.Random(seed))
+            right = random_structure(schema, 3, 0.4, random.Random(seed + 100))
+            witness = find_right_distinguisher(left, right, rng=rng)
+            if witness is None:
+                continue  # isomorphic draw
+            assert count_homs(left, witness) != count_homs(right, witness)
+
+
+class TestLeftDistinguishers:
+    def test_none_for_isomorphic(self):
+        k3 = clique_structure(3)
+        assert find_left_distinguisher(k3, k3) is None
+
+    def test_distinguishes_by_incoming_counts(self):
+        left = cycle_structure(3)
+        right = cycle_structure(5)
+        witness = find_left_distinguisher(left, right, rng=random.Random(2))
+        assert witness is not None
+        assert count_homs(witness, left) != count_homs(witness, right)
+
+
+class TestBattery:
+    def test_battery_separates_family(self):
+        family = [
+            path_structure(["R"]),
+            path_structure(["R", "R"]),
+            cycle_structure(3),
+            cycle_structure(4),
+        ]
+        probes = distinguisher_battery(family, rng=random.Random(3))
+        profiles = [hom_count_profile(s, probes) for s in family]
+        assert len(set(profiles)) == len(family)
+
+    def test_battery_empty_for_singleton(self):
+        assert distinguisher_battery([cycle_structure(3)]) == []
+
+    def test_profile_shape(self):
+        probes = [clique_structure(2), clique_structure(3)]
+        profile = hom_count_profile(path_structure(["R"]), probes)
+        assert profile == (2, 6)

@@ -1,0 +1,101 @@
+"""Unit tests for the Multiset type (paper Section 2.1 conventions)."""
+
+import pytest
+
+from repro.errors import StructureError
+from repro.structures.multiset import Multiset
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        m = Multiset({"a": 2, "b": 1})
+        assert m["a"] == 2
+        assert m["b"] == 1
+
+    def test_from_iterable_counts_duplicates(self):
+        m = Multiset(["a", "a", "b"])
+        assert m["a"] == 2
+        assert m["b"] == 1
+
+    def test_zero_multiplicities_dropped(self):
+        m = Multiset({"a": 0, "b": 3})
+        assert "a" not in m
+        assert m.support() == frozenset({"b"})
+
+    def test_missing_element_has_multiplicity_zero(self):
+        assert Multiset()["anything"] == 0
+
+    def test_negative_multiplicity_rejected(self):
+        with pytest.raises(StructureError):
+            Multiset({"a": -1})
+
+    def test_non_int_multiplicity_rejected(self):
+        with pytest.raises(StructureError):
+            Multiset({"a": 1.5})
+
+
+class TestAlgebra:
+    def test_union_adds_multiplicities(self):
+        # Paper Sec 2.1: (X ∪ X')[a] = X[a] + X'[a].
+        left = Multiset({"a": 2, "b": 1})
+        right = Multiset({"a": 1, "c": 4})
+        union = left + right
+        assert union["a"] == 3
+        assert union["b"] == 1
+        assert union["c"] == 4
+
+    def test_difference_truncates_at_zero(self):
+        result = Multiset({"a": 1}) - Multiset({"a": 5, "b": 1})
+        assert result == Multiset()
+
+    def test_scale(self):
+        assert Multiset({"a": 2}).scale(3) == Multiset({"a": 6})
+
+    def test_scale_by_zero_is_empty(self):
+        assert not Multiset({"a": 2}).scale(0)
+
+    def test_scale_negative_rejected(self):
+        with pytest.raises(StructureError):
+            Multiset({"a": 1}).scale(-1)
+
+    def test_union_max(self):
+        result = Multiset({"a": 2, "b": 1}).union_max(Multiset({"a": 1, "b": 5}))
+        assert result == Multiset({"a": 2, "b": 5})
+
+    def test_intersection(self):
+        result = Multiset({"a": 2, "b": 1}).intersection(Multiset({"a": 1, "c": 2}))
+        assert result == Multiset({"a": 1})
+
+
+class TestComparison:
+    def test_equality_ignores_construction_order(self):
+        assert Multiset(["a", "b", "a"]) == Multiset({"a": 2, "b": 1})
+
+    def test_submultiset(self):
+        assert Multiset({"a": 1}) <= Multiset({"a": 2, "b": 1})
+        assert not Multiset({"a": 3}) <= Multiset({"a": 2})
+
+    def test_strict_submultiset(self):
+        assert Multiset({"a": 1}) < Multiset({"a": 2})
+        assert not Multiset({"a": 2}) < Multiset({"a": 2})
+
+    def test_hashable(self):
+        assert hash(Multiset({"a": 1})) == hash(Multiset(["a"]))
+
+
+class TestAccessors:
+    def test_total_counts_with_multiplicity(self):
+        assert Multiset({"a": 2, "b": 3}).total() == 5
+
+    def test_len_counts_distinct(self):
+        assert len(Multiset({"a": 2, "b": 3})) == 2
+
+    def test_elements_expands_multiplicity(self):
+        assert sorted(Multiset({"a": 2, "b": 1}).elements()) == ["a", "a", "b"]
+
+    def test_as_set_semantics(self):
+        assert Multiset({"a": 9, "b": 1}).as_set_semantics() == frozenset({"a", "b"})
+
+    def test_bool(self):
+        assert Multiset({"a": 1})
+        assert not Multiset()

@@ -1,0 +1,71 @@
+"""Interplay tests: multiset algebra on actual query answer bags.
+
+The ♠ condition compares answer *multisets*; these tests exercise the
+multiset operations on real path/CQ answers, where the paper's
+definitions (union adds multiplicities, etc.) have observable
+consequences.
+"""
+
+from repro.queries.evaluation import evaluate_cq, evaluate_path_query
+from repro.queries.parser import parse_cq, parse_path
+from repro.structures.generators import path_structure
+from repro.structures.multiset import Multiset
+from repro.structures.operations import disjoint_union
+from repro.structures.structure import Structure
+
+
+class TestAnswerBags:
+    def test_answers_on_disjoint_union_add(self):
+        """For a connected query body, answers on A + B are the tagged
+        union of answers on A and on B — multiplicities included."""
+        query = parse_cq("x, y | R(x,y)")
+        left = path_structure(["R"])
+        right = path_structure(["R", "R"])
+        merged = disjoint_union(left, right)
+        answers = evaluate_cq(query, merged)
+        assert answers.total() == (
+            evaluate_cq(query, left).total() + evaluate_cq(query, right).total()
+        )
+
+    def test_diamond_multiplicities_survive_union(self):
+        diamond = Structure([
+            ("R", ("a", "b1")), ("R", ("a", "b2")),
+            ("R", ("b1", "c")), ("R", ("b2", "c")),
+        ])
+        word = parse_path("R.R")
+        single = evaluate_path_query(word, diamond)
+        assert single[("a", "c")] == 2
+        # two tagged copies: multiplicities stay 2 per copy, total 4
+        doubled = disjoint_union(diamond, diamond)
+        both = evaluate_path_query(word, doubled)
+        assert both.total() == 4
+        assert sorted(both.items(), key=repr)[0][1] == 2
+
+    def test_multiset_difference_detects_answer_changes(self):
+        base = path_structure(["R", "R"])
+        extended = Structure(
+            list(base.facts()) + [("R", (0, 2))],
+            domain=base.domain(),
+        )
+        word = parse_path("R")
+        before = evaluate_path_query(word, base)
+        after = evaluate_path_query(word, extended)
+        delta = after - before
+        assert delta == Multiset({(0, 2): 1})
+
+    def test_submultiset_on_substructure(self):
+        """Removing facts can only shrink the answer bag pointwise."""
+        big = Structure([
+            ("R", (0, 1)), ("R", (1, 2)), ("R", (0, 2)),
+        ])
+        small = Structure([("R", (0, 1)), ("R", (1, 2))], domain=[0, 1, 2])
+        word = parse_path("R")
+        assert evaluate_path_query(word, small) <= evaluate_path_query(word, big)
+
+    def test_scaled_copies_scale_answers(self):
+        from repro.structures.operations import scalar_multiple
+
+        word = parse_path("R")
+        base = path_structure(["R"])
+        tripled = scalar_multiple(3, base)
+        assert evaluate_path_query(word, tripled).total() == 3

@@ -1,0 +1,124 @@
+"""Unit tests for the Section 2.2 structure algebra."""
+
+import pytest
+
+from repro.errors import StructureError
+from repro.structures.generators import cycle_structure, path_structure
+from repro.structures.operations import (
+    disjoint_union,
+    power,
+    product,
+    product_structures,
+    scalar_multiple,
+    sum_structures,
+    sum_with_multiplicities,
+    unit_structure,
+)
+from repro.structures.schema import Schema
+from repro.structures.structure import Fact, Structure
+
+
+EDGE = path_structure(["R"])
+
+
+class TestDisjointUnion:
+    def test_sizes_add(self):
+        result = disjoint_union(EDGE, EDGE)
+        assert result.count_facts("R") == 2
+        assert len(result.domain()) == 4
+
+    def test_copies_are_disjoint_even_with_shared_constants(self):
+        result = disjoint_union(EDGE, EDGE)
+        # No vertex touches both copies: every element has degree <= 2
+        # and the R-edges form two disjoint arcs.
+        edges = result.tuples("R")
+        endpoints = [t for pair in edges for t in pair]
+        assert len(set(endpoints)) == 4
+
+    def test_nullary_rejected(self):
+        nullary = Structure([Fact("H", ())])
+        with pytest.raises(StructureError):
+            disjoint_union(nullary, EDGE)
+
+    def test_sum_structures_empty_is_empty(self):
+        result = sum_structures([])
+        assert result.count_facts() == 0
+        assert not result.domain()
+
+    def test_scalar_multiple(self):
+        assert scalar_multiple(3, EDGE).count_facts("R") == 3
+        assert scalar_multiple(0, EDGE).count_facts() == 0
+
+    def test_scalar_multiple_negative_rejected(self):
+        with pytest.raises(StructureError):
+            scalar_multiple(-1, EDGE)
+
+    def test_sum_with_multiplicities(self):
+        result = sum_with_multiplicities([(2, EDGE), (1, cycle_structure(3))])
+        assert result.count_facts("R") == 2 + 3
+
+
+class TestProduct:
+    def test_domain_is_cartesian(self):
+        result = product(EDGE, EDGE)
+        assert len(result.domain()) == 4
+
+    def test_edge_times_edge_is_single_edge(self):
+        # R((a1,b1),(a2,b2)) iff R(a1,a2) and R(b1,b2): exactly one fact.
+        result = product(EDGE, EDGE)
+        assert result.count_facts("R") == 1
+
+    def test_product_counts_multiply_on_cycles(self):
+        # C3 x C3 has 9 edges.
+        c3 = cycle_structure(3)
+        assert product(c3, c3).count_facts("R") == 9
+
+    def test_nullary_product_requires_both(self):
+        h = Structure([Fact("H", ())])
+        empty = Structure([], schema=Schema({"H": 0}))
+        assert product(h, h).has_fact("H")
+        assert not product(h, empty).has_fact("H")
+
+    def test_mixed_schemas_merge(self):
+        s_edge = path_structure(["S"])
+        result = product(EDGE, s_edge)
+        # R needs R-facts on both sides; S likewise: neither survives.
+        assert result.count_facts() == 0
+        assert len(result.domain()) == 4
+
+
+class TestPowerAndUnit:
+    def test_power_zero_is_unit(self):
+        u = power(EDGE, 0)
+        assert len(u.domain()) == 1
+        assert u.count_facts("R") == 1  # the loop
+
+    def test_unit_structure_has_all_loops(self):
+        u = unit_structure(Schema({"R": 2, "U": 1, "H": 0}))
+        assert u.count_facts("R") == 1
+        assert u.count_facts("U") == 1
+        assert u.count_facts("H") == 1
+
+    def test_unit_is_multiplicative_identity_up_to_iso(self):
+        from repro.structures.isomorphism import are_isomorphic
+
+        u = unit_structure(Schema({"R": 2}))
+        # product with the unit preserves the structure up to renaming
+        result = product(cycle_structure(3), u)
+        assert are_isomorphic(result, cycle_structure(3))
+
+    def test_power_negative_rejected(self):
+        with pytest.raises(StructureError):
+            power(EDGE, -1)
+
+    def test_power_two(self):
+        c3 = cycle_structure(3)
+        squared = power(c3, 2)
+        assert len(squared.domain()) == 9
+        assert squared.count_facts("R") == 9
+
+    def test_empty_product_needs_schema(self):
+        with pytest.raises(StructureError):
+            product_structures([])
+        u = product_structures([], schema=Schema({"R": 2}))
+        assert u.count_facts("R") == 1

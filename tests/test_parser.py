@@ -1,0 +1,97 @@
+"""Unit tests for the textual query syntax."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.queries.parser import (
+    parse_boolean_cq,
+    parse_cq,
+    parse_path,
+    parse_ucq,
+)
+from repro.structures.schema import Schema
+
+
+class TestParseCQ:
+    def test_boolean(self):
+        q = parse_cq("R(x,y), S(y,z)")
+        assert q.is_boolean()
+        assert len(q.atoms) == 2
+
+    def test_free_variables(self):
+        q = parse_cq("x, y | R(x,y)")
+        assert q.free == ("x", "y")
+
+    def test_whitespace_tolerance(self):
+        q = parse_cq("  R( x , y ) ,  S(y,z)  ")
+        assert len(q.atoms) == 2
+
+    def test_nullary_atom(self):
+        q = parse_cq("H()")
+        assert q.has_nullary_atom()
+
+    def test_schema_validation(self):
+        with pytest.raises(ParseError):
+            parse_cq("R(x)", schema=Schema({"R": 2}))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cq("")
+        with pytest.raises(ParseError):
+            parse_cq("   ")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cq("R(x,y) S(y,z)")  # missing comma
+        with pytest.raises(ParseError):
+            parse_cq("R(x,,y)")
+
+    def test_primed_names(self):
+        q = parse_cq("R(x', y')")
+        assert len(q.variables()) == 2
+
+    def test_parse_boolean_rejects_free(self):
+        with pytest.raises(ParseError):
+            parse_boolean_cq("x | R(x,y)")
+
+
+class TestParseUCQ:
+    def test_or_keyword(self):
+        u = parse_ucq("P(x) or R(x)")
+        assert len(u.disjuncts) == 2
+
+    def test_vee_symbol(self):
+        u = parse_ucq("P(x) ∨ R(x)")
+        assert len(u.disjuncts) == 2
+
+    def test_single_disjunct(self):
+        assert parse_ucq("P(x)").is_single_cq()
+
+    def test_three_disjuncts(self):
+        u = parse_ucq("P(x) or Q(x) or R(x)")
+        assert len(u.disjuncts) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            parse_ucq("")
+
+
+class TestParsePath:
+    def test_basic(self):
+        assert parse_path("A.B.C").letters == ("A", "B", "C")
+
+    def test_single_letter(self):
+        assert parse_path("A").letters == ("A",)
+
+    def test_epsilon_spellings(self):
+        for text in ("", "ε", "eps", "epsilon", "  "):
+            assert parse_path(text).is_empty()
+
+    def test_multichar_letters(self):
+        assert parse_path("Rel1.Rel2").letters == ("Rel1", "Rel2")
+
+    def test_bad_letter_rejected(self):
+        with pytest.raises(ParseError):
+            parse_path("A..B")
+        with pytest.raises(ParseError):
+            parse_path("A.B!")

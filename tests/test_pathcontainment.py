@@ -1,0 +1,59 @@
+"""Tests for path-query containment (footnote 14)."""
+
+import itertools
+
+import pytest
+
+from repro.errors import QueryError
+from repro.queries.parser import parse_path
+from repro.core.pathcontainment import containment_homomorphism, path_contained
+
+
+WORDS = ["A", "B", "A.B", "B.A", "A.B.C", "A.A"]
+
+
+class TestCharacterization:
+    def test_equality_iff_contained(self):
+        for left_text, right_text in itertools.product(WORDS, repeat=2):
+            left = parse_path(left_text)
+            right = parse_path(right_text)
+            assert path_contained(left, right) == (left == right)
+
+    def test_characterization_matches_homomorphism_definition(self):
+        """word-equality ⟺ existence of an endpoint-fixing hom."""
+        for left_text, right_text in itertools.product(WORDS, repeat=2):
+            left = parse_path(left_text)
+            right = parse_path(right_text)
+            witnessed = containment_homomorphism(left, right) is not None
+            assert witnessed == path_contained(left, right), (left, right)
+
+    def test_non_containment_witnessed_by_evaluation(self):
+        """A ⊄ A.B in either semantics: exhibit a database where A has
+        an answer but A.B has none — the semantic content behind the
+        word-equality characterization."""
+        from repro.queries.evaluation import evaluate_path_query
+        from repro.structures.generators import path_structure
+
+        database = path_structure(["A"])  # one A-edge, no B continuation
+        assert evaluate_path_query(parse_path("A"), database).total() == 1
+        assert evaluate_path_query(parse_path("A.B"), database).total() == 0
+        assert not path_contained(parse_path("A"), parse_path("A.B"))
+        assert not path_contained(parse_path("A.B"), parse_path("A"))
+
+    def test_epsilon_rejected(self):
+        with pytest.raises(QueryError):
+            path_contained(parse_path(""), parse_path("A"))
+        with pytest.raises(QueryError):
+            containment_homomorphism(parse_path("A"), parse_path(""))
+
+
+def test_prefix_graph_dot_export(example13_paths):
+    from repro.core.pathdet import PrefixGraph
+
+    views, query = example13_paths
+    dot = PrefixGraph(views, query).to_dot()
+    assert dot.startswith("graph G_qV {")
+    assert '"ε"' in dot
+    assert '"ABCD"' in dot
+    assert "palegreen" in dot  # reachable nodes highlighted
+    assert '[label="ABC"]' in dot  # an edge labeled by its view

@@ -1,0 +1,154 @@
+"""Unit tests for path-query determinacy (Theorem 1, Appendix B)."""
+
+import pytest
+
+from repro.errors import DecisionError, QueryError
+from repro.queries.evaluation import evaluate_path_query
+from repro.queries.parser import parse_path
+from repro.core.pathdet import (
+    PrefixGraph,
+    appendix_b_counterexample,
+    decide_path_determinacy,
+)
+from repro.core.qwalk import is_q_walk
+
+
+class TestPrefixGraph:
+    def test_nodes_are_prefixes(self, example13_paths):
+        views, query = example13_paths
+        graph = PrefixGraph(views, query)
+        assert len(graph.nodes) == len(query) + 1
+
+    def test_example13_reachability(self, example13_paths):
+        views, query = example13_paths
+        reachable = PrefixGraph(views, query).reachable_from_epsilon()
+        # ε -> ABC -> A -> ABCD
+        assert ("A", "B", "C") in reachable
+        assert ("A",) in reachable
+        assert ("A", "B", "C", "D") in reachable
+
+    def test_empty_view_rejected(self):
+        with pytest.raises(QueryError):
+            PrefixGraph([parse_path("")], parse_path("A"))
+
+
+class TestDecision:
+    def test_example13_determined(self, example13_paths):
+        views, query = example13_paths
+        result = decide_path_determinacy(views, query)
+        assert result.determined
+        steps = result.certificate
+        assert steps[0].source.is_empty()
+        assert steps[-1].target == query
+
+    def test_trivial_self_view(self):
+        q = parse_path("A.B")
+        assert decide_path_determinacy([q], q).determined
+
+    def test_not_determined_without_connection(self):
+        result = decide_path_determinacy([parse_path("B")], parse_path("A"))
+        assert not result.determined
+
+    def test_view_longer_than_query(self):
+        # ε + AB is not a prefix of A: no edge, not determined.
+        result = decide_path_determinacy([parse_path("A.B")], parse_path("A"))
+        assert not result.determined
+
+    def test_peeling_needs_both_directions(self):
+        # V = {AB, B}: ε—AB (append AB), AB—A?? A = AB minus B: edge
+        # between A and AB since A + B = AB. So ε -> AB -> A: determined.
+        result = decide_path_determinacy(
+            [parse_path("A.B"), parse_path("B")], parse_path("A.B")
+        )
+        assert result.determined
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QueryError):
+            decide_path_determinacy([parse_path("A")], parse_path(""))
+
+    def test_walk_certificate_is_q_walk(self, example13_paths):
+        views, query = example13_paths
+        result = decide_path_determinacy(views, query)
+        assert is_q_walk(result.walk(), query)
+
+    def test_walk_on_undetermined_raises(self):
+        result = decide_path_determinacy([parse_path("B")], parse_path("A"))
+        with pytest.raises(DecisionError):
+            result.walk()
+
+    def test_explain(self, example13_paths):
+        views, query = example13_paths
+        assert "certificate path" in decide_path_determinacy(views, query).explain()
+        negative = decide_path_determinacy([parse_path("B")], parse_path("A"))
+        assert "cannot reach" in negative.explain()
+
+
+class TestAppendixB:
+    def _check_pair(self, views_text, query_text):
+        views = [parse_path(t) for t in views_text]
+        query = parse_path(query_text)
+        result = decide_path_determinacy(views, query)
+        assert not result.determined
+        left, right = result.counterexample()
+        # (B): every view answers identically (as a bag of pairs!)
+        for view in views:
+            assert evaluate_path_query(view, left) == evaluate_path_query(view, right), view
+        # (A): the query differs
+        assert evaluate_path_query(query, left) != evaluate_path_query(query, right)
+        return left, right
+
+    def test_single_unreachable_view(self):
+        self._check_pair(["B"], "A")
+
+    def test_example2_flavor(self):
+        # The Example 2 queries, path-ified: q = P.R.S with views
+        # {P.R, R.S}: prefixes of q are ε,P,PR,PRS; P.R connects ε—PR;
+        # R.S connects nothing else (PR + RS = PRRS not a prefix).
+        self._check_pair(["P.R", "R.S"], "P.R.S")
+
+    def test_overshooting_views(self):
+        self._check_pair(["A.B"], "A")
+
+    def test_counterexample_is_q_plus_q(self):
+        views = [parse_path("B")]
+        query = parse_path("A.B")
+        left, _ = appendix_b_counterexample(views, query)
+        # D = q + q: two disjoint copies -> 2 facts per letter.
+        assert left.count_facts("A") == 2
+        assert left.count_facts("B") == 2
+        assert len(left.domain()) == 2 * (len(query) + 1)
+
+    def test_counterexample_on_determined_raises(self):
+        q = parse_path("A")
+        result = decide_path_determinacy([q], q)
+        with pytest.raises(DecisionError):
+            result.counterexample()
+
+
+class TestTheorem1Coincidence:
+    """Theorem 1: for path queries set- and bag-determinacy coincide;
+    our decider implements the common characterization (Fact 10 /
+    Lemma 11).  We sanity-check the *bag* side on concrete databases:
+    when determined, equal view bags must force equal query bags on a
+    family of random databases."""
+
+    def test_determined_instances_never_refuted_on_random_pairs(self):
+        import random
+        from repro.structures.generators import random_structure
+        from repro.structures.schema import Schema
+
+        views = [parse_path("A.B.C"), parse_path("B.C"), parse_path("B.C.D")]
+        query = parse_path("A.B.C.D")
+        assert decide_path_determinacy(views, query).determined
+        schema = Schema({letter: 2 for letter in "ABCD"})
+        rng = random.Random(23)
+        databases = [random_structure(schema, 4, 0.4, rng) for _ in range(40)]
+        for left in databases:
+            for right in databases:
+                if all(
+                    evaluate_path_query(v, left) == evaluate_path_query(v, right)
+                    for v in views
+                ):
+                    assert evaluate_path_query(query, left) == evaluate_path_query(
+                        query, right
+                    )

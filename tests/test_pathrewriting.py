@@ -1,0 +1,155 @@
+"""Unit tests for the path rewriting engine (Sections 3.2–3.3)."""
+
+import random
+
+import pytest
+
+from repro.errors import DecisionError
+from repro.linalg.linrel import LinearRelation
+from repro.queries.evaluation import evaluate_path_query
+from repro.queries.parser import parse_path
+from repro.structures.generators import random_structure
+from repro.structures.schema import Schema
+from repro.core.pathdet import decide_path_determinacy
+from repro.core.pathrewriting import (
+    PathRewritingEngine,
+    incidence_matrix,
+    relation_of_walk,
+    rewrite_and_answer,
+    view_matrices,
+    word_matrix,
+)
+from repro.core.qwalk import make_signed_word
+
+
+SCHEMA_ABCD = Schema({letter: 2 for letter in "ABCD"})
+
+
+def _random_db(seed, size=4, density=0.4, schema=SCHEMA_ABCD):
+    return random_structure(schema, size, density, random.Random(seed))
+
+
+class TestMatrices:
+    def test_incidence_matrix_fact18(self):
+        db = _random_db(1)
+        order = sorted(db.domain())
+        matrix = incidence_matrix(db, "A", order)
+        for i, a in enumerate(order):
+            for j, b in enumerate(order):
+                expected = 1 if (a, b) in db.tuples("A") else 0
+                assert matrix.entry(i, j) == expected
+
+    def test_word_matrix_counts_walks(self):
+        """Fact 18: w(D)[a_i, a_j] = M_w(i, j)."""
+        db = _random_db(2)
+        order = sorted(db.domain())
+        word = parse_path("A.B")
+        matrix = word_matrix(db, word, order)
+        answers = evaluate_path_query(word, db)
+        for i, a in enumerate(order):
+            for j, b in enumerate(order):
+                assert matrix.entry(i, j) == answers[(a, b)]
+
+    def test_word_matrix_is_product(self):
+        db = _random_db(3)
+        order = sorted(db.domain())
+        ab = word_matrix(db, parse_path("A.B"), order)
+        a = word_matrix(db, parse_path("A"), order)
+        b = word_matrix(db, parse_path("B"), order)
+        assert ab == a.matmul(b)
+
+
+class TestRelationOfWalk:
+    def test_plain_word_is_graph_of_word_matrix(self):
+        """Observation 20: H_w = graph(h_{M_w}) for w ∈ Σ*."""
+        db = _random_db(4)
+        order = sorted(db.domain())
+        letters = {
+            name: incidence_matrix(db, name, order) for name in "AB"
+        }
+        walk = make_signed_word([(parse_path("A.B"), 1)])
+        relation = relation_of_walk(walk, letters, len(order))
+        expected = LinearRelation.graph_of(word_matrix(db, parse_path("A.B"), order))
+        assert relation == expected
+
+    def test_corollary24_walk_equals_query(self):
+        """For a q-walk w computed on a concrete D, H_w = H_q."""
+        db = _random_db(5)
+        order = sorted(db.domain())
+        letters = {
+            name: incidence_matrix(db, name, order) for name in "ABCD"
+        }
+        query = parse_path("A.B.C.D")
+        walk = make_signed_word([
+            (parse_path("A.B.C"), 1),
+            (parse_path("B.C"), -1),
+            (parse_path("B.C.D"), 1),
+        ])
+        walk_relation = relation_of_walk(walk, letters, len(order))
+        query_relation = LinearRelation.graph_of(word_matrix(db, query, order))
+        assert walk_relation == query_relation
+
+    def test_missing_letter_matrix_raises(self):
+        with pytest.raises(DecisionError):
+            relation_of_walk((("Z", 1),), {}, 2)
+
+
+class TestEngine:
+    def test_reconstructs_query_matrix(self, example13_paths):
+        views, query = example13_paths
+        engine = PathRewritingEngine(decide_path_determinacy(views, query))
+        for seed in range(6):
+            db = _random_db(seed)
+            order = sorted(db.domain())
+            answers = view_matrices(db, views, order)
+            reconstructed = engine.query_matrix(answers)
+            assert reconstructed == word_matrix(db, query, order)
+
+    def test_answer_multiset(self, example13_paths):
+        views, query = example13_paths
+        for seed in (11, 12, 13):
+            db = _random_db(seed, size=5)
+            assert rewrite_and_answer(views, query, db) == evaluate_path_query(
+                query, db
+            )
+
+    def test_engine_refuses_undetermined(self):
+        result = decide_path_determinacy([parse_path("B")], parse_path("A"))
+        with pytest.raises(DecisionError):
+            PathRewritingEngine(result)
+
+    def test_missing_view_answer_raises(self, example13_paths):
+        views, query = example13_paths
+        engine = PathRewritingEngine(decide_path_determinacy(views, query))
+        db = _random_db(20)
+        order = sorted(db.domain())
+        answers = view_matrices(db, views[:-1], order)
+        with pytest.raises(DecisionError):
+            engine.query_matrix(answers)
+
+    def test_mixed_dimension_matrices_rejected(self, example13_paths):
+        views, query = example13_paths
+        engine = PathRewritingEngine(decide_path_determinacy(views, query))
+        left = _random_db(21, size=3)
+        right = _random_db(22, size=4)
+        answers = view_matrices(left, views[:1], sorted(left.domain()))
+        answers.update(view_matrices(right, views[1:], sorted(right.domain())))
+        with pytest.raises(DecisionError):
+            engine.query_matrix(answers)
+
+    def test_noninvertible_view_matrices_still_work(self):
+        """The whole point of the relation trick: view matrices need not
+        be invertible.  Build a database where M_B is singular."""
+        from repro.structures.structure import Structure
+
+        views = [parse_path("A.B"), parse_path("B")]
+        query = parse_path("A.B")
+        db = Structure(
+            [("A", (0, 1)), ("B", (1, 2)), ("B", (1, 3))],
+            schema=Schema({"A": 2, "B": 2, "C": 2, "D": 2}),
+            domain=range(4),
+        )
+        order = sorted(db.domain())
+        m_b = incidence_matrix(db, "B", order)
+        assert not m_b.is_nonsingular()
+        assert rewrite_and_answer(views, query, db) == evaluate_path_query(query, db)

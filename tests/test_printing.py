@@ -1,0 +1,78 @@
+"""Tests for canonical query printing (parser inverse)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QueryError
+from repro.queries.cq import ConjunctiveQuery, cq_from_structure
+from repro.queries.parser import parse_cq, parse_path, parse_ucq
+from repro.queries.printing import format_cq, format_path, format_ucq
+from repro.structures.generators import random_structure
+from repro.structures.schema import Schema
+
+
+class TestFormatCQ:
+    def test_boolean(self):
+        q = parse_cq("R(x,y), S(y,z)")
+        assert format_cq(q) == "R(x, y), S(y, z)"
+
+    def test_free_variables(self):
+        q = parse_cq("x, y | R(x,y)")
+        assert format_cq(q) == "x, y | R(x, y)"
+
+    def test_roundtrip_simple(self):
+        for text in (
+            "R(x,y)",
+            "R(x,y), R(y,z), S(z,u)",
+            "a | P(u,a)",
+            "H()",
+        ):
+            q = parse_cq(text)
+            assert parse_cq(format_cq(q)) == q
+
+    def test_free_but_unused_roundtrips(self):
+        q = parse_cq("x, w | R(x,y)")
+        assert parse_cq(format_cq(q)) == q
+
+    def test_stray_extra_variables_rejected(self):
+        q = ConjunctiveQuery([("R", ("x", "y"))], extra_variables=["ghost"])
+        with pytest.raises(QueryError):
+            format_cq(q)
+
+    def test_empty_conjunction_rejected(self):
+        with pytest.raises(QueryError):
+            format_cq(ConjunctiveQuery([]))
+
+    def test_deterministic_atom_order(self):
+        left = parse_cq("S(y,z), R(x,y)")
+        right = parse_cq("R(x,y), S(y,z)")
+        assert format_cq(left) == format_cq(right)
+
+
+class TestFormatUCQAndPath:
+    def test_ucq_roundtrip(self):
+        u = parse_ucq("P(x) or R(x), R(y)")
+        assert parse_ucq(format_ucq(u)) == u
+
+    def test_path_roundtrip(self):
+        p = parse_path("A.B.C")
+        assert parse_path(format_path(p)) == p
+
+    def test_epsilon(self):
+        assert format_path(parse_path("")) == "ε"
+        assert parse_path(format_path(parse_path(""))).is_empty()
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 100_000), size=st.integers(1, 4))
+def test_random_boolean_cq_roundtrip(seed, size):
+    """Property: print-then-parse is the identity on frozen queries."""
+    schema = Schema({"R": 2, "S": 2, "U": 1})
+    s = random_structure(schema, size, 0.4, random.Random(seed),
+                         ensure_nonempty=True)
+    q = cq_from_structure(s.restrict_domain(s.active_domain()))
+    if not q.atoms:
+        return
+    assert parse_cq(format_cq(q)) == q

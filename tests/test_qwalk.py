@@ -1,0 +1,108 @@
+"""Unit tests for q-walks and Lemma 15 reductions."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.queries.parser import parse_path
+from repro.queries.path import signed_word
+from repro.core.qwalk import (
+    format_signed_word,
+    is_q_walk,
+    make_signed_word,
+    reduce_minus_plus_once,
+    reduce_plus_minus_once,
+    reduce_to_query,
+    walk_height_profile,
+)
+
+ABCD = parse_path("A.B.C.D")
+
+
+def example13_walk():
+    """(ABC)(BC)^{-1}(BCD) = A B C C⁻¹ B⁻¹ B C D (Example 13)."""
+    return make_signed_word([
+        (parse_path("A.B.C"), 1),
+        (parse_path("B.C"), -1),
+        (parse_path("B.C.D"), 1),
+    ])
+
+
+class TestDefinition12:
+    def test_plain_query_word_is_a_walk(self):
+        assert is_q_walk(signed_word(ABCD, 1), ABCD)
+
+    def test_example13_walk(self):
+        walk = example13_walk()
+        assert walk == (
+            ("A", 1), ("B", 1), ("C", 1),
+            ("C", -1), ("B", -1),
+            ("B", 1), ("C", 1), ("D", 1),
+        )
+        assert is_q_walk(walk, ABCD)
+
+    def test_height_must_stay_in_range(self):
+        # Dips below 0.
+        assert not is_q_walk((("A", -1),), ABCD)
+        # Ends early.
+        assert not is_q_walk((("A", 1),), ABCD)
+
+    def test_letters_must_match_position(self):
+        # At height 0 only 'A' may go up.
+        assert not is_q_walk((("B", 1),), ABCD)
+        # After A at height 1 only B may go up, only A down.
+        assert not is_q_walk((("A", 1), ("C", 1)), ABCD)
+
+    def test_height_cannot_exceed_length(self):
+        q = parse_path("A")
+        walk = (("A", 1), ("A", -1), ("A", 1))
+        assert is_q_walk(walk, q)
+        too_high = (("A", 1), ("A", 1))
+        assert not is_q_walk(too_high, q)
+
+    def test_height_profile(self):
+        assert walk_height_profile(example13_walk()) == [0, 1, 2, 3, 2, 1, 2, 3, 4]
+
+
+class TestReductions:
+    def test_plus_minus_cancellation(self):
+        walk = example13_walk()
+        reduced = reduce_plus_minus_once(walk)
+        # C C⁻¹ cancels first.
+        assert reduced == (
+            ("A", 1), ("B", 1), ("B", -1), ("B", 1), ("C", 1), ("D", 1)
+        )
+
+    def test_minus_plus_cancellation(self):
+        walk = example13_walk()
+        reduced = reduce_minus_plus_once(walk)
+        # B⁻¹ B cancels first.
+        assert reduced == (
+            ("A", 1), ("B", 1), ("C", 1), ("C", -1), ("C", 1), ("D", 1)
+        )
+
+    def test_no_redex_returns_none(self):
+        plain = signed_word(ABCD, 1)
+        assert reduce_plus_minus_once(plain) is None
+        assert reduce_minus_plus_once(plain) is None
+
+    def test_lemma15_both_modes_reach_q(self):
+        for mode in ("+/-", "-/+"):
+            trace = reduce_to_query(example13_walk(), ABCD, mode=mode)
+            assert trace[0] == example13_walk()
+            assert trace[-1] == signed_word(ABCD, 1)
+            # every intermediate is still a q-walk
+            for word in trace:
+                assert is_q_walk(word, ABCD)
+
+    def test_reduce_non_walk_rejected(self):
+        with pytest.raises(QueryError):
+            reduce_to_query((("Z", 1),), ABCD)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(QueryError):
+            reduce_to_query(signed_word(ABCD, 1), ABCD, mode="??")
+
+
+def test_format_signed_word():
+    assert format_signed_word(()) == "ε"
+    assert format_signed_word((("A", 1), ("B", -1))) == "A.B⁻¹"

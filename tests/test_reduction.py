@@ -1,0 +1,211 @@
+"""Unit tests for the Appendix A reduction (Lemmas 59–63)."""
+
+import pytest
+
+from repro.queries.evaluation import evaluate_boolean
+from repro.structures.structure import Structure
+from repro.ucq.analysis import (
+    counterexample_from_solution,
+    profile_pair_agrees,
+    search_reduction_counterexample,
+    semidecide_reduction_determinacy,
+)
+from repro.ucq.hilbert import (
+    DiophantineInstance,
+    Monomial,
+    linear_instance,
+    pythagoras_instance,
+    unsolvable_instance,
+)
+from repro.ucq.profiles import (
+    Profile,
+    count_cq_on_profile,
+    count_ucq_on_profile,
+    view_profile_answers,
+)
+from repro.ucq.reduction import build_reduction, phi_for_monomial, reduction_schema
+
+
+class TestSchemaAndPhi:
+    def test_schema_shape(self):
+        schema = reduction_schema(pythagoras_instance())
+        assert schema.arity("H") == 0
+        assert schema.arity("C") == 0
+        assert schema.arity("X_x") == 1
+        assert schema.arity("X_y") == 1
+        assert schema.arity("X_z") == 1
+
+    def test_phi_atom_counts_match_degrees(self):
+        schema = reduction_schema(pythagoras_instance())
+        phi = phi_for_monomial(Monomial(1, {"x": 2}), schema)
+        assert len(phi.atoms) == 2
+        assert all(a.relation == "X_x" for a in phi.atoms)
+        # distinct variables => counts multiply independently
+        variables = {a.variables[0] for a in phi.atoms}
+        assert len(variables) == 2
+
+    def test_phi_constant_monomial_is_empty_query(self):
+        schema = reduction_schema(unsolvable_instance())
+        phi = phi_for_monomial(Monomial(3, {}), schema)
+        assert len(phi.atoms) == 0
+
+
+class TestLemma59to61:
+    def test_lemma59_phi_counts_monomial(self):
+        """Φ_m(D) = Π_i (D_{X_i})^{m(x_i)} — against real hom counts."""
+        reduction = build_reduction(pythagoras_instance())
+        profile = Profile(1, 1, {"x": 2, "y": 3, "z": 1})
+        database = profile.to_structure(reduction)
+        for monomial in reduction.instance.monomials:
+            phi = phi_for_monomial(monomial, reduction.schema)
+            expected = monomial.monomial_value(profile.assignment())
+            assert evaluate_boolean(phi, database) == expected
+            assert count_cq_on_profile(phi, profile) == expected
+
+    def test_lemma60_61_flagged_sums(self):
+        """V_I(D) = D_H·Σ_P m_D − D_C·Σ_N m_D  (with sign folded in)."""
+        reduction = build_reduction(pythagoras_instance())
+        assignment = {"x": 1, "y": 2, "z": 2}
+        instance = reduction.instance
+        positive_sum = sum(
+            m.evaluate(assignment) for m in instance.positive_monomials()
+        )
+        negative_sum = -sum(
+            m.evaluate(assignment) for m in instance.negative_monomials()
+        )
+        for h, c in ((1, 0), (0, 1), (1, 1), (0, 0)):
+            profile = Profile(h, c, assignment)
+            database = profile.to_structure(reduction)
+            expected = h * positive_sum + c * negative_sum
+            assert evaluate_boolean(reduction.view_polynomial, database) == expected
+
+    def test_profile_answers_match_structures(self):
+        reduction = build_reduction(linear_instance())
+        profile = Profile(1, 0, {"x": 4, "y": 2})
+        database = profile.to_structure(reduction)
+        from_profiles = view_profile_answers(reduction, profile)
+        from_structures = tuple(
+            evaluate_boolean(view, database) for view in reduction.views()
+        )
+        assert from_profiles == from_structures
+
+
+class TestLemma62:
+    def test_view_agreeing_distinct_profiles_swap_flags(self):
+        """Enumerate small profiles; any distinct pair agreeing on all
+        views must have swapped H/C and equal unknowns."""
+        reduction = build_reduction(linear_instance())
+        profiles = [
+            Profile(h, c, {"x": x, "y": y})
+            for h in (0, 1) for c in (0, 1)
+            for x in range(3) for y in range(3)
+        ]
+        for left in profiles:
+            for right in profiles:
+                if left == right:
+                    continue
+                if profile_pair_agrees(reduction, left, right):
+                    assert left.assignment() == right.assignment()
+                    assert (left.h, left.c) == (right.c, right.h)
+                    assert left.h != left.c
+
+
+class TestLemma63:
+    def test_solution_yields_verified_counterexample(self):
+        reduction = build_reduction(pythagoras_instance())
+        pair = counterexample_from_solution(reduction, {"x": 3, "y": 4, "z": 5})
+        assert pair.ok
+        assert pair.query_answers == (1, 0)
+        # all views agree on real structures
+        for left, right in pair.view_answers:
+            assert left == right
+
+    def test_non_solution_rejected(self):
+        reduction = build_reduction(pythagoras_instance())
+        from repro.errors import DecisionError
+
+        with pytest.raises(DecisionError):
+            counterexample_from_solution(reduction, {"x": 1, "y": 1, "z": 1})
+
+    def test_search_finds_counterexample_iff_solvable(self):
+        solvable = build_reduction(linear_instance())
+        assert search_reduction_counterexample(solvable, 3) is not None
+        unsolvable = build_reduction(unsolvable_instance())
+        assert search_reduction_counterexample(unsolvable, 4) is None
+
+    def test_semidecision_verdicts(self):
+        verdict, witness = semidecide_reduction_determinacy(
+            build_reduction(linear_instance()), 3
+        )
+        assert verdict == "not-determined"
+        assert witness.ok
+        verdict, witness = semidecide_reduction_determinacy(
+            build_reduction(unsolvable_instance()), 4
+        )
+        assert verdict == "unknown"
+        assert witness is None
+
+
+class TestProfiles:
+    def test_flag_bounds(self):
+        with pytest.raises(Exception):
+            Profile(2, 0, {})
+
+    def test_negative_unknown_rejected(self):
+        with pytest.raises(Exception):
+            Profile(0, 0, {"x": -1})
+
+    def test_swapped_flags(self):
+        profile = Profile(1, 0, {"x": 2})
+        swapped = profile.swapped_flags()
+        assert (swapped.h, swapped.c) == (0, 1)
+        assert swapped.assignment() == {"x": 2}
+
+    def test_to_structure_counts(self):
+        reduction = build_reduction(linear_instance())
+        database = Profile(1, 0, {"x": 2, "y": 0}).to_structure(reduction)
+        assert database.count_facts("H") == 1
+        assert database.count_facts("C") == 0
+        assert database.count_facts("X_x") == 2
+        assert database.count_facts("X_y") == 0
+
+    def test_count_on_non_reduction_atom_rejected(self):
+        from repro.queries.parser import parse_boolean_cq
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            count_cq_on_profile(parse_boolean_cq("R(a,b)"), Profile(0, 0, {}))
+
+
+class TestUCQLinearCertificate:
+    def test_example3(self):
+        """Paper Example 3: V = {P(x), P(x) ∨ R(x)} bag-determines
+        q = R(x) via q = v2 − v1 (while set-determinacy fails)."""
+        from repro.queries.parser import parse_ucq
+        from repro.ucq.analysis import linear_certificate
+
+        v1 = parse_ucq("P(x)")
+        v2 = parse_ucq("P(x) or R(x)")
+        q = parse_ucq("R(x)")
+        certificate = linear_certificate([v1, v2], q)
+        assert certificate is not None
+        assert certificate.coefficients == (-1, 1)
+        database = Structure([("P", ("a",)), ("P", ("b",)), ("R", ("b",))])
+        assert certificate.answer_on(database) == evaluate_boolean(q, database)
+
+    def test_no_certificate_for_independent_query(self):
+        from repro.queries.parser import parse_ucq
+        from repro.ucq.analysis import linear_certificate
+
+        assert linear_certificate([parse_ucq("P(x)")], parse_ucq("R(x)")) is None
+
+    def test_certificate_rejects_inconsistent_answers(self):
+        from repro.queries.parser import parse_ucq
+        from repro.ucq.analysis import linear_certificate
+        from repro.errors import DecisionError
+
+        certificate = linear_certificate(
+            [parse_ucq("P(x)"), parse_ucq("P(x) or R(x)")], parse_ucq("R(x)")
+        )
+        with pytest.raises(DecisionError):
+            certificate.evaluate([5, 3])  # would be negative

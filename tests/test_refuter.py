@@ -1,0 +1,86 @@
+"""Unit tests for the randomized/exhaustive refuter."""
+
+import random
+
+from repro.queries.cq import cq_from_structure
+from repro.queries.parser import parse_boolean_cq
+from repro.structures.generators import cycle_structure
+from repro.core.refuter import (
+    default_blocks,
+    search_exhaustive_counterexample,
+    search_lattice_counterexample,
+)
+
+
+class TestLatticeSearch:
+    def test_finds_counterexample_for_undetermined(self):
+        # q = triangle, V = {hexagon}: independent basis directions, so
+        # pure component sums already separate them.
+        q = cq_from_structure(cycle_structure(3))
+        v = cq_from_structure(cycle_structure(6))
+        refutation = search_lattice_counterexample([v], q, max_multiplicity=2)
+        assert refutation is not None
+        assert refutation.ok
+        # verified answers carried along
+        assert refutation.query_answers[0] != refutation.query_answers[1]
+        for left, right in refutation.view_answers:
+            assert left == right
+
+    def test_none_for_determined_instance(self):
+        q = parse_boolean_cq("R(x,y)")
+        refutation = search_lattice_counterexample([q], q, max_multiplicity=3)
+        assert refutation is None
+
+    def test_respects_example42_blindspot(self):
+        """Example 42: with S = W the lattice cannot separate q = w1
+        from V = {w2} when hom-counts are proportional on all of
+        spanN(W).  The triangle/hexagon pair does NOT have this
+        property, but edge/2-path does: |hom(edge, D)| counts edges and
+        on sums of edges and 2-paths the view (edge+edge component
+        structure)… — here we simply check the search is honest: it
+        returns None rather than a bogus pair when the blocks can't
+        separate."""
+        q = parse_boolean_cq("U(x)")
+        v = parse_boolean_cq("U(x), U(y)")  # v(D) = q(D)^2: determined
+        refutation = search_lattice_counterexample([v], q, max_multiplicity=4)
+        assert refutation is None
+
+    def test_extra_random_blocks(self):
+        q = cq_from_structure(cycle_structure(3))
+        v = cq_from_structure(cycle_structure(4))
+        refutation = search_lattice_counterexample(
+            [v], q, max_multiplicity=2, extra_random_blocks=2,
+            rng=random.Random(5),
+        )
+        assert refutation is not None and refutation.ok
+
+    def test_default_blocks_deduplicated(self):
+        q = parse_boolean_cq("R(x,y), R(u,v)")
+        blocks = default_blocks([q], parse_boolean_cq("R(x,y)"))
+        assert len(blocks) == 1  # one edge class
+
+
+class TestExhaustiveSearch:
+    def test_unary_schema_counterexample(self):
+        # q = U(x): count of U-elements; view = U(x),U(y) = count².
+        # Determined -> no counterexample below any bound.
+        q = parse_boolean_cq("U(x)")
+        v = parse_boolean_cq("U(x), U(y)")
+        assert search_exhaustive_counterexample([v], q, max_size=3) is None
+
+    def test_finds_tiny_counterexample(self):
+        # No views at all: any two structures with different q answers.
+        q = parse_boolean_cq("U(x)")
+        refutation = search_exhaustive_counterexample([], q, max_size=1)
+        assert refutation is not None and refutation.ok
+
+    def test_agrees_with_decider_on_tiny_instances(self):
+        """Exhaustive-search soundness: whenever it returns a pair, the
+        decider must have said 'not determined'."""
+        from repro.core.decision import decide_bag_determinacy
+
+        q = parse_boolean_cq("U(x), U(y)")
+        views = [parse_boolean_cq("U(x)")]
+        result = decide_bag_determinacy(views, q)
+        found = search_exhaustive_counterexample(views, q, max_size=2)
+        assert result.determined == (found is None)

@@ -1,0 +1,60 @@
+"""Cross-validation: for undetermined instances where the lattice
+refuter *can* find concrete small counterexamples, its pairs and the
+Lemma 41 witness must tell the same story."""
+
+import random
+
+import pytest
+
+from repro.queries.cq import cq_from_structure
+from repro.queries.evaluation import evaluate_boolean
+from repro.structures.generators import cycle_structure, path_structure
+from repro.core.decision import decide_bag_determinacy
+from repro.core.refuter import search_lattice_counterexample
+
+
+CASES = [
+    # (views as structures, query structure, label)
+    ([cycle_structure(6)], cycle_structure(3), "triangle-vs-hexagon"),
+    ([cycle_structure(4)], cycle_structure(3), "triangle-vs-square"),
+    ([path_structure(["R", "R"])], path_structure(["R"]), "edge-vs-2path"),
+]
+
+
+@pytest.mark.parametrize("view_structures,query_structure,label", CASES)
+def test_refuter_and_witness_agree(view_structures, query_structure, label):
+    views = [cq_from_structure(s) for s in view_structures]
+    query = cq_from_structure(query_structure)
+    result = decide_bag_determinacy(views, query)
+    assert not result.determined, label
+
+    # Lemma 41 witness: always available, verified symbolically.
+    pair = result.witness(rng=random.Random(1))
+    assert pair.verify().ok, label
+
+    # Lattice refuter: when it finds a pair, the pair must genuinely
+    # refute (concrete structures, direct evaluation).
+    refutation = search_lattice_counterexample(
+        views, query, max_multiplicity=3, extra_random_blocks=2,
+        rng=random.Random(2),
+    )
+    if refutation is not None:
+        for view, (left, right) in zip(views, refutation.view_answers):
+            assert left == right
+            assert evaluate_boolean(view, refutation.left) == left
+            assert evaluate_boolean(view, refutation.right) == right
+        assert refutation.query_answers[0] != refutation.query_answers[1]
+
+
+def test_witness_answers_scale_consistently():
+    """The witness pair's view answers are equal *exactly*, not merely
+    approximately — spot-check the integers are identical objects of
+    arbitrary precision."""
+    views = [cq_from_structure(cycle_structure(6))]
+    query = cq_from_structure(cycle_structure(3))
+    result = decide_bag_determinacy(views, query)
+    report = result.witness(rng=random.Random(3)).verify()
+    for left, right in report.view_answers:
+        assert isinstance(left, int) and isinstance(right, int)
+        assert left == right
+        assert left > 0  # relevant views answer positively on witnesses

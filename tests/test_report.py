@@ -1,0 +1,64 @@
+"""Tests for the markdown report generator."""
+
+import random
+
+from repro.queries.parser import parse_boolean_cq
+from repro.core.report import render_report
+
+
+class TestDeterminedReport:
+    def test_contains_rewriting_and_roundtrip_table(self):
+        q = parse_boolean_cq("R(x,y), R(u,v)")
+        v = parse_boolean_cq("R(x,y)")
+        text = render_report([v], q, rng=random.Random(1))
+        assert "Verdict: DETERMINED" in text
+        assert "Monomial rewriting" in text
+        assert "| database | from views | direct | match |" in text
+        assert "**NO**" not in text  # every round trip matched
+
+    def test_vectors_listed(self):
+        q = parse_boolean_cq("R(x,y)")
+        text = render_report([q], q, rng=random.Random(2))
+        assert "`q⃗` = [1]" in text
+        assert "component basis size `k`: 1" in text
+
+    def test_sample_databases_zero(self):
+        q = parse_boolean_cq("R(x,y)")
+        text = render_report([q], q, sample_databases=0)
+        assert "Round trip" not in text
+
+
+class TestRefutedReport:
+    def test_contains_witness_table(self):
+        q = parse_boolean_cq("R(x,y)")
+        v = parse_boolean_cq("R(x,y), R(y,z)")
+        text = render_report([v], q, rng=random.Random(3))
+        assert "Verdict: NOT DETERMINED" in text
+        assert "differs (A) ✓" in text
+        assert "All conditions hold: **True**" in text
+        assert "**FAIL**" not in text
+
+    def test_relevant_and_irrelevant_views_both_tabled(self):
+        q = parse_boolean_cq("R(x,y)")
+        relevant = parse_boolean_cq("R(x,y), R(u,v)")  # q ⊆set v, but
+        # the instance is undetermined only if span misses; use an
+        # independent relevant view:
+        from repro.queries.cq import cq_from_structure
+        from repro.structures.generators import cycle_structure
+
+        q = cq_from_structure(cycle_structure(3))
+        relevant = cq_from_structure(cycle_structure(6))
+        irrelevant = parse_boolean_cq("S(x,y)")
+        text = render_report([relevant, irrelevant], q, rng=random.Random(4))
+        assert "equal (B) ✓" in text
+        assert "both zero (B0) ✓" in text
+
+
+def test_cli_report_subcommand(capsys):
+    from repro.cli import main
+
+    code = main(["report", "--view", "R(x,y)", "--query", "R(x,y), R(u,v)"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "# Bag-determinacy report" in out
+    assert "DETERMINED" in out

@@ -1,0 +1,117 @@
+"""Unit tests for monomial rewritings (Lemma 31 ⇐, Appendix D)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import DecisionError
+from repro.queries.parser import parse_boolean_cq
+from repro.core.rewriting import (
+    MonomialRewriting,
+    integer_nth_root,
+    rewriting_from_span,
+)
+
+Q = parse_boolean_cq("R(x,y)")
+V1 = parse_boolean_cq("R(x,y), R(u,v)")
+V2 = parse_boolean_cq("R(x,y), S(u,v)")
+
+
+class TestIntegerNthRoot:
+    def test_exact_roots(self):
+        assert integer_nth_root(27, 3) == 3
+        assert integer_nth_root(1024, 10) == 2
+        assert integer_nth_root(49, 2) == 7
+
+    def test_trivial_cases(self):
+        assert integer_nth_root(0, 5) == 0
+        assert integer_nth_root(1, 5) == 1
+        assert integer_nth_root(17, 1) == 17
+
+    def test_large_numbers(self):
+        base = 123456789
+        assert integer_nth_root(base ** 7, 7) == base
+
+    def test_inexact_raises(self):
+        with pytest.raises(DecisionError):
+            integer_nth_root(10, 2)
+
+    def test_bad_degree(self):
+        with pytest.raises(DecisionError):
+            integer_nth_root(4, 0)
+
+    def test_negative_value(self):
+        with pytest.raises(DecisionError):
+            integer_nth_root(-8, 3)
+
+
+class TestEvaluation:
+    def test_identity_rewriting(self):
+        rewriting = MonomialRewriting(Q, (Q,), (Fraction(1),))
+        assert rewriting.evaluate([42]) == 42
+
+    def test_square_root_rewriting(self):
+        # q(D)^2 = v(D): exponent 1/2.
+        rewriting = MonomialRewriting(Q, (V1,), (Fraction(1, 2),))
+        assert rewriting.evaluate([36]) == 6
+
+    def test_negative_exponent(self):
+        # q = v1^3 / v2 (the Example 32 pattern).
+        rewriting = MonomialRewriting(Q, (V1, V2), (Fraction(3), Fraction(-1)))
+        assert rewriting.evaluate([2, 4]) == 2  # 8 / 4
+
+    def test_observation_26_zero_guard(self):
+        # Even a view with exponent 0 forces the answer to 0 when it
+        # answers 0.
+        rewriting = MonomialRewriting(Q, (V1, V2), (Fraction(1), Fraction(0)))
+        assert rewriting.evaluate([5, 0]) == 0
+
+    def test_empty_views_constant_one(self):
+        rewriting = MonomialRewriting(Q, (), ())
+        assert rewriting.evaluate([]) == 1
+
+    def test_wrong_answer_count(self):
+        rewriting = MonomialRewriting(Q, (V1,), (Fraction(1),))
+        with pytest.raises(DecisionError):
+            rewriting.evaluate([1, 2])
+
+    def test_negative_answer_rejected(self):
+        rewriting = MonomialRewriting(Q, (V1,), (Fraction(1),))
+        with pytest.raises(DecisionError):
+            rewriting.evaluate([-1])
+
+    def test_inconsistent_answers_detected(self):
+        # sqrt(3) is not integral: the inputs cannot come from a database.
+        rewriting = MonomialRewriting(Q, (V1,), (Fraction(1, 2),))
+        with pytest.raises(DecisionError):
+            rewriting.evaluate([3])
+
+    def test_non_divisible_detected(self):
+        rewriting = MonomialRewriting(Q, (V1, V2), (Fraction(1), Fraction(-1)))
+        with pytest.raises(DecisionError):
+            rewriting.evaluate([5, 3])
+
+    def test_mismatched_lengths_rejected_at_construction(self):
+        with pytest.raises(DecisionError):
+            MonomialRewriting(Q, (V1,), (Fraction(1), Fraction(2)))
+
+
+class TestAnswerOn:
+    def test_never_touches_the_query(self):
+        """answer_on must agree with the query on databases, computed
+        from view answers alone."""
+        from repro.queries.evaluation import evaluate_boolean
+        from repro.structures.generators import clique_structure
+
+        rewriting = MonomialRewriting(
+            Q, (V1,), (Fraction(1, 2),)
+        )
+        database = clique_structure(3)
+        assert rewriting.answer_on(database) == evaluate_boolean(Q, database)
+
+    def test_explain_is_readable(self):
+        rewriting = rewriting_from_span(Q, [V1, V2], [Fraction(3), Fraction(-1)])
+        text = rewriting.explain()
+        assert "^(3)" in text
+        assert "^(-1)" in text
+        assert "answers 0" in text

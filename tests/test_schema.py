@@ -1,0 +1,91 @@
+"""Unit tests for schemas and relation symbols."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.structures.schema import RelationSymbol, Schema, binary_schema
+
+
+class TestRelationSymbol:
+    def test_basic(self):
+        symbol = RelationSymbol("R", 2)
+        assert symbol.name == "R"
+        assert symbol.arity == 2
+
+    def test_nullary_allowed(self):
+        assert RelationSymbol("H", 0).arity == 0
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSymbol("R", -1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSymbol("", 1)
+
+    def test_equality_and_hash(self):
+        assert RelationSymbol("R", 2) == RelationSymbol("R", 2)
+        assert RelationSymbol("R", 2) != RelationSymbol("R", 3)
+        assert hash(RelationSymbol("R", 2)) == hash(RelationSymbol("R", 2))
+
+
+class TestSchema:
+    def test_from_mapping(self):
+        schema = Schema({"R": 2, "H": 0})
+        assert schema.arity("R") == 2
+        assert schema.arity("H") == 0
+
+    def test_unknown_relation_raises(self):
+        with pytest.raises(SchemaError):
+            Schema({"R": 2}).arity("S")
+
+    def test_conflicting_arities_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([RelationSymbol("R", 1), RelationSymbol("R", 2)])
+
+    def test_names_sorted(self):
+        assert Schema({"Z": 1, "A": 1}).names() == ("A", "Z")
+
+    def test_contains(self):
+        schema = Schema({"R": 2})
+        assert "R" in schema
+        assert "S" not in schema
+
+    def test_max_arity(self):
+        assert Schema({"R": 2, "T": 3}).max_arity() == 3
+        assert Schema({}).max_arity() == 0
+
+    def test_is_binary(self):
+        assert Schema({"A": 2, "B": 2}).is_binary()
+        assert not Schema({"A": 2, "U": 1}).is_binary()
+        assert not Schema({}).is_binary()
+
+    def test_has_nullary(self):
+        assert Schema({"H": 0}).has_nullary()
+        assert not Schema({"R": 2}).has_nullary()
+
+    def test_union_merges(self):
+        merged = Schema({"R": 2}).union(Schema({"S": 1}))
+        assert set(merged.names()) == {"R", "S"}
+
+    def test_union_conflicting_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema({"R": 2}).union(Schema({"R": 1}))
+
+    def test_restrict(self):
+        restricted = Schema({"R": 2, "S": 1}).restrict(["R"])
+        assert restricted.names() == ("R",)
+
+    def test_restrict_unknown_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema({"R": 2}).restrict(["T"])
+
+    def test_equality_and_hash(self):
+        assert Schema({"R": 2}) == Schema({"R": 2})
+        assert hash(Schema({"R": 2})) == hash(Schema({"R": 2}))
+
+
+def test_binary_schema_helper():
+    schema = binary_schema("AB")
+    assert schema.is_binary()
+    assert schema.names() == ("A", "B")

@@ -1,0 +1,124 @@
+"""Tests for JSON serialization of structures and queries."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.queries.cq import boolean_cq, cq_from_structure
+from repro.queries.parser import parse_cq, parse_path, parse_ucq
+from repro.structures.generators import cycle_structure, random_structure
+from repro.structures.schema import Schema
+from repro.structures.serialization import (
+    SerializationError,
+    decode_constant,
+    dumps,
+    encode_constant,
+    from_dict,
+    loads,
+    to_dict,
+)
+from repro.structures.structure import Fact, Structure
+
+
+class TestConstants:
+    def test_scalars_pass_through(self):
+        for constant in ("a", 17, True, None):
+            assert decode_constant(encode_constant(constant)) == constant
+
+    def test_tuples_roundtrip(self):
+        constant = ("var", ("x", 3))
+        assert decode_constant(encode_constant(constant)) == constant
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(SerializationError):
+            encode_constant(object())
+
+    def test_bad_payloads_rejected(self):
+        with pytest.raises(SerializationError):
+            decode_constant({"weird": 1})
+        with pytest.raises(SerializationError):
+            decode_constant([1, 2])
+
+
+class TestStructures:
+    def test_roundtrip_with_facts_and_isolated(self):
+        s = Structure(
+            [("R", ("a", "b")), ("H", ())],
+            domain=["a", "b", "lonely"],
+        )
+        assert loads(dumps(s)) == s
+
+    def test_tuple_constants_roundtrip(self):
+        s = cycle_structure(3).rename({i: ("copy", i) for i in range(3)})
+        assert loads(dumps(s)) == s
+
+    def test_schema_preserved(self):
+        s = Structure([("R", ("a", "b"))], schema=Schema({"R": 2, "S": 2}))
+        restored = loads(dumps(s))
+        assert "S" in restored.schema
+
+    def test_frozen_body_roundtrip(self):
+        q = parse_cq("R(x,y), S(y,z)")
+        body = q.frozen_body()
+        assert loads(dumps(body)) == body
+
+    def test_malformed_rejected(self):
+        with pytest.raises(SerializationError):
+            from_dict({"kind": "structure", "facts": [["R"]]})
+        with pytest.raises(SerializationError):
+            from_dict({"kind": "nope"})
+        with pytest.raises(SerializationError):
+            from_dict("not a dict")
+        with pytest.raises(SerializationError):
+            loads("{broken json")
+
+
+class TestQueries:
+    def test_cq_roundtrip(self):
+        q = parse_cq("x | P(u,x), R(x,y)")
+        assert loads(dumps(q)) == q
+
+    def test_boolean_cq_roundtrip(self):
+        q = boolean_cq([("R", ("x", "y")), ("R", ("y", "z"))])
+        assert loads(dumps(q)) == q
+
+    def test_cq_with_extra_variables(self):
+        from repro.queries.cq import ConjunctiveQuery
+
+        q = ConjunctiveQuery([("R", ("x", "y"))], extra_variables=["w"])
+        assert loads(dumps(q)) == q
+
+    def test_ucq_roundtrip(self):
+        u = parse_ucq("P(x) or R(x), R(y)")
+        assert loads(dumps(u)) == u
+
+    def test_path_roundtrip(self):
+        p = parse_path("A.B.C")
+        assert loads(dumps(p)) == p
+        assert loads(dumps(parse_path(""))) == parse_path("")
+
+    def test_to_dict_kind_tags(self):
+        assert to_dict(parse_path("A"))["kind"] == "path"
+        assert to_dict(parse_cq("R(x,y)"))["kind"] == "cq"
+
+    def test_unsupported_type(self):
+        with pytest.raises(SerializationError):
+            to_dict(42)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000), size=st.integers(0, 4))
+def test_random_structure_roundtrip(seed, size):
+    schema = Schema({"R": 2, "U": 1, "H": 0})
+    s = random_structure(schema, size, 0.4, random.Random(seed))
+    assert loads(dumps(s)) == s
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_random_query_roundtrip(seed):
+    schema = Schema({"R": 2, "S": 2})
+    s = random_structure(schema, 3, 0.4, random.Random(seed))
+    q = cq_from_structure(s)
+    assert loads(dumps(q)) == q

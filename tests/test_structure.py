@@ -1,0 +1,141 @@
+"""Unit tests for Fact and Structure."""
+
+import pytest
+
+from repro.errors import StructureError
+from repro.structures.schema import Schema
+from repro.structures.structure import EMPTY_STRUCTURE, Fact, Structure, singleton
+
+
+class TestFact:
+    def test_basic(self):
+        fact = Fact("R", ("a", "b"))
+        assert fact.relation == "R"
+        assert fact.terms == ("a", "b")
+        assert fact.arity == 2
+
+    def test_nullary(self):
+        assert Fact("H").arity == 0
+
+    def test_rename(self):
+        renamed = Fact("R", ("a", "b")).rename({"a": "x"})
+        assert renamed.terms == ("x", "b")
+
+    def test_equality_and_hash(self):
+        assert Fact("R", ("a",)) == Fact("R", ("a",))
+        assert hash(Fact("R", ("a",))) == hash(Fact("R", ("a",)))
+
+    def test_str(self):
+        assert str(Fact("R", ("a", "b"))) == "R(a, b)"
+
+
+class TestStructureConstruction:
+    def test_from_tuples(self):
+        s = Structure([("R", ("a", "b"))])
+        assert s.has_fact("R", ("a", "b"))
+
+    def test_duplicate_facts_collapse(self):
+        s = Structure([("R", ("a", "b")), ("R", ("a", "b"))])
+        assert s.count_facts() == 1
+
+    def test_schema_inferred(self):
+        s = Structure([("R", ("a", "b")), ("U", ("a",))])
+        assert s.schema.arity("R") == 2
+        assert s.schema.arity("U") == 1
+
+    def test_inconsistent_arity_rejected(self):
+        with pytest.raises(StructureError):
+            Structure([("R", ("a",)), ("R", ("a", "b"))])
+
+    def test_schema_validation(self):
+        with pytest.raises(StructureError):
+            Structure([("R", ("a",))], schema=Schema({"R": 2}))
+        with pytest.raises(StructureError):
+            Structure([("T", ("a",))], schema=Schema({"R": 2}))
+
+    def test_domain_must_cover_active_domain(self):
+        with pytest.raises(StructureError):
+            Structure([("R", ("a", "b"))], domain=["a"])
+
+    def test_isolated_elements(self):
+        s = Structure([("R", ("a", "b"))], domain=["a", "b", "c"])
+        assert s.isolated_elements() == frozenset({"c"})
+        assert s.active_domain() == frozenset({"a", "b"})
+        assert s.domain() == frozenset({"a", "b", "c"})
+
+
+class TestStructureAccessors:
+    def test_tuples(self):
+        s = Structure([("R", ("a", "b")), ("R", ("b", "c"))])
+        assert s.tuples("R") == frozenset({("a", "b"), ("b", "c")})
+        assert s.tuples("missing") == frozenset()
+
+    def test_count_facts(self):
+        s = Structure([("R", ("a", "b")), ("S", ("a",))])
+        assert s.count_facts() == 2
+        assert s.count_facts("R") == 1
+        assert s.count_facts("T") == 0
+
+    def test_len_is_fact_count(self):
+        assert len(Structure([("R", ("a", "b"))])) == 1
+
+    def test_iteration(self):
+        facts = set(Structure([("R", ("a", "b"))]))
+        assert facts == {Fact("R", ("a", "b"))}
+
+    def test_empty_structure(self):
+        assert EMPTY_STRUCTURE.count_facts() == 0
+        assert not EMPTY_STRUCTURE
+
+    def test_singleton(self):
+        s = singleton("v")
+        assert s.domain() == frozenset({"v"})
+        assert s.count_facts() == 0
+        assert s  # truthy: non-empty domain
+
+
+class TestStructureTransforms:
+    def test_rename(self):
+        s = Structure([("R", ("a", "b"))]).rename({"a": 1, "b": 2})
+        assert s.has_fact("R", (1, 2))
+
+    def test_rename_non_injective_rejected(self):
+        with pytest.raises(StructureError):
+            Structure([("R", ("a", "b"))]).rename({"a": "x", "b": "x"})
+
+    def test_tagged_disjointness(self):
+        s = Structure([("R", ("a", "b"))])
+        left, right = s.tagged(0), s.tagged(1)
+        assert not (left.domain() & right.domain())
+
+    def test_union_shares_constants(self):
+        left = Structure([("R", ("a", "b"))])
+        right = Structure([("S", ("b", "c"))])
+        merged = left.union(right)
+        assert merged.count_facts() == 2
+        assert len(merged.domain()) == 3
+
+    def test_restrict_domain(self):
+        s = Structure([("R", ("a", "b")), ("R", ("b", "c"))])
+        restricted = s.restrict_domain({"a", "b"})
+        assert restricted.count_facts() == 1
+        assert restricted.domain() == frozenset({"a", "b"})
+
+    def test_with_schema(self):
+        bigger = Schema({"R": 2, "S": 2})
+        s = Structure([("R", ("a", "b"))]).with_schema(bigger)
+        assert "S" in s.schema
+
+
+class TestStructureEquality:
+    def test_equal_same_facts_and_domain(self):
+        assert Structure([("R", ("a", "b"))]) == Structure([("R", ("a", "b"))])
+
+    def test_domain_matters(self):
+        plain = Structure([("R", ("a", "b"))])
+        padded = Structure([("R", ("a", "b"))], domain=["a", "b", "c"])
+        assert plain != padded
+
+    def test_hashable(self):
+        assert len({Structure([("R", ("a", "b"))]),
+                    Structure([("R", ("a", "b"))])}) == 1

@@ -1,0 +1,111 @@
+"""Additional UCQ-layer tests: certificate algebra, reduction scaling,
+and interplay between the certificate and the reduction."""
+
+import pytest
+
+from repro.queries.evaluation import evaluate_boolean
+from repro.queries.parser import parse_boolean_cq, parse_ucq
+from repro.queries.ucq import UnionOfBooleanCQs, as_ucq
+from repro.structures.structure import Structure
+from repro.ucq.analysis import linear_certificate, search_reduction_counterexample
+from repro.ucq.hilbert import DiophantineInstance, Monomial
+from repro.ucq.reduction import build_reduction
+
+
+class TestLinearCertificateAlgebra:
+    def test_single_view_identity(self):
+        q = parse_ucq("P(x)")
+        certificate = linear_certificate([q], q)
+        assert certificate is not None
+        assert certificate.coefficients == (1,)
+
+    def test_scaled_view(self):
+        # v = q ∨ q answers 2·q(D): certificate coefficient 1/2.
+        q = parse_ucq("P(x)")
+        doubled = UnionOfBooleanCQs(list(q.disjuncts) * 2)
+        certificate = linear_certificate([doubled], q)
+        assert certificate is not None
+        from fractions import Fraction
+
+        assert certificate.coefficients == (Fraction(1, 2),)
+        assert certificate.evaluate([10]) == 5
+
+    def test_three_term_telescoping(self):
+        # q = (a∨b∨c) − (a∨b) of the views {a∨b∨c, a∨b}.
+        abc = parse_ucq("A(x) or B(x) or C(x)")
+        ab = parse_ucq("A(x) or B(x)")
+        c = parse_ucq("C(x)")
+        certificate = linear_certificate([abc, ab], c)
+        assert certificate is not None
+        assert certificate.coefficients == (1, -1)
+
+    def test_isomorphic_disjuncts_identified(self):
+        # P(x) and P(y) are the same query up to renaming: the
+        # certificate machinery must treat them as one class.
+        left = parse_ucq("P(x)")
+        right = parse_ucq("P(y)")
+        certificate = linear_certificate([left], right)
+        assert certificate is not None
+        assert certificate.coefficients == (1,)
+
+    def test_certificate_answers_on_structures(self):
+        abc = parse_ucq("A(x) or B(x) or C(x)")
+        ab = parse_ucq("A(x) or B(x)")
+        c = parse_ucq("C(x)")
+        certificate = linear_certificate([abc, ab], c)
+        database = Structure([("A", ("1",)), ("C", ("2",)), ("C", ("3",))])
+        assert certificate.answer_on(database) == evaluate_boolean(c, database)
+
+    def test_as_ucq_roundtrip(self):
+        q = parse_boolean_cq("P(x)")
+        u = as_ucq(q)
+        assert u.is_single_cq()
+        assert as_ucq(u) is u
+
+
+class TestReductionScaling:
+    def test_disjunct_count_tracks_coefficients(self):
+        instance = DiophantineInstance([
+            Monomial(7, {"x": 1}),
+            Monomial(-5, {"y": 2}),
+        ])
+        reduction = build_reduction(instance)
+        assert len(reduction.view_polynomial.disjuncts) == 12
+
+    def test_high_degree_monomials(self):
+        instance = DiophantineInstance([
+            Monomial(1, {"x": 4}),
+            Monomial(-1, {"y": 4}),
+        ])
+        reduction = build_reduction(instance)
+        # Each disjunct of Ψ_P has 4 X-atoms plus the flag.
+        positive = reduction.view_polynomial.disjuncts[0]
+        assert len(positive.atoms) == 5
+
+    def test_multi_variable_monomial(self):
+        instance = DiophantineInstance([
+            Monomial(1, {"x": 1, "y": 2}),
+            Monomial(-1, {"z": 1}),
+        ])
+        reduction = build_reduction(instance)
+        witness = search_reduction_counterexample(reduction, 3)
+        # x·y² = z has solutions, e.g. x=1, y=1, z=1.
+        assert witness is not None
+        assert witness.ok
+
+    def test_purely_positive_instance(self):
+        # x + 1 = 0 has no natural solution; Ψ_N is empty.
+        instance = DiophantineInstance([
+            Monomial(1, {"x": 1}), Monomial(1, {}),
+        ])
+        reduction = build_reduction(instance)
+        assert search_reduction_counterexample(reduction, 5) is None
+
+    def test_zero_constant_instance_always_solvable(self):
+        # Σ = {x - x}: 0 = 0 for every x... encoded as two monomials.
+        instance = DiophantineInstance([
+            Monomial(1, {"x": 1}), Monomial(-1, {"x": 1}),
+        ])
+        reduction = build_reduction(instance)
+        witness = search_reduction_counterexample(reduction, 1)
+        assert witness is not None

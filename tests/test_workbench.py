@@ -1,0 +1,109 @@
+"""Tests for the view catalog workbench."""
+
+import pytest
+
+from repro.errors import DecisionError, UnsupportedQueryError
+from repro.queries.parser import parse_boolean_cq, parse_cq
+from repro.core.workbench import ViewCatalog
+
+
+EDGE = parse_boolean_cq("R(x,y)")
+TWO_PATH = parse_boolean_cq("R(x,y), R(y,z)")
+S_EDGE = parse_boolean_cq("S(x,y)")
+PRODUCT_Q = parse_boolean_cq("R(x,y), S(u,v)")
+
+
+class TestDecisions:
+    def test_can_answer(self):
+        catalog = ViewCatalog([EDGE, S_EDGE])
+        assert catalog.can_answer(PRODUCT_Q)
+        assert catalog.can_answer(EDGE)
+        assert not catalog.can_answer(TWO_PATH)
+
+    def test_rewriting_roundtrip(self):
+        from repro.queries.evaluation import evaluate_boolean
+        from repro.structures.generators import random_structure
+        from repro.structures.schema import Schema
+        import random
+
+        catalog = ViewCatalog([EDGE, S_EDGE])
+        rewriting = catalog.rewriting(PRODUCT_Q)
+        database = random_structure(Schema({"R": 2, "S": 2}), 4, 0.5,
+                                    random.Random(8))
+        assert rewriting.answer_on(database) == evaluate_boolean(PRODUCT_Q, database)
+
+    def test_rewriting_unanswerable_raises(self):
+        catalog = ViewCatalog([EDGE])
+        with pytest.raises(DecisionError):
+            catalog.rewriting(TWO_PATH)
+
+    def test_decisions_cached(self):
+        catalog = ViewCatalog([EDGE])
+        first = catalog.decide(PRODUCT_Q)
+        second = catalog.decide(PRODUCT_Q)
+        assert first is second
+
+    def test_invalid_views_rejected_up_front(self):
+        with pytest.raises(UnsupportedQueryError):
+            ViewCatalog([parse_cq("x | R(x,y)")])
+
+
+class TestWorkloadAnalysis:
+    def test_partition(self):
+        catalog = ViewCatalog([EDGE, S_EDGE])
+        answerable, unanswerable = catalog.partition_workload(
+            [EDGE, TWO_PATH, PRODUCT_Q]
+        )
+        assert answerable == [EDGE, PRODUCT_Q]
+        assert unanswerable == [TWO_PATH]
+
+    def test_coverage_report(self):
+        catalog = ViewCatalog([EDGE, S_EDGE])
+        report = catalog.coverage_report([EDGE, TWO_PATH, PRODUCT_Q])
+        assert report["answerable"] == 2
+        assert report["unanswerable"] == 1
+        assert abs(report["coverage"] - 2 / 3) < 1e-9
+
+    def test_coverage_of_empty_workload(self):
+        assert ViewCatalog([EDGE]).coverage_report([])["coverage"] == 1.0
+
+    def test_missing_views_hint_names_blind_component(self):
+        catalog = ViewCatalog([EDGE])
+        hints = catalog.missing_views_hint(TWO_PATH)
+        assert hints
+        assert any("unconstrained" in hint for hint in hints)
+
+    def test_missing_views_hint_flags_irrelevant_views(self):
+        catalog = ViewCatalog([S_EDGE])
+        hints = catalog.missing_views_hint(TWO_PATH)
+        assert any("irrelevant" in hint for hint in hints)
+
+    def test_no_hints_when_answerable(self):
+        catalog = ViewCatalog([EDGE])
+        assert catalog.missing_views_hint(EDGE) == []
+
+
+class TestCatalogEvolution:
+    def test_with_view_is_monotone(self):
+        small = ViewCatalog([EDGE])
+        assert not small.can_answer(TWO_PATH)
+        bigger = small.with_view(TWO_PATH)
+        assert bigger.can_answer(TWO_PATH)
+        assert bigger.can_answer(EDGE)  # old capability retained
+
+    def test_minimal_subcatalog(self):
+        catalog = ViewCatalog([EDGE, S_EDGE, TWO_PATH])
+        minimal = catalog.minimal_subcatalog([PRODUCT_Q])
+        assert minimal is not None
+        assert len(minimal) == 2
+        assert minimal.can_answer(PRODUCT_Q)
+
+    def test_minimal_subcatalog_none_when_uncoverable(self):
+        catalog = ViewCatalog([EDGE])
+        assert catalog.minimal_subcatalog([TWO_PATH]) is None
+
+    def test_repr(self):
+        catalog = ViewCatalog([EDGE])
+        catalog.decide(EDGE)
+        assert "1 views" in repr(catalog)
+        assert "1 decided" in repr(catalog)
