@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Profile the E-series workloads and print the top-20 hot functions.
+
+Runs cProfile over the workload generators in ``benchmarks/workloads.py``
+(the E4 decision sweep, the E5 counting workloads, and the witness
+pipeline) and prints the top functions by cumulative time.  This is the
+tool that located the `_prepare`-rebuilds-everything and
+`sorted(..., key=repr)` hotspots the compiled engine removed.
+
+Usage::
+
+    python scripts/profile_hotpaths.py            # all workloads
+    python scripts/profile_hotpaths.py decision   # one workload
+    python scripts/profile_hotpaths.py --top 30   # more rows
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+
+def workload_hom() -> None:
+    """E5: counting into large targets and deep lazy expressions."""
+    from repro.hom.count import count_homs
+    from repro.structures.expression import PowerExpression, scaled_sum
+    from repro.structures.generators import (
+        clique_structure, cycle_structure, path_structure,
+    )
+
+    path3 = path_structure(["R", "R", "R"])
+    edge = path_structure(["R"])
+    c3 = cycle_structure(3)
+    for _ in range(20):
+        for size in (4, 6, 8):
+            count_homs(path3, clique_structure(size))
+        expression = PowerExpression(scaled_sum([(2, c3), (1, edge)]), 32)
+        count_homs(edge, expression)
+
+
+def workload_decision() -> None:
+    """E4: the Theorem 3 pipeline over view-count and width sweeps."""
+    from workloads import make_instance
+    from repro.core.decision import decide_bag_determinacy
+
+    for n_views in (1, 4, 8, 16):
+        views, query = make_instance(n_views=n_views, n_components=2, seed=17)
+        for _ in range(5):
+            decide_bag_determinacy(views, query)
+    for n_components in (1, 2, 4, 6):
+        views, query = make_instance(n_views=4, n_components=n_components,
+                                     seed=29)
+        for _ in range(5):
+            decide_bag_determinacy(views, query)
+
+
+def workload_witness() -> None:
+    """E7-ish: witness construction + verification on a refutable case."""
+    from workloads import make_instance
+    from repro.core.decision import decide_bag_determinacy
+
+    views, query = make_instance(n_views=2, n_components=3, seed=3)
+    result = decide_bag_determinacy(views, query)
+    if not result.determined:
+        pair = result.witness()
+        pair.verify()
+
+
+WORKLOADS = {
+    "hom": workload_hom,
+    "decision": workload_decision,
+    "witness": workload_witness,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("workloads", nargs="*", choices=[*WORKLOADS, []],
+                        help="subset to profile (default: all)")
+    parser.add_argument("--top", type=int, default=20,
+                        help="rows of the profile to print")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=["cumulative", "tottime", "ncalls"])
+    args = parser.parse_args(argv)
+
+    chosen = args.workloads or list(WORKLOADS)
+    # Import everything up front so module loading stays out of the profile.
+    import repro.core.decision  # noqa: F401
+    import repro.core.witness   # noqa: F401
+    import repro.hom.count      # noqa: F401
+    import workloads            # noqa: F401
+
+    profiler = cProfile.Profile()
+    for name in chosen:
+        print(f"profiling workload: {name}", file=sys.stderr)
+        profiler.enable()
+        WORKLOADS[name]()
+        profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

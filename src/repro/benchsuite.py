@@ -1,0 +1,215 @@
+"""Machine-readable micro-benchmarks for the counting engine.
+
+``python -m repro.cli bench --json`` runs this suite and writes
+``BENCH_engine.json`` so the perf trajectory can be tracked PR over PR
+(EXPERIMENTS.md records the history).  The workloads mirror the
+E-series benchmarks in ``benchmarks/``:
+
+* ``hom_large_target``       — E5: connected counting into cliques,
+  cold engine (compile + count, no memo reuse) vs the naive direct
+  backtracking counter;
+* ``hom_memoized``           — E5 steady state: the shared-engine path
+  the decision procedure actually exercises (memo hits);
+* ``hom_isomorphic_components`` — canonical-component memoization over
+  sources assembled from renamed copies of a small component pool;
+* ``decision``               — E4: the full Theorem 3 pipeline on a
+  synthetic 16-view catalog;
+* ``linalg_det``             — Bareiss fraction-free determinant vs the
+  textbook Fraction-Gauss reference on a radix-style integer matrix.
+
+Every workload cross-checks its counts against ground truth before
+timing, so a regression in correctness fails the bench run itself.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from typing import Callable, Dict, List
+
+from repro.hom.count import count_homs
+from repro.hom.engine import HomEngine, default_engine
+from repro.hom.search import count_homomorphisms_direct
+from repro.linalg.matrix import QMatrix, gaussian_det
+from repro.queries.cq import cq_from_structure
+from repro.structures.generators import (
+    clique_structure,
+    cycle_structure,
+    path_structure,
+)
+from repro.structures.operations import sum_with_multiplicities
+from repro.core.decision import decide_bag_determinacy
+
+
+def _component_pool():
+    """The 7-element pool the synthetic workloads draw from (mirrors
+    ``benchmarks/workloads.py``)."""
+    return [
+        path_structure(["R"]),
+        path_structure(["R", "R"]),
+        path_structure(["S"]),
+        path_structure(["R", "S"]),
+        path_structure(["S", "R"]),
+        cycle_structure(3),
+        cycle_structure(4),
+    ]
+
+
+def _make_instance(n_views: int, n_components: int, seed: int = 0):
+    rng = random.Random(seed)
+    pool = _component_pool()
+
+    def make_query():
+        pieces = [
+            (rng.randint(1, 2), rng.choice(pool))
+            for _ in range(rng.randint(1, n_components))
+        ]
+        return cq_from_structure(sum_with_multiplicities(pieces))
+
+    views = [make_query() for _ in range(n_views)]
+    return views, make_query()
+
+
+def _timeit(fn: Callable[[], object], repeat: int) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_benchmarks(repeat: int = 3) -> Dict[str, object]:
+    """Run every workload; returns the report dict."""
+    repeat = max(1, repeat)
+    report: Dict[str, object] = {
+        "suite": "repro-engine-bench",
+        "repeat": repeat,
+        "workloads": {},
+    }
+    workloads: Dict[str, Dict[str, float]] = report["workloads"]  # type: ignore
+
+    # -------------------------------------------------- hom_large_target
+    path3 = path_structure(["R", "R", "R"])
+    big = clique_structure(8)
+    expected = 8 * 7 ** 3
+    assert count_homs(path3, big) == expected
+    assert count_homomorphisms_direct(path3, big) == expected
+
+    def cold_engine():
+        engine = HomEngine()
+        for _ in range(5):
+            engine.clear()
+            engine.count(path3, big)
+
+    direct = _timeit(lambda: [count_homomorphisms_direct(path3, big)
+                              for _ in range(5)], repeat)
+    cold = _timeit(cold_engine, repeat)
+    workloads["hom_large_target"] = {
+        "direct_backtracking_s": direct,
+        "cold_engine_s": cold,
+        "speedup": direct / cold if cold else float("inf"),
+    }
+
+    # -------------------------------------------------- hom_memoized
+    shared = default_engine()
+    shared.count(path3, big)
+
+    memo = _timeit(lambda: [shared.count(path3, big) for _ in range(5)], repeat)
+    workloads["hom_memoized"] = {
+        "direct_backtracking_s": direct,
+        "memoized_engine_s": memo,
+        "speedup": direct / memo if memo else float("inf"),
+    }
+
+    # -------------------------------------- hom_isomorphic_components
+    pool = _component_pool()
+    renamed: List = []
+    for i in range(12):
+        base = pool[i % len(pool)]
+        renamed.append(base.rename({c: (i, c) for c in base.domain()}))
+    source = sum_with_multiplicities([(1, s) for s in renamed])
+    target = clique_structure(5)
+    truth = count_homomorphisms_direct(source, target)
+
+    def canonical_memo():
+        engine = HomEngine()
+        for _ in range(3):
+            engine.clear()
+            assert engine.count(source, target) == truth
+
+    def exact_dict():
+        # The seed-era strategy: exact (component, leaf) dict keys over
+        # the naive counter — renamed components never share entries.
+        from repro.structures.components import connected_components
+
+        for _ in range(3):
+            cache: dict = {}
+            total = 1
+            for component in connected_components(source):
+                key = (component, target)
+                value = cache.get(key)
+                if value is None:
+                    value = count_homomorphisms_direct(component, target)
+                    cache[key] = value
+                total *= value
+            assert total == truth
+
+    iso_engine = _timeit(canonical_memo, repeat)
+    iso_dict = _timeit(exact_dict, repeat)
+    workloads["hom_isomorphic_components"] = {
+        "exact_key_dict_s": iso_dict,
+        "canonical_engine_s": iso_engine,
+        "speedup": iso_dict / iso_engine if iso_engine else float("inf"),
+    }
+
+    # -------------------------------------------------- decision
+    views, query = _make_instance(n_views=16, n_components=2, seed=17)
+    decide_bag_determinacy(views, query)  # warm the shared engine
+
+    def decide():
+        for _ in range(3):
+            result = decide_bag_determinacy(views, query)
+            assert result.basis.dimension >= 1
+
+    workloads["decision"] = {
+        "decide_16_views_s": _timeit(decide, repeat),
+    }
+
+    # -------------------------------------------------- linalg_det
+    rng = random.Random(0xBA5E)
+    size = 9
+    rows = [[rng.randint(0, 9) ** j for j in range(size)] for _ in range(size)]
+    matrix = QMatrix(rows)
+    assert matrix.det() == gaussian_det(matrix)
+
+    bareiss = _timeit(lambda: QMatrix(rows).det(), repeat)
+    gauss = _timeit(lambda: gaussian_det(QMatrix(rows)), repeat)
+    workloads["linalg_det"] = {
+        "gaussian_fraction_s": gauss,
+        "bareiss_s": bareiss,
+        "speedup": gauss / bareiss if bareiss else float("inf"),
+    }
+
+    report["engine_stats"] = default_engine().stats()
+    return report
+
+
+def write_report(path: str = "BENCH_engine.json", repeat: int = 3) -> Dict[str, object]:
+    report = run_benchmarks(repeat=repeat)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+def format_report(report: Dict[str, object]) -> str:
+    lines = ["engine micro-benchmarks (best of %d):" % report["repeat"]]
+    for name, numbers in sorted(report["workloads"].items()):  # type: ignore
+        parts = ", ".join(
+            f"{key}={value:.6f}" if "_s" in key else f"{key}={value:.2f}x"
+            for key, value in sorted(numbers.items())
+        )
+        lines.append(f"  {name}: {parts}")
+    return "\n".join(lines)

@@ -9,6 +9,9 @@ Subcommands
 ``certify-ucq``   try the linear certificate for boolean UCQs.
 ``hilbert``       build the Appendix-A reduction for a polynomial and
                   search for a bounded counterexample.
+``bench``         run the engine micro-benchmarks; ``--json`` writes
+                  machine-readable timings to ``BENCH_engine.json`` so
+                  successive PRs can track the perf trajectory.
 
 Examples
 --------
@@ -114,6 +117,19 @@ def _cmd_hilbert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.benchsuite import format_report, run_benchmarks, write_report
+
+    if args.json or args.output is not None:
+        path = args.output or "BENCH_engine.json"
+        report = write_report(path=path, repeat=args.repeat)
+        print(f"wrote {path}")
+    else:
+        report = run_benchmarks(repeat=args.repeat)
+    print(format_report(report))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-determinacy",
@@ -148,6 +164,16 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="C:VARS", help='e.g. "-2:x^2*y"')
     hilbert.add_argument("--bound", type=int, default=10)
     hilbert.set_defaults(handler=_cmd_hilbert)
+
+    bench = sub.add_parser("bench", help="engine micro-benchmarks")
+    bench.add_argument("--json", action="store_true",
+                       help="write machine-readable timings to "
+                            "BENCH_engine.json (or --output PATH)")
+    bench.add_argument("--output", default=None, metavar="PATH",
+                       help="write the JSON report to PATH (implies --json)")
+    bench.add_argument("--repeat", type=int, default=3,
+                       help="timing repetitions (best-of)")
+    bench.set_defaults(handler=_cmd_bench)
 
     return parser
 

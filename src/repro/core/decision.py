@@ -27,6 +27,7 @@ from typing import Optional, Sequence, Tuple
 
 from repro.errors import DecisionError
 from repro.hom.containment import views_containing
+from repro.hom.engine import HomEngine, default_engine
 from repro.linalg.span import span_coefficients
 from repro.queries.cq import ConjunctiveQuery
 from repro.core.basis import ComponentBasis, validate_for_component_basis
@@ -60,6 +61,7 @@ class BooleanDeterminacyResult:
     query_vector: Tuple[int, ...]
     coefficients: Optional[Tuple[Fraction, ...]]
     _witness_cache: object = field(default=None, repr=False, compare=False)
+    _engine: object = field(default=None, repr=False, compare=False)
 
     @property
     def determined(self) -> bool:
@@ -83,7 +85,8 @@ class BooleanDeterminacyResult:
             from repro.core.witness import construct_counterexample
 
             self._witness_cache = construct_counterexample(
-                self, rng=rng, distinguisher_budget=distinguisher_budget
+                self, rng=rng, distinguisher_budget=distinguisher_budget,
+                engine=self._engine,
             )
         return self._witness_cache
 
@@ -108,19 +111,26 @@ class BooleanDeterminacyResult:
 def decide_bag_determinacy(
     views: Sequence[ConjunctiveQuery],
     query: ConjunctiveQuery,
+    engine: Optional[HomEngine] = None,
 ) -> BooleanDeterminacyResult:
     """Decide ``V0 →bag q`` for boolean conjunctive queries (Theorem 3).
+
+    ``engine`` is the shared counting engine used for the containment
+    probes and, later, witness construction; it defaults to the
+    process-wide engine so repeated decisions over the same catalog
+    reuse every compiled target and memoized count.
 
     >>> from repro.queries.parser import parse_boolean_cq
     >>> q = parse_boolean_cq("R(x,y)")
     >>> decide_bag_determinacy([q], q).determined
     True
     """
+    engine = engine or default_engine()
     validate_for_component_basis(query)
     for view in views:
         validate_for_component_basis(view)
 
-    relevant = tuple(views_containing(query, views))
+    relevant = tuple(views_containing(query, views, engine))
     basis = ComponentBasis.from_queries(list(relevant) + [query])
     view_vectors = tuple(basis.vector(view) for view in relevant)
     query_vector = basis.vector(query)
@@ -134,6 +144,7 @@ def decide_bag_determinacy(
         view_vectors=view_vectors,
         query_vector=query_vector,
         coefficients=tuple(coefficients) if coefficients is not None else None,
+        _engine=engine,
     )
 
 

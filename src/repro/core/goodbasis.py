@@ -37,7 +37,8 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import DecisionError, SearchExhaustedError
-from repro.hom.count import CountCache, count_homs
+from repro.hom.count import count_homs
+from repro.hom.engine import HomEngine, default_engine
 from repro.hom.matrix import evaluation_matrix
 from repro.linalg.matrix import QMatrix
 from repro.queries.cq import ConjunctiveQuery
@@ -82,15 +83,15 @@ def construct_good_basis(
     irrelevant_views: Sequence[ConjunctiveQuery] = (),
     rng: Optional[random.Random] = None,
     distinguisher_budget: int = 5000,
-    cache: Optional[CountCache] = None,
+    engine: Optional[HomEngine] = None,
 ) -> GoodBasis:
     """Build a good set of basis structures for ``components`` and ``q``.
 
     ``irrelevant_views`` are ``V0 \\ V``; decency against them is
     verified before returning.
     """
-    if cache is None:
-        cache = {}
+    if engine is None:
+        engine = default_engine()
     rng = rng or random.Random(0x5EED)
     ambient = _ambient_schema(components, query, irrelevant_views)
     k = len(components)
@@ -103,7 +104,7 @@ def construct_good_basis(
     # precondition rather than emit a silently singular matrix.
     frozen_query_plain = query.frozen_body()
     for component in components:
-        if count_homs(component, frozen_query_plain, cache) == 0:
+        if count_homs(component, frozen_query_plain, engine) == 0:
             raise DecisionError(
                 f"component {component!r} has no homomorphism into the "
                 f"query; good bases are defined for the component basis "
@@ -112,12 +113,12 @@ def construct_good_basis(
 
     # ------------------------------------------------------------- Step 1
     distinguishers = find_distinguishers(
-        components, ambient, rng=rng, budget=distinguisher_budget, cache=cache
+        components, ambient, rng=rng, budget=distinguisher_budget, engine=engine
     )
 
     # ------------------------------------------------------------- Step 2
     step1_matrix = [
-        [count_homs(w, s, cache) for s in distinguishers] for w in components
+        [count_homs(w, s, engine) for s in distinguishers] for w in components
     ]
     radix = max((entry for row in step1_matrix for entry in row), default=0) + 1
     radix = max(radix, 2)
@@ -125,7 +126,7 @@ def construct_good_basis(
         (radix ** (i + 1), LeafExpression(s))
         for i, s in enumerate(distinguishers)
     ])
-    merged_counts = tuple(count_homs(w, merged, cache) for w in components)
+    merged_counts = tuple(count_homs(w, merged, engine) for w in components)
     if len(set(merged_counts)) != k:
         raise DecisionError(
             "Observation 45 violated: radix merge failed to separate "
@@ -143,7 +144,7 @@ def construct_good_basis(
         ProductExpression([p, LeafExpression(frozen_query)]) for p in powers
     )
 
-    matrix = evaluation_matrix(list(components), list(good), cache)
+    matrix = evaluation_matrix(list(components), list(good), engine)
     if not matrix.is_nonsingular():
         raise DecisionError(
             "evaluation matrix of S⁽⁴⁾ is singular — this contradicts "
@@ -151,7 +152,7 @@ def construct_good_basis(
         )
     for view in irrelevant_views:
         for s in good:
-            if count_homs(view.frozen_body(), s, cache) != 0:
+            if count_homs(view.frozen_body(), s, engine) != 0:
                 raise DecisionError(
                     f"S is not decent: irrelevant view {view!r} answers "
                     f"non-zero on a basis structure"
@@ -175,7 +176,7 @@ def find_distinguishers(
     ambient: Schema,
     rng: Optional[random.Random] = None,
     budget: int = 5000,
-    cache: Optional[CountCache] = None,
+    engine: Optional[HomEngine] = None,
 ) -> List[Structure]:
     """A finite set ``S⁽¹⁾`` with: for every pair ``w ≠ w'`` some
     ``s ∈ S⁽¹⁾`` has ``|hom(w, s)| ≠ |hom(w', s)|``.
@@ -195,7 +196,7 @@ def find_distinguishers(
 
     def separated(i: int, j: int) -> bool:
         return any(
-            count_homs(components[i], s, cache) != count_homs(components[j], s, cache)
+            count_homs(components[i], s, engine) != count_homs(components[j], s, engine)
             for s in chosen
         )
 
@@ -203,7 +204,7 @@ def find_distinguishers(
         if separated(i, j):
             continue
         found = _search_single_distinguisher(
-            components[i], components[j], components, ambient, rng, budget, cache
+            components[i], components[j], components, ambient, rng, budget, engine
         )
         chosen.append(found)
     if not chosen:
@@ -222,10 +223,10 @@ def _search_single_distinguisher(
     ambient: Schema,
     rng: random.Random,
     budget: int,
-    cache: Optional[CountCache],
+    engine: Optional[HomEngine],
 ) -> Structure:
     for candidate in _candidate_stream(left, right, components, ambient, rng, budget):
-        if count_homs(left, candidate, cache) != count_homs(right, candidate, cache):
+        if count_homs(left, candidate, engine) != count_homs(right, candidate, engine):
             return candidate
     raise SearchExhaustedError(
         f"no distinguishing structure found for a component pair within "

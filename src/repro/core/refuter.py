@@ -29,7 +29,8 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.hom.count import CountCache, count_homs
+from repro.hom.count import count_homs
+from repro.hom.engine import HomEngine, default_engine
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.evaluation import evaluate_boolean
 from repro.structures.components import connected_components
@@ -95,12 +96,12 @@ def search_lattice_counterexample(
                     random_connected_structure(schema, rng.randint(1, 3), rng=rng)
                 )
 
-    cache: CountCache = {}
+    engine: HomEngine = default_engine()
     # Precompute per-component block counts for every query involved.
     all_queries = list(views) + [query]
     component_lists = [connected_components(q.frozen_body()) for q in all_queries]
     block_counts: List[List[List[int]]] = [
-        [[count_homs(c, b, cache) for b in blocks] for c in comps]
+        [[count_homs(c, b, engine) for b in blocks] for c in comps]
         for comps in component_lists
     ]
 

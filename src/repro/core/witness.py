@@ -33,7 +33,8 @@ from fractions import Fraction
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import DecisionError
-from repro.hom.count import CountCache, count_homs
+from repro.hom.count import Cache, count_homs
+from repro.hom.engine import HomEngine, default_engine
 from repro.linalg.cone import SimplicialCone, perturb
 from repro.linalg.orthogonal import integer_orthogonal_witness
 from repro.linalg.span import integerize
@@ -99,10 +100,14 @@ class CounterexamplePair:
     # ------------------------------------------------------------------
     # Verification
     # ------------------------------------------------------------------
-    def verify(self, cache: Optional[CountCache] = None) -> VerificationReport:
+    def verify(self, cache: Cache = None) -> VerificationReport:
         """Re-check (A), (B), (B0) by *symbolic hom counting* on the
         actual structure expressions — independent of the linear
-        algebra that produced the pair."""
+        algebra that produced the pair.  The default dict cache routes
+        leaf counts through the *naive* recursive backtracker, keeping
+        the audit independent of the compiled engine that produced the
+        decision; pass a :class:`~repro.hom.engine.HomEngine` to trade
+        that independence for speed."""
         if cache is None:
             cache = {}
         query_answers = (
@@ -151,15 +156,18 @@ def construct_counterexample(
     result,
     rng: Optional[random.Random] = None,
     distinguisher_budget: int = 5000,
+    engine: Optional[HomEngine] = None,
 ) -> CounterexamplePair:
     """Build the counterexample pair for a failed span test.
 
     ``result`` is a :class:`repro.core.decision.BooleanDeterminacyResult`
-    with ``determined == False``.
+    with ``determined == False``; ``engine`` is the shared counting
+    engine (defaulting to the result's own, then the process-wide one).
     """
     if result.coefficients is not None:
         raise DecisionError("the views determine the query; no counterexample exists")
-    cache: CountCache = {}
+    if engine is None:
+        engine = getattr(result, "_engine", None) or default_engine()
     irrelevant = tuple(
         v for v in result.views if v not in set(result.relevant_views)
     )
@@ -169,7 +177,7 @@ def construct_counterexample(
         irrelevant_views=irrelevant,
         rng=rng,
         distinguisher_budget=distinguisher_budget,
-        cache=cache,
+        engine=engine,
     )
 
     direction = integer_orthogonal_witness(result.view_vectors, result.query_vector)

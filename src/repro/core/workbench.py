@@ -6,7 +6,8 @@ the Theorem 3 pipeline cost is per-(view, query) containment checks and
 per-component hom counts — all reusable.  :class:`ViewCatalog` keeps:
 
 * frozen bodies of the views (computed once);
-* a shared hom-count cache threaded through every decision;
+* a shared compiled counting engine (repro.hom.engine.HomEngine)
+  threaded through every decision;
 * a cache of decided queries (keyed by the query object);
 * the roster of determined queries with their rewritings — i.e. the
   part of the workload this catalog can serve.
@@ -21,7 +22,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import DecisionError
-from repro.hom.count import CountCache
+from repro.hom.engine import HomEngine
 from repro.queries.cq import ConjunctiveQuery
 from repro.core.basis import validate_for_component_basis
 from repro.core.decision import BooleanDeterminacyResult, decide_bag_determinacy
@@ -41,7 +42,7 @@ class ViewCatalog:
         for view in views:
             validate_for_component_basis(view)
         self.views: Tuple[ConjunctiveQuery, ...] = tuple(views)
-        self._hom_cache: CountCache = {}
+        self._engine = HomEngine()
         self._decisions: Dict[ConjunctiveQuery, BooleanDeterminacyResult] = {}
 
     # ------------------------------------------------------------------
@@ -51,7 +52,8 @@ class ViewCatalog:
         """Decide (and cache) whether the catalog determines ``query``."""
         cached = self._decisions.get(query)
         if cached is None:
-            cached = decide_bag_determinacy(self.views, query)
+            cached = decide_bag_determinacy(self.views, query,
+                                            engine=self._engine)
             self._decisions[query] = cached
         return cached
 

@@ -1,4 +1,22 @@
-"""Homomorphism search, counting, containment and evaluation matrices."""
+"""Homomorphism search, counting, containment and evaluation matrices.
+
+Counting architecture (DESIGN.md §6.5)
+--------------------------------------
+Hot-path counting runs on the **compiled engine** in
+:mod:`repro.hom.engine`: a :class:`~repro.hom.engine.TargetIndex`
+compiles each counting target once (positional candidate sets,
+per-relation tuple sets, binary projection maps for forward checking),
+a :class:`~repro.hom.engine.SourcePlan` compiles each source once
+(variable order, incident-fact lists), and a
+:class:`~repro.hom.engine.HomEngine` memoizes counts in an LRU cache
+keyed by canonical representatives of connected components — so
+isomorphic components share one count.  ``count_homs`` uses the shared
+process-wide engine by default; construct a ``HomEngine`` to scope the
+memoization (as the decision procedure and :class:`ViewCatalog` do), or
+pass a plain dict for the legacy exact-key cache.
+:func:`~repro.hom.search.count_homomorphisms_direct` stays the naive
+recursive ground truth that the engine is property-tested against.
+"""
 
 from repro.hom.search import (
     count_homomorphisms_direct,
@@ -6,6 +24,7 @@ from repro.hom.search import (
     find_homomorphism,
     iter_homomorphisms,
 )
+from repro.hom.engine import HomEngine, SourcePlan, TargetIndex, default_engine
 from repro.hom.count import count_homs, count_homs_connected, hom_vector
 from repro.hom.containment import (
     are_equivalent_set,
@@ -27,6 +46,10 @@ __all__ = [
     "exists_homomorphism",
     "find_homomorphism",
     "iter_homomorphisms",
+    "HomEngine",
+    "SourcePlan",
+    "TargetIndex",
+    "default_engine",
     "count_homs",
     "count_homs_connected",
     "hom_vector",

@@ -14,14 +14,23 @@ disjunct of ``Φ`` is ⊆set some disjunct of ``Ψ``.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.errors import QueryError
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.ucq import UnionOfBooleanCQs
-from repro.hom.search import exists_homomorphism
+from repro.hom.engine import HomEngine, default_engine
 
 
-def is_contained_set(query: ConjunctiveQuery, container: ConjunctiveQuery) -> bool:
+def is_contained_set(
+    query: ConjunctiveQuery,
+    container: ConjunctiveQuery,
+    engine: Optional[HomEngine] = None,
+) -> bool:
     """``query ⊆set container`` for boolean CQs (Chandra–Merlin).
+
+    The existence probe runs on the compiled engine (shared target
+    indexes + memoized verdicts); pass ``engine`` to scope the memo.
 
     >>> from repro.queries.parser import parse_boolean_cq
     >>> q = parse_boolean_cq("R(x,y), R(y,z)")
@@ -33,7 +42,8 @@ def is_contained_set(query: ConjunctiveQuery, container: ConjunctiveQuery) -> bo
     """
     _require_boolean(query)
     _require_boolean(container)
-    return exists_homomorphism(container.frozen_body(), query.frozen_body())
+    engine = engine or default_engine()
+    return engine.exists(container.frozen_body(), query.frozen_body())
 
 
 def are_equivalent_set(left: ConjunctiveQuery, right: ConjunctiveQuery) -> bool:
@@ -49,11 +59,16 @@ def is_contained_set_ucq(query: UnionOfBooleanCQs, container: UnionOfBooleanCQs)
     )
 
 
-def views_containing(query: ConjunctiveQuery, views) -> list:
+def views_containing(
+    query: ConjunctiveQuery,
+    views,
+    engine: Optional[HomEngine] = None,
+) -> list:
     """Definition 25: the sublist of ``views`` that ``query`` is
     ⊆set-contained in (these are the views that can never answer 0 on a
     structure where ``q`` answers positively)."""
-    return [view for view in views if is_contained_set(query, view)]
+    engine = engine or default_engine()
+    return [view for view in views if is_contained_set(query, view, engine)]
 
 
 def _require_boolean(query: ConjunctiveQuery) -> None:

@@ -19,14 +19,20 @@ Strategy (all identities are Lemma 4 of the paper):
      isolated vertex counts ``|dom|``, a single 0-ary fact counts
      membership.
 
-Counts of (component, leaf) pairs are memoized per call through an
-optional shared cache, which the decision procedure and the witness
-verifier reuse across many queries against the same basis structures.
+Counts of (component, leaf) pairs are memoized through the compiled
+engine of :mod:`repro.hom.engine`: pass no cache to use the shared
+process-wide :class:`~repro.hom.engine.HomEngine` (targets compiled
+once, counts shared across isomorphic components), pass a
+:class:`~repro.hom.engine.HomEngine` to scope the memoization, or pass
+a plain ``dict`` for the legacy exact-key cache — dict-cached counting
+deliberately runs the *naive* recursive backtracker, so it stays an
+independent audit path for engine-produced results (the witness
+verifier relies on this).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple, Union
 
 from repro.errors import StructureError
 from repro.structures.components import connected_components
@@ -39,16 +45,18 @@ from repro.structures.expression import (
     as_expression,
 )
 from repro.structures.structure import Structure
+from repro.hom.engine import HomEngine, default_engine
 from repro.hom.search import count_homomorphisms_direct
 
 Target = Structure | StructureExpression
 CountCache = Dict[Tuple[Structure, Structure], int]
+Cache = Union[CountCache, HomEngine, None]
 
 
 def count_homs(
     source: Structure,
     target: Target,
-    cache: Optional[CountCache] = None,
+    cache: Cache = None,
 ) -> int:
     """``|hom(source, target)|`` with component factorization.
 
@@ -68,7 +76,7 @@ def count_homs(
 def count_homs_connected(
     component: Structure,
     target: Target,
-    cache: Optional[CountCache] = None,
+    cache: Cache = None,
 ) -> int:
     """Count for a source already known to be connected (no re-split)."""
     return _count_connected(component, as_expression(target), cache)
@@ -77,7 +85,7 @@ def count_homs_connected(
 def _count_connected(
     component: Structure,
     target: StructureExpression,
-    cache: Optional[CountCache],
+    cache: Cache,
 ) -> int:
     if isinstance(target, LeafExpression):
         return _count_into_leaf(component, target.structure, cache)
@@ -108,26 +116,33 @@ def _count_connected(
 def _count_into_leaf(
     component: Structure,
     leaf: Structure,
-    cache: Optional[CountCache],
+    cache: Cache,
 ) -> int:
-    # Fast path: a single isolated vertex maps anywhere in the domain.
-    if not component.facts() and len(component.domain()) == 1:
-        return len(leaf.domain())
-    # Fast path: a lone 0-ary fact is a membership test.
+    if isinstance(cache, HomEngine):
+        return cache.count_connected_leaf(component, leaf)
     facts = component.facts()
-    if len(facts) == 1 and not component.domain():
+    if not facts:
+        # Fast path: a single isolated vertex maps anywhere in the domain.
+        if len(component.domain()) == 1:
+            return len(leaf.domain())
+    elif len(facts) == 1 and not component.domain():
+        # Fast path: a lone 0-ary fact is a membership test — decided
+        # before any candidate machinery is built.
         only = next(iter(facts))
         if not only.terms:
             return 1 if leaf.has_fact(only.relation) else 0
-    if cache is not None:
-        key = (component, leaf)
-        cached = cache.get(key)
-        if cached is not None:
-            return cached
-    result = count_homomorphisms_direct(component, leaf)
-    if cache is not None:
-        cache[(component, leaf)] = result
-    return result
+    if cache is None:
+        return default_engine().count_connected_leaf(component, leaf)
+    # Legacy dict cache: exact (component, leaf) keys, caller-owned,
+    # counted by the naive recursive backtracker.  This path is kept
+    # *independent of the engine* on purpose — the witness verifier
+    # uses it to audit engine-produced decisions with different code.
+    key = (component, leaf)
+    cached = cache.get(key)
+    if cached is None:
+        cached = count_homomorphisms_direct(component, leaf)
+        cache[key] = cached
+    return cached
 
 
 def _count_into_unit(component: Structure, node: StructureExpression) -> int:
@@ -153,6 +168,6 @@ def _require_summable(component: Structure) -> None:
             )
 
 
-def hom_vector(sources, target: Target, cache: Optional[CountCache] = None):
+def hom_vector(sources, target: Target, cache: Cache = None):
     """Counts for many sources against one target, as a list of ints."""
     return [count_homs(source, target, cache) for source in sources]

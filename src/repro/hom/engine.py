@@ -1,0 +1,470 @@
+"""The compiled homomorphism-counting engine.
+
+Every answer the library gives — determinacy verdicts, witness
+verification, good-basis search — bottoms out in ``|hom(A, B)|``
+counts (Lemma 4).  The naive counter in :mod:`repro.hom.search`
+rebuilds all target-side indexes on every call and re-enumerates
+isomorphic source components from scratch.  This module separates the
+work into three layers that are each computed **once** and reused:
+
+``TargetIndex``
+    Per-target compilation: positional candidate sets
+    (``(relation, position) -> allowed constants``), per-relation tuple
+    sets, and lazily-built binary projection maps
+    (``(relation, i, j) -> {value_at_i: values_at_j}``) used for
+    forward checking.  Built once per target structure, cached in the
+    engine with LRU eviction.
+
+``SourcePlan``
+    Per-source compilation: static variable order (decreasing
+    constraint degree), per-variable incident-fact lists, nullary-fact
+    preconditions, and the ``tail_simple`` flag that lets the counter
+    close the last level combinatorially.  Cached per source structure.
+
+``HomEngine``
+    The façade.  Counts are memoized in an LRU-bounded cache keyed by
+    **canonical representatives** of connected components: components
+    are bucketed by :func:`repro.structures.isomorphism.invariant_key`
+    and identified up to isomorphism, so the rampant isomorphic
+    components of synthetic workloads share a single count.
+
+The counter itself is *iterative* backtracking with forward checking:
+assigning a variable prunes the candidate sets of its unassigned
+neighbours through the projection maps, and wiped-out domains cut the
+subtree immediately.  Candidate sets are never mutated in place — they
+are rebound and restored through an undo trail, so value iterators stay
+valid.  :func:`repro.hom.search.count_homomorphisms_direct` remains the
+independent recursive ground truth that the engine is property-tested
+against.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from functools import lru_cache
+from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+from repro.structures.isomorphism import find_isomorphism, invariant_key
+from repro.structures.structure import Structure
+
+Constant = Hashable
+
+_EMPTY: FrozenSet = frozenset()
+
+
+class TargetIndex:
+    """One-time compilation of a counting target.
+
+    Precomputes everything :func:`repro.hom.search._prepare` used to
+    rebuild on every call: the domain, the positional candidate sets
+    and the per-relation tuple sets.  Binary projection maps (the
+    adjacency lists driving forward checking) are built lazily per
+    ``(relation, i, j)`` and kept for the lifetime of the index.
+    """
+
+    __slots__ = ("structure", "domain", "domain_size", "positions",
+                 "tuples", "arities", "_pair_maps")
+
+    def __init__(self, structure: Structure):
+        self.structure = structure
+        self.domain: FrozenSet[Constant] = structure.domain()
+        self.domain_size = len(self.domain)
+        positions: Dict[Tuple[str, int], FrozenSet[Constant]] = {}
+        tuples: Dict[str, FrozenSet[Tuple[Constant, ...]]] = {}
+        arities: Dict[str, int] = {}
+        for relation in structure.relations_used():
+            tups = structure.tuples(relation)
+            tuples[relation] = tups
+            arity = len(next(iter(tups)))
+            arities[relation] = arity
+            if arity:
+                columns: List[set] = [set() for _ in range(arity)]
+                for tup in tups:
+                    for i, value in enumerate(tup):
+                        columns[i].add(value)
+                for i, column in enumerate(columns):
+                    positions[(relation, i)] = frozenset(column)
+        self.positions = positions
+        self.tuples = tuples
+        self.arities = arities
+        self._pair_maps: Dict[Tuple[str, int, int],
+                              Dict[Constant, FrozenSet[Constant]]] = {}
+
+    def pair_map(self, relation: str, i: int, j: int
+                 ) -> Dict[Constant, FrozenSet[Constant]]:
+        """Projection ``{v: {w | some R-tuple has v at i and w at j}}``."""
+        key = (relation, i, j)
+        cached = self._pair_maps.get(key)
+        if cached is None:
+            collected: Dict[Constant, set] = {}
+            for tup in self.tuples.get(relation, ()):
+                collected.setdefault(tup[i], set()).add(tup[j])
+            cached = {value: frozenset(seen)
+                      for value, seen in collected.items()}
+            self._pair_maps[key] = cached
+        return cached
+
+    def __repr__(self) -> str:
+        return (f"TargetIndex(|dom|={self.domain_size}, "
+                f"relations={sorted(self.tuples)})")
+
+
+class SourcePlan:
+    """One-time compilation of a counting source.
+
+    Only depends on the source structure, so it is shared across all
+    targets (module-level LRU via :func:`source_plan`).
+    """
+
+    __slots__ = ("order", "incident", "facts", "fact_arities",
+                 "nullary_relations", "isolated_count", "tail_simple")
+
+    def __init__(self, source: Structure):
+        facts: List[Tuple[str, Tuple[Constant, ...]]] = []
+        nullary: List[str] = []
+        for fact in source.facts():
+            if fact.terms:
+                facts.append((fact.relation, fact.terms))
+            else:
+                nullary.append(fact.relation)
+        self.facts = tuple(facts)
+        self.fact_arities = tuple({rel: len(terms)
+                                   for rel, terms in facts}.items())
+        self.nullary_relations = tuple(sorted(set(nullary)))
+
+        degree: Dict[Constant, int] = {}
+        for _, terms in facts:
+            for term in terms:
+                degree[term] = degree.get(term, 0) + 1
+        self.order: Tuple[Constant, ...] = tuple(sorted(
+            degree, key=lambda c: (-degree[c], repr(c))
+        ))
+        self.isolated_count = len(source.domain()) - len(self.order)
+
+        incident: Dict[Constant, List] = {c: [] for c in self.order}
+        for relation, terms in facts:
+            at: Dict[Constant, List[int]] = {}
+            for position, term in enumerate(terms):
+                at.setdefault(term, []).append(position)
+            entry_needs_check = len(terms) != 2 or terms[0] == terms[1]
+            for term, positions in at.items():
+                incident[term].append(
+                    (relation, terms, tuple(positions), entry_needs_check)
+                )
+        self.incident = {c: tuple(entries) for c, entries in incident.items()}
+
+        # The last variable in the static order can be closed
+        # combinatorially when every fact incident to it is either
+        # unary (already folded into the positional candidate sets) or
+        # binary with distinct endpoints (already folded into the
+        # forward-checking prune of the earlier endpoint).
+        if self.order:
+            last = self.order[-1]
+            self.tail_simple = all(
+                len(terms) == 1
+                or (len(terms) == 2 and terms[0] != terms[1])
+                for _, terms, _, _ in self.incident[last]
+            )
+        else:
+            self.tail_simple = False
+
+
+@lru_cache(maxsize=4096)
+def source_plan(source: Structure) -> SourcePlan:
+    """The (cached) compiled plan of a source structure."""
+    return SourcePlan(source)
+
+
+def count_with_index(source: Structure, index: TargetIndex,
+                     first_only: bool = False) -> int:
+    """``|hom(source, index.structure)|`` via the compiled plan.
+
+    ``first_only`` turns the counter into an existence test: it returns
+    1 as soon as any homomorphism is found (0 otherwise).
+    """
+    return _count(source_plan(source), index, first_only)
+
+
+def _count(plan: SourcePlan, index: TargetIndex, first_only: bool) -> int:
+    tuples = index.tuples
+    # 0-ary facts of the source must literally be present in the target;
+    # this runs before any candidate machinery is built.
+    for relation in plan.nullary_relations:
+        present = tuples.get(relation)
+        if not present or () not in present:
+            return 0
+
+    # Arity guard: a fact R(t̄) can only map onto same-arity R-facts.
+    # The positional filters below assume matching arities (a wider
+    # target relation would otherwise satisfy every position), so a
+    # mismatch is decided here: no homomorphism maps the fact.
+    target_arities = index.arities
+    for relation, arity in plan.fact_arities:
+        if target_arities.get(relation) != arity:
+            return 0
+
+    order = plan.order
+    n = len(order)
+    if plan.isolated_count and not first_only:
+        if index.domain_size == 0:
+            return 0
+        free_factor = index.domain_size ** plan.isolated_count
+    elif plan.isolated_count and index.domain_size == 0:
+        return 0
+    else:
+        free_factor = 1
+    if n == 0:
+        return 1 if first_only else free_factor
+
+    # Positional candidate sets (intersection over every occurrence).
+    positions = index.positions
+    domains: Dict[Constant, set] = {}
+    for relation, terms in plan.facts:
+        for i, term in enumerate(terms):
+            allowed = positions.get((relation, i))
+            if allowed is None:
+                return 0
+            current = domains.get(term)
+            if current is None:
+                domains[term] = set(allowed)
+            else:
+                current &= allowed
+    for variable in order:
+        if not domains[variable]:
+            return 0
+
+    if n == 1 and plan.tail_simple:
+        size = len(domains[order[0]])
+        return (1 if size else 0) if first_only else size * free_factor
+
+    incident = plan.incident
+    pair_map = index.pair_map
+    assignment: Dict[Constant, Constant] = {}
+
+    def try_assign(variable: Constant, value: Constant):
+        """Assign and forward-check; returns the undo trail, or None on
+        failure (with all effects rolled back)."""
+        assignment[variable] = value
+        trail: List[Tuple[Constant, set]] = []
+        for relation, terms, var_positions, needs_check in incident[variable]:
+            unassigned = [j for j, t in enumerate(terms) if t not in assignment]
+            if not unassigned:
+                if needs_check:
+                    image = tuple(assignment[t] for t in terms)
+                    if image not in tuples.get(relation, _EMPTY):
+                        break
+                continue
+            failed = False
+            for i in var_positions:
+                for j in unassigned:
+                    other = terms[j]
+                    allowed = pair_map(relation, i, j).get(value)
+                    old = domains[other]
+                    if allowed is None:
+                        new: set = set()
+                    else:
+                        new = old & allowed
+                        if len(new) == len(old):
+                            continue
+                    trail.append((other, old))
+                    domains[other] = new
+                    if not new:
+                        failed = True
+                        break
+                if failed:
+                    break
+            if failed:
+                break
+        else:
+            return trail
+        for other, old in reversed(trail):
+            domains[other] = old
+        del assignment[variable]
+        return None
+
+    total = 0
+    last = n - 1
+    tail_simple = plan.tail_simple
+    iters: List = [None] * n
+    trails: List = [None] * n
+    iters[0] = iter(domains[order[0]])
+    level = 0
+    while level >= 0:
+        variable = order[level]
+        trail = None
+        for value in iters[level]:
+            trail = try_assign(variable, value)
+            if trail is not None:
+                break
+        if trail is None:
+            # level exhausted: backtrack
+            level -= 1
+            if level >= 0:
+                for other, old in reversed(trails[level]):
+                    domains[other] = old
+                del assignment[order[level]]
+            continue
+        if level == last:
+            total += 1
+            for other, old in reversed(trail):
+                domains[other] = old
+            del assignment[variable]
+            if first_only:
+                return 1
+            continue
+        trails[level] = trail
+        if level + 1 == last and tail_simple:
+            # Every remaining constraint on the last variable has been
+            # folded into its pruned candidate set: close combinatorially.
+            tail = len(domains[order[last]])
+            total += tail
+            for other, old in reversed(trail):
+                domains[other] = old
+            del assignment[variable]
+            if first_only and total:
+                return 1
+            continue
+        level += 1
+        iters[level] = iter(domains[order[level]])
+    return (1 if total else 0) if first_only else total * free_factor
+
+
+class HomEngine:
+    """Shared counting engine: compiled targets + canonical memoization.
+
+    One engine object replaces the ad-hoc ``CountCache`` dictionaries
+    that used to be threaded through the decision procedure, the
+    witness verifier, the good-basis search and the refuter.  The memo
+    is keyed by canonical representatives of source components, so
+    isomorphic components (rampant in workloads assembled from a small
+    component pool) share one count.  Both caches are LRU-bounded.
+    """
+
+    __slots__ = ("_counts", "_targets", "_exists", "_reps", "_rep_count",
+                 "max_counts", "max_targets", "hits", "misses")
+
+    def __init__(self, max_counts: int = 16384, max_targets: int = 512):
+        self.max_counts = max_counts
+        self.max_targets = max_targets
+        self._counts: "OrderedDict[Tuple[Structure, Structure], int]" = OrderedDict()
+        self._targets: "OrderedDict[Structure, TargetIndex]" = OrderedDict()
+        self._exists: "OrderedDict[Tuple[Structure, Structure], bool]" = OrderedDict()
+        self._reps: Dict[tuple, List[Structure]] = {}
+        self._rep_count = 0
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Compiled targets
+    # ------------------------------------------------------------------
+    def target_index(self, target: Structure) -> TargetIndex:
+        index = self._targets.get(target)
+        if index is None:
+            index = TargetIndex(target)
+            self._targets[target] = index
+            if len(self._targets) > self.max_targets:
+                self._targets.popitem(last=False)
+        else:
+            self._targets.move_to_end(target)
+        return index
+
+    # ------------------------------------------------------------------
+    # Canonical component representatives
+    # ------------------------------------------------------------------
+    def canonical(self, component: Structure) -> Structure:
+        """The engine's representative of ``component``'s iso class."""
+        if self._rep_count > self.max_counts:
+            # Bound the representative table alongside the memo: reset
+            # it wholesale (orphaned memo entries age out of the LRU).
+            self._reps.clear()
+            self._rep_count = 0
+        bucket = self._reps.setdefault(invariant_key(component), [])
+        for representative in bucket:
+            if (representative == component
+                    or find_isomorphism(component, representative) is not None):
+                return representative
+        bucket.append(component)
+        self._rep_count += 1
+        return component
+
+    # ------------------------------------------------------------------
+    # Counting
+    # ------------------------------------------------------------------
+    def count_connected_leaf(self, component: Structure,
+                             leaf: Structure) -> int:
+        """``|hom(component, leaf)|`` for a single component, memoized
+        up to isomorphism of the component."""
+        if not component.facts():
+            # Isolated vertices only: pure domain-size power.
+            return len(leaf.domain()) ** len(component.domain())
+        key = (self.canonical(component), leaf)
+        cached = self._counts.get(key)
+        if cached is not None:
+            self._counts.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = _count(source_plan(key[0]), self.target_index(leaf), False)
+        self._counts[key] = result
+        if len(self._counts) > self.max_counts:
+            self._counts.popitem(last=False)
+        return result
+
+    def count(self, source: Structure, target) -> int:
+        """``|hom(source, target)|`` — component factorization plus the
+        Lemma 4 expression calculus, all memoized through this engine.
+        ``target`` may be a Structure or a lazy StructureExpression."""
+        from repro.hom.count import count_homs
+
+        return count_homs(source, target, self)
+
+    def exists(self, source: Structure, target: Structure) -> bool:
+        """Memoized homomorphism-existence test (Chandra–Merlin probe)."""
+        key = (source, target)
+        cached = self._exists.get(key)
+        if cached is not None:
+            self._exists.move_to_end(key)
+            return cached
+        result = count_with_index(source, self.target_index(target),
+                                  first_only=True) > 0
+        self._exists[key] = result
+        if len(self._exists) > self.max_counts:
+            self._exists.popitem(last=False)
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "cached_counts": len(self._counts),
+            "compiled_targets": len(self._targets),
+            "canonical_classes": sum(len(b) for b in self._reps.values()),
+        }
+
+    def clear(self) -> None:
+        self._counts.clear()
+        self._targets.clear()
+        self._exists.clear()
+        self._reps.clear()
+        self._rep_count = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:
+        return (f"HomEngine(counts={len(self._counts)}, "
+                f"targets={len(self._targets)}, hits={self.hits}, "
+                f"misses={self.misses})")
+
+
+_DEFAULT_ENGINE: Optional[HomEngine] = None
+
+
+def default_engine() -> HomEngine:
+    """The process-wide shared engine (LRU-bounded, safe to keep)."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = HomEngine()
+    return _DEFAULT_ENGINE

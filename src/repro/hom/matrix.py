@@ -6,23 +6,28 @@ For basis queries ``W = {w_1, ..., w_k}`` and structures
 
 Targets may be lazy expressions; counts are exact integers embedded in
 a rational :class:`~repro.linalg.matrix.QMatrix` so the rest of the
-pipeline (inverse, cone membership) stays exact.
+pipeline (inverse, cone membership) stays exact.  Counting goes through
+the compiled engine (:mod:`repro.hom.engine`): every target column is
+compiled once and shared across the ``k`` basis rows, and isomorphic
+basis components share one count.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
-from repro.hom.count import CountCache, count_homs
+from repro.hom.count import Cache, CountCache, count_homs
 from repro.linalg.matrix import QMatrix
 from repro.structures.expression import StructureExpression
 from repro.structures.structure import Structure
+
+__all__ = ["CountCache", "answer_vector", "evaluation_matrix"]
 
 
 def evaluation_matrix(
     basis: Sequence[Structure],
     targets: Sequence[Structure | StructureExpression],
-    cache: Optional[CountCache] = None,
+    cache: Cache = None,
 ) -> QMatrix:
     """The k×m matrix ``M(i,j) = |hom(basis[i], targets[j])|``."""
     rows = [
@@ -35,7 +40,7 @@ def evaluation_matrix(
 def answer_vector(
     basis: Sequence[Structure],
     target: Structure | StructureExpression,
-    cache: Optional[CountCache] = None,
+    cache: Cache = None,
 ) -> list:
     """The column ``(w_1(D), ..., w_k(D))`` for a single structure —
     a point of the answer space P of Definition 51 when ``D ∈ S``."""

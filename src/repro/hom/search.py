@@ -5,6 +5,8 @@ fact ``R(t̄) ∈ A`` to a fact ``R(h(t̄)) ∈ B``.  This module provides
 existence tests and full enumeration via backtracking with:
 
 * **static variable ordering** by decreasing constraint degree,
+* **preparation-time candidate ordering** (each candidate set is sorted
+  once, so enumeration is deterministic with no per-node sorting),
 * **unary/positional pre-filtering** of candidate sets (a constant that
   occurs in position ``i`` of some ``R``-fact of ``A`` can only map to
   constants occurring in position ``i`` of ``R``-facts of ``B``),
@@ -30,12 +32,15 @@ Constant = Hashable
 Assignment = Dict[Constant, Constant]
 
 
-def _prepare(source: Structure, target: Structure):
+def _prepare(source: Structure, target: Structure, ordered_values: bool = False):
     """Shared setup for existence/enumeration.
 
     Returns ``None`` when a 0-ary fact of ``source`` is absent from
     ``target`` (no homomorphism), else a tuple
-    ``(ordered_variables, candidates, facts_by_variable)``.
+    ``(ordered_variables, candidates, facts_by_variable)``.  With
+    ``ordered_values`` each candidate set is an already-sorted tuple:
+    enumeration order is fixed here, once, instead of re-sorting at
+    every backtracking node (counting callers skip the sort).
     """
     for fact in source.facts():
         if not fact.terms and not target.has_fact(fact.relation):
@@ -72,6 +77,10 @@ def _prepare(source: Structure, target: Structure):
         source.domain(),
         key=lambda c: (-degree[c], len(candidates[c]), repr(c)),
     )
+    if ordered_values:
+        candidates = {
+            c: tuple(sorted(values, key=repr)) for c, values in candidates.items()
+        }
     return ordered, candidates, facts_by_variable
 
 
@@ -95,7 +104,7 @@ def iter_homomorphisms(source: Structure, target: Structure) -> Iterator[Assignm
     The empty structure has exactly one homomorphism anywhere (the
     empty map), matching ``|hom(∅, D)| = 1``.
     """
-    prepared = _prepare(source, target)
+    prepared = _prepare(source, target, ordered_values=True)
     if prepared is None:
         return
     ordered, candidates, facts_by_variable = prepared
@@ -107,7 +116,7 @@ def iter_homomorphisms(source: Structure, target: Structure) -> Iterator[Assignm
             yield dict(assignment)
             return
         variable = ordered[index]
-        for value in sorted(candidates[variable], key=repr):
+        for value in candidates[variable]:
             assignment[variable] = value
             if _consistent(variable, assignment, facts_by_variable, target):
                 yield from backtrack(index + 1)

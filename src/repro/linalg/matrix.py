@@ -11,11 +11,23 @@ of the handful of operations we need: RREF with pivot tracking, rank,
 determinant, inverse, linear solve, matrix/vector products, and
 nullspace bases.  It is not a general numerics library and does not try
 to be one.
+
+Performance (DESIGN.md §6.5): elimination runs **once** per matrix.
+A single Gauss–Jordan pass over ``[A | I]`` is cached on the instance
+as ``(R, pivots, T)`` with ``T·A = R``; ``rref``/``rank``/``solve``/
+``nullspace``/``inverse`` all read that cache instead of re-eliminating
+(``solve`` applies ``T`` to the right-hand side).  Determinants use
+**fraction-free Bareiss elimination** over scaled integer rows —
+intermediate values stay integers, so the quadratic-blowup gcd
+normalization of Fraction arithmetic never runs.  The textbook
+Fraction-based determinant is kept as :func:`gaussian_det` — it is the
+reference the Bareiss path is property-tested against.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
+from math import gcd
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import LinalgError
@@ -32,6 +44,10 @@ def _to_fraction(value) -> Fraction:
     raise LinalgError(
         f"exact matrices accept int/Fraction entries only, got {type(value).__name__}"
     )
+
+
+_ZERO = Fraction(0)
+_ONE = Fraction(1)
 
 
 def vector(values: Sequence[Scalar]) -> QVector:
@@ -57,7 +73,7 @@ class QMatrix:
     (Fraction(-2, 1), Fraction(3, 2))
     """
 
-    __slots__ = ("rows", "nrows", "ncols")
+    __slots__ = ("rows", "nrows", "ncols", "_elimination", "_det")
 
     def __init__(self, rows: Sequence[Sequence[Scalar]]):
         normalized: List[QVector] = [vector(row) for row in rows]
@@ -67,6 +83,8 @@ class QMatrix:
         self.rows = tuple(normalized)
         self.nrows = len(self.rows)
         self.ncols = next(iter(widths)) if widths else 0
+        self._elimination = None
+        self._det = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -154,60 +172,105 @@ class QMatrix:
     # ------------------------------------------------------------------
     # Elimination
     # ------------------------------------------------------------------
+    def _eliminate(self):
+        """The cached single elimination pass.
+
+        Runs Gauss–Jordan once over ``[A | I]`` and stores
+        ``(reduced_rows, pivots, transform_rows)`` where
+        ``transform · A = reduced`` is the RREF of ``A``.  Every
+        elimination-based operation reads this cache.
+        """
+        if self._elimination is None:
+            width = self.ncols
+            height = self.nrows
+            rows: List[List[Fraction]] = [
+                list(row) + [_ONE if i == j else _ZERO for j in range(height)]
+                for i, row in enumerate(self.rows)
+            ]
+            pivots: List[int] = []
+            pivot_row = 0
+            for col in range(width):
+                chosen = None
+                for r in range(pivot_row, height):
+                    if rows[r][col] != 0:
+                        chosen = r
+                        break
+                if chosen is None:
+                    continue
+                rows[pivot_row], rows[chosen] = rows[chosen], rows[pivot_row]
+                pivot_value = rows[pivot_row][col]
+                if pivot_value != 1:
+                    rows[pivot_row] = [v / pivot_value for v in rows[pivot_row]]
+                for r in range(height):
+                    if r != pivot_row and rows[r][col] != 0:
+                        factor = rows[r][col]
+                        pivot = rows[pivot_row]
+                        rows[r] = [a - factor * b
+                                   for a, b in zip(rows[r], pivot)]
+                pivots.append(col)
+                pivot_row += 1
+                if pivot_row == height:
+                    break
+            reduced = tuple(tuple(row[:width]) for row in rows)
+            transform = tuple(tuple(row[width:]) for row in rows)
+            self._elimination = (reduced, tuple(pivots), transform)
+        return self._elimination
+
     def rref(self) -> Tuple["QMatrix", Tuple[int, ...]]:
         """Reduced row echelon form and the pivot column indices."""
-        rows = [list(row) for row in self.rows]
-        pivots: List[int] = []
-        pivot_row = 0
-        for col in range(self.ncols):
-            chosen = None
-            for r in range(pivot_row, len(rows)):
-                if rows[r][col] != 0:
-                    chosen = r
-                    break
-            if chosen is None:
-                continue
-            rows[pivot_row], rows[chosen] = rows[chosen], rows[pivot_row]
-            pivot_value = rows[pivot_row][col]
-            rows[pivot_row] = [v / pivot_value for v in rows[pivot_row]]
-            for r in range(len(rows)):
-                if r != pivot_row and rows[r][col] != 0:
-                    factor = rows[r][col]
-                    rows[r] = [a - factor * b for a, b in zip(rows[r], rows[pivot_row])]
-            pivots.append(col)
-            pivot_row += 1
-            if pivot_row == len(rows):
-                break
-        return QMatrix(rows), tuple(pivots)
+        reduced, pivots, _ = self._eliminate()
+        return QMatrix(reduced), pivots
 
     def rank(self) -> int:
-        _, pivots = self.rref()
+        _, pivots, _ = self._eliminate()
         return len(pivots)
 
     def det(self) -> Fraction:
+        """Determinant via cached fraction-free Bareiss elimination."""
         if not self.is_square():
             raise LinalgError("determinant of a non-square matrix")
-        rows = [list(row) for row in self.rows]
+        if self._det is None:
+            self._det = self._bareiss_det()
+        return self._det
+
+    def _bareiss_det(self) -> Fraction:
+        """Bareiss' fraction-free algorithm: rows are scaled to
+        integers and every intermediate division is exact, so no
+        Fraction normalization happens in the inner loop."""
         size = self.nrows
-        determinant = Fraction(1)
-        for col in range(size):
-            chosen = None
-            for r in range(col, size):
-                if rows[r][col] != 0:
-                    chosen = r
-                    break
-            if chosen is None:
-                return Fraction(0)
-            if chosen != col:
-                rows[col], rows[chosen] = rows[chosen], rows[col]
-                determinant = -determinant
-            determinant *= rows[col][col]
-            inv = Fraction(1) / rows[col][col]
-            for r in range(col + 1, size):
-                if rows[r][col] != 0:
-                    factor = rows[r][col] * inv
-                    rows[r] = [a - factor * b for a, b in zip(rows[r], rows[col])]
-        return determinant
+        if size == 0:
+            return Fraction(1)
+        denominator = 1
+        mat: List[List[int]] = []
+        for row in self.rows:
+            common = 1
+            for value in row:
+                common = common // gcd(common, value.denominator) * value.denominator
+            denominator *= common
+            mat.append([int(value * common) for value in row])
+        sign = 1
+        previous = 1
+        for k in range(size - 1):
+            if mat[k][k] == 0:
+                chosen = None
+                for r in range(k + 1, size):
+                    if mat[r][k] != 0:
+                        chosen = r
+                        break
+                if chosen is None:
+                    return Fraction(0)
+                mat[k], mat[chosen] = mat[chosen], mat[k]
+                sign = -sign
+            pivot = mat[k][k]
+            row_k = mat[k]
+            for i in range(k + 1, size):
+                row_i = mat[i]
+                lead = row_i[k]
+                for j in range(k + 1, size):
+                    row_i[j] = (row_i[j] * pivot - lead * row_k[j]) // previous
+                row_i[k] = 0
+            previous = pivot
+        return Fraction(sign * mat[size - 1][size - 1], denominator)
 
     def is_nonsingular(self) -> bool:
         return self.is_square() and self.det() != 0
@@ -215,34 +278,33 @@ class QMatrix:
     def inverse(self) -> "QMatrix":
         if not self.is_square():
             raise LinalgError("inverse of a non-square matrix")
-        size = self.nrows
-        augmented = QMatrix([
-            list(self.rows[i]) + list(QMatrix.identity(size).rows[i])
-            for i in range(size)
-        ])
-        reduced, pivots = augmented.rref()
-        if tuple(pivots) != tuple(range(size)):
+        _, pivots, transform = self._eliminate()
+        if pivots != tuple(range(self.nrows)):
             raise LinalgError("matrix is singular")
-        return QMatrix([row[size:] for row in reduced.rows])
+        return QMatrix(transform)
 
     def solve(self, b: Sequence[Scalar]) -> Optional[QVector]:
         """A particular solution of ``A x = b``, or ``None`` when
-        inconsistent.  Free variables are set to zero."""
+        inconsistent.  Free variables are set to zero.
+
+        Uses the cached elimination: with ``T·A = R`` the system is
+        consistent iff ``(T·b)_i = 0`` on every zero row of ``R``."""
         if len(b) != self.nrows:
             raise LinalgError(f"solve: {self.nrows} rows vs rhs of {len(b)}")
         bs = vector(b)
-        augmented = QMatrix([list(row) + [bs[i]] for i, row in enumerate(self.rows)])
-        reduced, pivots = augmented.rref()
-        if self.ncols in pivots:
-            return None  # pivot in the augmented column: inconsistent
+        _, pivots, transform = self._eliminate()
+        transformed = [dot(row, bs) for row in transform]
+        for r in range(len(pivots), self.nrows):
+            if transformed[r] != 0:
+                return None  # zero row of R with non-zero rhs: inconsistent
         solution = [Fraction(0)] * self.ncols
         for row_index, col in enumerate(pivots):
-            solution[col] = reduced.rows[row_index][-1]
+            solution[col] = transformed[row_index]
         return tuple(solution)
 
     def nullspace(self) -> List[QVector]:
         """A basis of ``{x : A x = 0}``."""
-        reduced, pivots = self.rref()
+        reduced, pivots, _ = self._eliminate()
         pivot_set = set(pivots)
         free_columns = [j for j in range(self.ncols) if j not in pivot_set]
         basis: List[QVector] = []
@@ -250,7 +312,7 @@ class QMatrix:
             candidate = [Fraction(0)] * self.ncols
             candidate[free] = Fraction(1)
             for row_index, pivot_col in enumerate(pivots):
-                candidate[pivot_col] = -reduced.rows[row_index][free]
+                candidate[pivot_col] = -reduced[row_index][free]
             basis.append(tuple(candidate))
         return basis
 
@@ -282,3 +344,35 @@ class QMatrix:
                 ints.append(value.numerator)
             result.append(ints)
         return result
+
+
+def gaussian_det(matrix: QMatrix) -> Fraction:
+    """Textbook Fraction-arithmetic Gaussian determinant.
+
+    This is the pre-Bareiss reference implementation, kept as the
+    ground truth the fraction-free path is property-tested against
+    (and as the ablation baseline for ``bench_engine.py``).
+    """
+    if not matrix.is_square():
+        raise LinalgError("determinant of a non-square matrix")
+    rows = [list(row) for row in matrix.rows]
+    size = matrix.nrows
+    determinant = Fraction(1)
+    for col in range(size):
+        chosen = None
+        for r in range(col, size):
+            if rows[r][col] != 0:
+                chosen = r
+                break
+        if chosen is None:
+            return Fraction(0)
+        if chosen != col:
+            rows[col], rows[chosen] = rows[chosen], rows[col]
+            determinant = -determinant
+        determinant *= rows[col][col]
+        inv = Fraction(1) / rows[col][col]
+        for r in range(col + 1, size):
+            if rows[r][col] != 0:
+                factor = rows[r][col] * inv
+                rows[r] = [a - factor * b for a, b in zip(rows[r], rows[col])]
+    return determinant

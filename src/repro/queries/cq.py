@@ -93,7 +93,7 @@ class ConjunctiveQuery:
     (1, False)
     """
 
-    __slots__ = ("atoms", "free", "extra_variables", "_schema")
+    __slots__ = ("atoms", "free", "extra_variables", "_schema", "_frozen")
 
     def __init__(
         self,
@@ -136,6 +136,7 @@ class ConjunctiveQuery:
         missing_free = [v for v in self.free if v not in body_variables]
         self.extra_variables = frozenset(extra_variables) | frozenset(missing_free)
         self._schema = schema
+        self._frozen: Optional[Structure] = None
 
     # ------------------------------------------------------------------
     # Shape
@@ -170,11 +171,18 @@ class ConjunctiveQuery:
     def frozen_body(self) -> Structure:
         """The frozen body (paper Sec 2.1): variables become constants.
 
-        Isolated variables survive as isolated domain elements.
+        Isolated variables survive as isolated domain elements.  The
+        structure is built once and cached (queries are immutable); it
+        is the key under which every downstream cache — hom counts,
+        components, invariants — recognizes this query.
         """
-        facts = [atom.to_fact() for atom in self.atoms]
-        domain = [(FROZEN_TAG, v) for v in self.variables()]
-        return Structure(facts, schema=self._schema, domain=domain)
+        frozen = self._frozen
+        if frozen is None:
+            facts = [atom.to_fact() for atom in self.atoms]
+            domain = [(FROZEN_TAG, v) for v in self.variables()]
+            frozen = Structure(facts, schema=self._schema, domain=domain)
+            self._frozen = frozen
+        return frozen
 
     def frozen_free_tuple(self) -> Tuple:
         """The frozen constants of the free variables, in order."""

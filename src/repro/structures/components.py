@@ -15,7 +15,8 @@ connected components of the involved queries.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List
+from functools import lru_cache
+from typing import Dict, Hashable, List, Tuple
 
 from repro.structures.structure import Fact, Structure
 
@@ -45,11 +46,18 @@ def connected_components(structure: Structure) -> List[Structure]:
 
     Returns a list of structures (order deterministic: sorted by a
     printable key) whose disjoint union is isomorphic to the input.
+    The decomposition is memoized per structure (structures are
+    immutable); callers get a fresh list each time.
 
     >>> s = Structure([('R', ('a', 'b')), ('R', ('c', 'd'))])
     >>> len(connected_components(s))
     2
     """
+    return list(_components_cached(structure))
+
+
+@lru_cache(maxsize=4096)
+def _components_cached(structure: Structure) -> Tuple[Structure, ...]:
     uf = _UnionFind()
     for constant in structure.domain():
         uf.find(("c", constant))
@@ -83,7 +91,7 @@ def connected_components(structure: Structure) -> List[Structure]:
         components.append(Structure([fact], schema=structure.schema))
 
     components.sort(key=_component_sort_key)
-    return components
+    return tuple(components)
 
 
 def is_connected(structure: Structure) -> bool:

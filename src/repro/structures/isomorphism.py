@@ -19,6 +19,7 @@ structures before the quadratic pairwise tests (DESIGN.md §6.4).
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.structures.structure import Structure
@@ -31,7 +32,15 @@ def refine_colors(structure: Structure) -> Dict[Constant, int]:
 
     Colors are small integers; equal colors mean "not yet
     distinguished".  Isolated elements all receive the same color.
+
+    The stable coloring is memoized per structure (structures are
+    immutable); callers get a fresh dict each time.
     """
+    return dict(_stable_coloring(structure))
+
+
+@lru_cache(maxsize=8192)
+def _stable_coloring(structure: Structure) -> Tuple[Tuple[Constant, int], ...]:
     domain = sorted(structure.domain(), key=repr)
     colors: Dict[Constant, int] = {c: 0 for c in domain}
 
@@ -55,15 +64,18 @@ def refine_colors(structure: Structure) -> Dict[Constant, int]:
         if new_colors == colors:
             break
         colors = new_colors
-    return colors
+    return tuple(colors.items())
 
 
+@lru_cache(maxsize=8192)
 def invariant_key(structure: Structure) -> Tuple:
     """A hashable isomorphism invariant (not complete, but cheap).
 
     Equal structures always get equal keys; different keys certify
     non-isomorphism.  Combines domain size, per-relation fact counts and
-    the color histogram of the stable refinement.
+    the color histogram of the stable refinement.  Memoized per
+    structure — the component basis, the engine's canonicalization and
+    the dedup buckets all probe the same components repeatedly.
     """
     colors = refine_colors(structure)
     histogram = tuple(sorted(

@@ -49,13 +49,16 @@ class Fact:
     ('R', ('a', 'b'))
     """
 
-    __slots__ = ("relation", "terms")
+    __slots__ = ("relation", "terms", "_hash")
 
     def __init__(self, relation: str, terms: Sequence[Constant] = ()):
         if not isinstance(relation, str) or not relation:
             raise StructureError(f"relation must be a non-empty string, got {relation!r}")
         self.relation = relation
         self.terms = tuple(terms)
+        # Facts live in frozensets that are themselves hashed on every
+        # cache probe; caching here keeps those probes cheap.
+        self._hash = hash((relation, self.terms))
 
     @property
     def arity(self) -> int:
@@ -71,7 +74,7 @@ class Fact:
         return self.relation == other.relation and self.terms == other.terms
 
     def __hash__(self) -> int:
-        return hash((self.relation, self.terms))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"Fact({self.relation!r}, {self.terms!r})"
