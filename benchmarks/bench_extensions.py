@@ -3,9 +3,7 @@ serialization and cores (DESIGN.md §3.4)."""
 
 import pytest
 
-from repro.queries.cq import cq_from_structure
-from repro.queries.parser import parse_boolean_cq
-from repro.structures.generators import clique_structure, cycle_structure
+from repro.structures.generators import clique_structure
 from repro.structures.serialization import dumps, loads
 from repro.core.setdet import decide_set_determinacy_boolean
 from repro.core.workbench import ViewCatalog

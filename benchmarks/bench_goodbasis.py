@@ -6,7 +6,6 @@ import pytest
 
 from repro.queries.cq import cq_from_structure
 from repro.structures.generators import cycle_structure, path_structure
-from repro.core.basis import ComponentBasis
 from repro.core.goodbasis import construct_good_basis, find_distinguishers
 from repro.structures.schema import Schema
 

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""CI gate: fail when engine benchmark timings regress vs the baseline.
+
+Usage::
+
+    python -m repro.cli bench --json --output bench_ci.json --repeat 5
+    python scripts/check_bench_regression.py \
+        --baseline BENCH_engine.json --current bench_ci.json --factor 2.0
+
+Every engine-side ``*_s`` timing present in both reports is compared
+(ablation/reference timings like ``direct_backtracking_s`` are skipped
+— they only exist to compute speedups); a timing regresses when
+``current > factor * baseline + slack``.  The factor is
+deliberately tolerant (CI runners are noisy, shared, and differently
+clocked than the machine that wrote the baseline) and the additive
+slack keeps microsecond-scale timings from tripping on clock
+resolution.  The gate is for *architecture-level* regressions — losing
+a 10x speedup — not for 20% jitter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Tuple
+
+DEFAULT_FACTOR = 2.0
+DEFAULT_SLACK_S = 0.005
+
+# Timings of the deliberately-naive ablation/reference implementations.
+# They exist only to compute speedups; their absolute cost on a noisy
+# runner carries no product signal, so the gate ignores them.
+ABLATION_KEYS = frozenset({
+    "direct_backtracking_s",
+    "exact_key_dict_s",
+    "gaussian_fraction_s",
+})
+
+
+def load_report(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    if "workloads" not in report:
+        raise SystemExit(f"{path}: not a bench report (no 'workloads' key)")
+    return report
+
+
+def compare(
+    baseline: Dict,
+    current: Dict,
+    factor: float = DEFAULT_FACTOR,
+    slack: float = DEFAULT_SLACK_S,
+) -> Tuple[List[str], List[str]]:
+    """``(lines, failures)``: a human-readable table and the regressions."""
+    lines: List[str] = []
+    failures: List[str] = []
+    base_workloads = baseline.get("workloads", {})
+    current_workloads = current.get("workloads", {})
+    compared = 0
+    for name in sorted(base_workloads):
+        if name not in current_workloads:
+            lines.append(f"  {name}: missing from current report (skipped)")
+            continue
+        for key in sorted(base_workloads[name]):
+            if not key.endswith("_s") or key in ABLATION_KEYS:
+                continue
+            if key not in current_workloads[name]:
+                lines.append(f"  {name}.{key}: missing (skipped)")
+                continue
+            base_value = float(base_workloads[name][key])
+            current_value = float(current_workloads[name][key])
+            limit = factor * base_value + slack
+            verdict = "ok" if current_value <= limit else "REGRESSED"
+            lines.append(
+                f"  {name}.{key}: {current_value:.6f}s vs baseline "
+                f"{base_value:.6f}s (limit {limit:.6f}s) {verdict}")
+            compared += 1
+            if current_value > limit:
+                failures.append(f"{name}.{key}")
+    if compared == 0:
+        failures.append("nothing compared: reports share no *_s timings")
+    return lines, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when bench timings regress vs the baseline")
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in report (e.g. BENCH_engine.json)")
+    parser.add_argument("--current", required=True,
+                        help="freshly produced report to judge")
+    parser.add_argument("--factor", type=float, default=DEFAULT_FACTOR,
+                        help="allowed slowdown factor (default: 2.0)")
+    parser.add_argument("--slack", type=float, default=DEFAULT_SLACK_S,
+                        help="additive slack in seconds (default: 0.005)")
+    args = parser.parse_args(argv)
+
+    baseline = load_report(args.baseline)
+    current = load_report(args.current)
+    lines, failures = compare(baseline, current, args.factor, args.slack)
+    print(f"bench regression gate (factor {args.factor}x, "
+          f"slack {args.slack}s):")
+    for line in lines:
+        print(line)
+    if failures:
+        print(f"FAIL: {len(failures)} regression(s): {', '.join(failures)}")
+        return 1
+    print("PASS: no timing regressed past the gate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

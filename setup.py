@@ -1,11 +1,49 @@
-"""Legacy setup shim.
+"""Package metadata and entry points.
 
-The target environment is offline with an old setuptools and no
-``wheel`` package, so PEP 660 editable installs fail; ``python setup.py
-develop`` (or ``pip install -e . --no-build-isolation`` on newer
-stacks) works through this shim.  All metadata lives in pyproject.toml.
+Metadata lives here (not in a PEP 621 ``[project]`` table) because the
+offline target environment ships an old setuptools without PEP 660/621
+support; ``python setup.py develop`` (or ``pip install .
+--no-build-isolation`` on newer stacks) must keep working there.
+pyproject.toml carries only the build-system pin and tool config.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-determinacy",
+    version="0.2.0",
+    description=(
+        "Bag-semantics query determinacy — executable reproduction of "
+        "Kwiecień, Marcinkowski & Ostropolski-Nalewaja, PODS 2022"
+    ),
+    long_description=(
+        "A complete decider for boolean-CQ bag-determinacy (rewritings "
+        "and counterexample pairs), path-query determinacy, the UCQ "
+        "undecidability reduction, a compiled homomorphism-counting "
+        "engine, and a parallel batch-evaluation subsystem with a "
+        "persistent on-disk count cache."
+    ),
+    long_description_content_type="text/plain",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+            "repro-determinacy = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering :: Mathematics",
+        "Topic :: Database",
+    ],
+)

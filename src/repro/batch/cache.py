@@ -1,0 +1,327 @@
+"""The persistent on-disk homomorphism store.
+
+:class:`~repro.hom.engine.HomEngine` memoizes ``|hom(component, leaf)|``
+counts and Chandra–Merlin existence probes per process; a batch run
+over thousands of instances drawn from a small component pool recomputes
+the same answers in every fresh process.  This module adds the missing
+layer: an SQLite-backed store that the engine consults on in-memory
+misses (see ``HomEngine.store``), so each answer is computed **once per
+machine**, not once per process.
+
+Layout
+------
+``targets``     ``hash -> canonical JSON`` of every distinct counting
+                target (stored once, referenced by hash).
+``hom_counts``  exact counts; ``hom_exists`` existence verdicts.  Both
+                are keyed by
+
+* ``inv``    — SHA-256 of the source's
+  :func:`~repro.structures.isomorphism.invariant_key` (an iso-invariant,
+  so isomorphic sources land in the same bucket);
+* ``target`` — the target's hash;
+* ``source`` — the source's canonical JSON itself.
+
+A lookup fetches the (tiny) ``(inv, target)`` bucket and identifies the
+source against each stored representative, first by JSON equality, then
+up to isomorphism — so answers are shared across processes even when
+different processes canonicalized the iso class differently.  (Hom
+counts and hom existence into a fixed target are both invariant under
+source isomorphism, which is what makes the shared mechanism sound.)
+
+Counts are stored as decimal text: hom counts routinely exceed 64-bit
+range and SQLite integers would silently lose them.
+
+Concurrency: writes are buffered and flushed with ``INSERT OR IGNORE``
+under WAL journaling, so concurrent batch workers sharing one store
+file never corrupt it and at worst recompute an answer another worker
+was about to publish.  Structures whose constants fall outside the JSON
+wire format are simply not persisted (the in-memory memo still serves
+them).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+from typing import Dict, List, Optional, Tuple
+
+from repro.structures.isomorphism import find_isomorphism, invariant_key
+from repro.structures.serialization import (
+    SerializationError,
+    structure_from_dict,
+    structure_to_dict,
+)
+from repro.structures.structure import Structure
+from repro.batch.tasks import canonical_json
+
+_COUNTS = "hom_counts"
+_EXISTS = "hom_exists"
+
+_SCHEMA = (
+    """
+    CREATE TABLE IF NOT EXISTS targets (
+        hash TEXT PRIMARY KEY,
+        json TEXT NOT NULL
+    )
+    """,
+    f"""
+    CREATE TABLE IF NOT EXISTS {_COUNTS} (
+        inv    TEXT NOT NULL,
+        target TEXT NOT NULL,
+        source TEXT NOT NULL,
+        value  TEXT NOT NULL,
+        PRIMARY KEY (inv, target, source)
+    )
+    """,
+    f"""
+    CREATE TABLE IF NOT EXISTS {_EXISTS} (
+        inv    TEXT NOT NULL,
+        target TEXT NOT NULL,
+        source TEXT NOT NULL,
+        value  TEXT NOT NULL,
+        PRIMARY KEY (inv, target, source)
+    )
+    """,
+)
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class SQLiteHomStore:
+    """Persistent hom-count / hom-existence store for HomEngine.
+
+    Implements the duck-typed store protocol the engine expects:
+    ``lookup``/``record`` for exact counts,
+    ``lookup_exists``/``record_exists`` for Chandra–Merlin probes,
+    plus ``flush()``/``close()``.
+
+    The connection is opened lazily *per process* (keyed on ``os.getpid``)
+    so a store object created before a ``fork`` never shares an SQLite
+    handle with its children — sharing one is undefined behaviour.
+    """
+
+    def __init__(self, path: str, flush_every: int = 64):
+        self.path = path
+        self.flush_every = max(1, flush_every)
+        self.lookups = 0
+        self.lookup_hits = 0
+        self.inserts = 0
+        self._pending: Dict[str, List[Tuple[str, str, str, str]]] = {
+            _COUNTS: [], _EXISTS: [],
+        }
+        self._pending_targets: List[Tuple[str, str]] = []
+        self._json_cache: Dict[Structure, Optional[str]] = {}
+        self._connection: Optional[sqlite3.Connection] = None
+        self._owner_pid: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+    def _connect(self) -> sqlite3.Connection:
+        pid = os.getpid()
+        if self._connection is None or self._owner_pid != pid:
+            connection = sqlite3.connect(self.path, timeout=30.0)
+            connection.execute("PRAGMA journal_mode=WAL")
+            connection.execute("PRAGMA synchronous=NORMAL")
+            with connection:
+                for statement in _SCHEMA:
+                    connection.execute(statement)
+            self._connection = connection
+            self._owner_pid = pid
+            self._pending = {_COUNTS: [], _EXISTS: []}
+            self._pending_targets = []
+        return self._connection
+
+    def close(self) -> None:
+        self.flush()
+        if self._connection is not None and self._owner_pid == os.getpid():
+            self._connection.close()
+        self._connection = None
+        self._owner_pid = None
+
+    def __enter__(self) -> "SQLiteHomStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Serialization (memoized per structure; None = not serializable)
+    # ------------------------------------------------------------------
+    def _structure_json(self, structure: Structure) -> Optional[str]:
+        if structure in self._json_cache:
+            return self._json_cache[structure]
+        try:
+            text: Optional[str] = canonical_json(structure_to_dict(structure))
+        except SerializationError:
+            text = None
+        if len(self._json_cache) > 4096:
+            self._json_cache.clear()
+        self._json_cache[structure] = text
+        return text
+
+    # ------------------------------------------------------------------
+    # Store protocol (consumed by HomEngine)
+    # ------------------------------------------------------------------
+    def lookup(self, component: Structure, leaf: Structure) -> Optional[int]:
+        """The stored count, matching ``component`` up to isomorphism."""
+        value = self._lookup(_COUNTS, component, leaf)
+        return None if value is None else int(value)
+
+    def record(self, component: Structure, leaf: Structure, count: int) -> None:
+        """Queue a freshly computed count for persistence."""
+        self._record(_COUNTS, component, leaf, str(count))
+
+    def lookup_exists(self, source: Structure,
+                      target: Structure) -> Optional[bool]:
+        """The stored Chandra–Merlin verdict, up to source isomorphism."""
+        value = self._lookup(_EXISTS, source, target)
+        return None if value is None else value == "1"
+
+    def record_exists(self, source: Structure, target: Structure,
+                      result: bool) -> None:
+        self._record(_EXISTS, source, target, "1" if result else "0")
+
+    def _lookup(self, table: str, source: Structure,
+                target: Structure) -> Optional[str]:
+        source_json = self._structure_json(source)
+        target_json = self._structure_json(target)
+        if source_json is None or target_json is None:
+            return None
+        self.lookups += 1
+        inv = _digest(repr(invariant_key(source)))
+        target_hash = _digest(target_json)
+        try:
+            rows = self._connect().execute(
+                f"SELECT source, value FROM {table} WHERE inv=? AND target=?",
+                (inv, target_hash),
+            ).fetchall()
+        except sqlite3.OperationalError:
+            return None
+        for stored_json, value in rows:
+            if stored_json == source_json:
+                self.lookup_hits += 1
+                return value
+        for stored_json, value in rows:
+            stored = self._decode(stored_json)
+            if stored is not None and find_isomorphism(source, stored) is not None:
+                self.lookup_hits += 1
+                return value
+        return None
+
+    def _record(self, table: str, source: Structure, target: Structure,
+                value: str) -> None:
+        source_json = self._structure_json(source)
+        target_json = self._structure_json(target)
+        if source_json is None or target_json is None:
+            return
+        inv = _digest(repr(invariant_key(source)))
+        target_hash = _digest(target_json)
+        self._pending_targets.append((target_hash, target_json))
+        self._pending[table].append((inv, target_hash, source_json, value))
+        if sum(len(rows) for rows in self._pending.values()) >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Publish queued answers; contention drops the batch, not data."""
+        if not any(self._pending.values()) and not self._pending_targets:
+            return
+        pending, self._pending = self._pending, {_COUNTS: [], _EXISTS: []}
+        pending_targets, self._pending_targets = self._pending_targets, []
+        try:
+            connection = self._connect()
+            with connection:
+                connection.executemany(
+                    "INSERT OR IGNORE INTO targets VALUES (?, ?)",
+                    pending_targets,
+                )
+                for table, rows in pending.items():
+                    if rows:
+                        connection.executemany(
+                            f"INSERT OR IGNORE INTO {table} VALUES (?, ?, ?, ?)",
+                            rows,
+                        )
+            self.inserts += sum(len(rows) for rows in pending.values())
+        except sqlite3.OperationalError:
+            # Another worker holds the write lock past the busy timeout;
+            # the answers stay correct in memory and will be recomputed
+            # (or published by that worker) — never block the batch.
+            pass
+
+    # ------------------------------------------------------------------
+    # Warm start / introspection
+    # ------------------------------------------------------------------
+    def preload(self, engine, limit: int = 2048) -> int:
+        """Seed an engine's in-memory memo from the store.
+
+        Decodes up to ``limit`` stored ``(component, target, count)``
+        rows and pushes them through
+        :meth:`~repro.hom.engine.HomEngine.seed_count`, so a fresh batch
+        worker starts with the machine's accumulated counts already in
+        memory.  Returns the number of counts seeded; undecodable rows
+        are skipped.
+        """
+        try:
+            rows = self._connect().execute(
+                f"SELECT h.source, t.json, h.value"
+                f" FROM {_COUNTS} h JOIN targets t ON t.hash = h.target"
+                f" LIMIT ?",
+                (limit,),
+            ).fetchall()
+        except sqlite3.OperationalError:
+            return 0
+        targets: Dict[str, Optional[Structure]] = {}
+        seeded = 0
+        for source_json, target_json, value in rows:
+            component = self._decode(source_json)
+            if component is None:
+                continue
+            if target_json not in targets:
+                targets[target_json] = self._decode(target_json)
+            leaf = targets[target_json]
+            if leaf is None:
+                continue
+            engine.seed_count(component, leaf, int(value))
+            seeded += 1
+        return seeded
+
+    @staticmethod
+    def _decode(text: str) -> Optional[Structure]:
+        try:
+            return structure_from_dict(json.loads(text))
+        except (SerializationError, ValueError):
+            return None
+
+    def counts_len(self) -> int:
+        return self._table_len(_COUNTS)
+
+    def exists_len(self) -> int:
+        return self._table_len(_EXISTS)
+
+    def _table_len(self, table: str) -> int:
+        try:
+            row = self._connect().execute(
+                f"SELECT COUNT(*) FROM {table}").fetchone()
+        except sqlite3.OperationalError:
+            return 0
+        return int(row[0])
+
+    def __len__(self) -> int:
+        return self.counts_len() + self.exists_len()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "counts": self.counts_len(),
+            "exists": self.exists_len(),
+            "lookups": self.lookups,
+            "lookup_hits": self.lookup_hits,
+            "inserts": self.inserts,
+        }
+
+    def __repr__(self) -> str:
+        return (f"SQLiteHomStore(path={self.path!r}, entries={len(self)}, "
+                f"hits={self.lookup_hits}/{self.lookups})")

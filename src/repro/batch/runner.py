@@ -1,0 +1,328 @@
+"""The parallel batch evaluator.
+
+Turns a stream of task lines (:mod:`repro.batch.tasks`) into a stream
+of result lines, optionally sharded across worker processes::
+
+    from repro.batch import runner
+    for line in runner.iter_results(open("tasks.jsonl"), workers=4,
+                                    cache_path="homcache.sqlite"):
+        print(line)
+
+Guarantees
+----------
+* **Deterministic ordering** — results come out in task order no matter
+  how many workers ran them (chunked ``Pool.imap`` preserves order).
+* **Deterministic content** — randomized steps (witness construction)
+  are seeded from a content hash of the task, and every record is
+  serialized canonically, so ``--workers 4`` output is byte-identical
+  to ``--workers 1`` output.
+* **Fault isolation** — a task that raises a library error produces an
+  ``{"ok": false, "error": ...}`` record; the batch keeps going.
+
+Workers are plain ``multiprocessing`` processes (``fork`` start method
+when the platform has it, so they inherit the loaded library for free).
+Each worker owns a private :class:`~repro.hom.engine.HomEngine`
+attached to the shared on-disk store (:mod:`repro.batch.cache`), and
+warm-starts its in-memory memo from that store, so hom counts are
+computed once per machine rather than once per process.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import random
+import sys
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import ReproError
+from repro.batch.cache import SQLiteHomStore
+from repro.batch.tasks import DecodedTask, canonical_json, decode_task
+from repro.core.decision import decide_bag_determinacy
+from repro.core.pathdet import decide_path_determinacy
+from repro.hom.containment import is_contained_set
+from repro.hom.engine import HomEngine
+from repro.ucq.analysis import linear_certificate
+
+DEFAULT_CHUNK_SIZE = 8
+DEFAULT_PRELOAD = 2048
+
+
+# ----------------------------------------------------------------------
+# Single-task evaluation
+# ----------------------------------------------------------------------
+def evaluate_task(task: DecodedTask, engine: HomEngine) -> Dict:
+    """The result record (without envelope) for one decoded task."""
+    if task.kind == "decide-cq":
+        result = decide_bag_determinacy(list(task.views), task.query, engine)
+        record = result.to_record()
+        if task.witness and not result.determined:
+            pair = result.witness(rng=random.Random(task.seed()))
+            record["witness"] = pair.to_record(pair.verify(engine))
+        return record
+    if task.kind == "containment":
+        return {"contained": is_contained_set(task.query, task.container,
+                                              engine)}
+    if task.kind == "decide-path":
+        result = decide_path_determinacy(list(task.views), task.query)
+        record = {
+            "determined": result.determined,
+            "reachable": sorted(".".join(node) for node in result.reachable),
+        }
+        if result.certificate is not None:
+            record["certificate"] = [
+                {"view": ".".join(step.view.letters),
+                 "sign": step.sign,
+                 "target": ".".join(step.target.letters)}
+                for step in result.certificate
+            ]
+        return record
+    if task.kind == "certify-ucq":
+        certificate = linear_certificate(list(task.views), task.query)
+        record = {"certified": certificate is not None}
+        if certificate is not None:
+            record["coefficients"] = [str(c) for c in certificate.coefficients]
+        return record
+    raise ReproError(f"unhandled task kind {task.kind!r}")  # pragma: no cover
+
+
+def evaluate_line(line: str, engine: HomEngine) -> str:
+    """One canonical result line for one task line; never raises on
+    library errors — they become ``{"ok": false}`` records."""
+    task_id, kind = None, None
+    try:
+        task = decode_task(line)
+        task_id, kind = task.id, task.kind
+        record = evaluate_task(task, engine)
+    except ReproError as exc:
+        envelope: Dict = {
+            "id": task_id,
+            "kind": kind,
+            "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+        }
+        return canonical_json(envelope)
+    envelope = {"id": task.id, "kind": task.kind, "ok": True}
+    envelope.update(record)
+    return canonical_json(envelope)
+
+
+# ----------------------------------------------------------------------
+# Worker pool plumbing
+# ----------------------------------------------------------------------
+_WORKER_ENGINE: Optional[HomEngine] = None
+
+
+def _init_worker(cache_path: Optional[str], preload: int) -> None:
+    global _WORKER_ENGINE
+    store = SQLiteHomStore(cache_path) if cache_path else None
+    _WORKER_ENGINE = HomEngine(store=store)
+    if store is not None and preload > 0:
+        store.preload(_WORKER_ENGINE, limit=preload)
+
+
+def _evaluate_chunk(lines: List[str]) -> List[str]:
+    engine = _WORKER_ENGINE
+    if engine is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("batch worker used before initialization")
+    results = [evaluate_line(line, engine) for line in lines]
+    engine.flush_store()
+    return results
+
+
+def _chunks(lines: Iterable[str], size: int) -> Iterator[List[str]]:
+    chunk: List[str] = []
+    for line in lines:
+        if not line.strip():
+            continue
+        chunk.append(line)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else methods[0])
+
+
+# ----------------------------------------------------------------------
+# Batch drivers
+# ----------------------------------------------------------------------
+def iter_results(
+    lines: Iterable[str],
+    workers: int = 1,
+    cache_path: Optional[str] = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    preload: int = DEFAULT_PRELOAD,
+) -> Iterator[str]:
+    """Evaluate task lines, yielding result lines in task order.
+
+    ``workers <= 1`` runs inline (no subprocesses); otherwise a pool of
+    ``workers`` processes shards the stream in chunks of ``chunk_size``
+    tasks.  ``cache_path`` names the shared persistent hom-count store;
+    ``preload`` bounds how many stored counts each worker seeds into
+    its in-memory memo at startup.
+    """
+    chunk_size = max(1, chunk_size)
+    if workers <= 1:
+        _init_worker(cache_path, preload)
+        engine = _WORKER_ENGINE
+        try:
+            for chunk in _chunks(lines, chunk_size):
+                for line in chunk:
+                    yield evaluate_line(line, engine)
+                engine.flush_store()
+        finally:
+            if engine is not None and engine.store is not None:
+                engine.store.close()
+        return
+
+    # ProcessPoolExecutor rather than multiprocessing.Pool: a worker
+    # killed mid-task (OOM, segfault) raises BrokenProcessPool out of
+    # result() — Pool would silently lose the job and hang the batch.
+    executor = ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=_pool_context(),
+        initializer=_init_worker,
+        initargs=(cache_path, preload),
+    )
+    try:
+        # Bounded in-flight window: submitting everything up front
+        # would buffer an arbitrarily large task stream in memory.
+        # Yielding the *oldest* pending chunk first keeps results in
+        # task order while at most `max_inflight` chunks are queued.
+        max_inflight = max(2, workers * 4)
+        inflight: "deque" = deque()
+        for chunk in _chunks(lines, chunk_size):
+            inflight.append(executor.submit(_evaluate_chunk, chunk))
+            if len(inflight) >= max_inflight:
+                yield from inflight.popleft().result()
+        while inflight:
+            yield from inflight.popleft().result()
+    finally:
+        executor.shutdown(wait=True, cancel_futures=True)
+
+
+def run_batch(
+    input_path: str,
+    output_path: str,
+    workers: int = 1,
+    cache_path: Optional[str] = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    preload: int = DEFAULT_PRELOAD,
+    resume: bool = False,
+) -> Dict[str, int]:
+    """File-level driver behind ``repro batch run``.
+
+    Streams JSONL from ``input_path`` (``-`` = stdin) to ``output_path``
+    (``-`` = stdout).  With ``resume``, task ids already present in the
+    output file are skipped and fresh results are appended — so an
+    interrupted batch continues where it stopped.  Returns a summary:
+    ``{"tasks", "skipped", "written", "errors"}``.
+    """
+    done = set()
+    if resume and output_path != "-":
+        _truncate_torn_tail(output_path)
+        done = _completed_ids(output_path)
+
+    if input_path == "-":
+        raw_lines: Iterable[str] = sys.stdin
+    else:
+        raw_lines = open(input_path, "r", encoding="utf-8")
+
+    summary = {"tasks": 0, "skipped": 0, "written": 0, "errors": 0}
+
+    def pending() -> Iterator[str]:
+        for line in raw_lines:
+            if not line.strip():
+                continue
+            summary["tasks"] += 1
+            if done and _line_id(line) in done:
+                summary["skipped"] += 1
+                continue
+            yield line
+
+    if output_path == "-":
+        sink = sys.stdout
+    else:
+        sink = open(output_path, "a" if done else "w", encoding="utf-8")
+    try:
+        for result in iter_results(pending(), workers=workers,
+                                   cache_path=cache_path,
+                                   chunk_size=chunk_size, preload=preload):
+            sink.write(result + "\n")
+            summary["written"] += 1
+            if '"ok":false' in result:
+                summary["errors"] += 1
+    finally:
+        if sink is not sys.stdout:
+            sink.close()
+        if raw_lines is not sys.stdin:
+            raw_lines.close()
+    return summary
+
+
+def _line_id(line: str) -> Optional[str]:
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if isinstance(payload, dict):
+        identifier = payload.get("id")
+        if isinstance(identifier, str):
+            return identifier
+    return None
+
+
+def _truncate_torn_tail(output_path: str) -> None:
+    """Drop a partial final line left by a run killed mid-write.
+
+    Without this, appending a fresh result right after the torn
+    fragment would fuse the two into one permanently unparseable line.
+    """
+    try:
+        handle = open(output_path, "rb+")
+    except FileNotFoundError:
+        return
+    with handle:
+        size = handle.seek(0, os.SEEK_END)
+        if size == 0:
+            return
+        handle.seek(-1, os.SEEK_END)
+        if handle.read(1) == b"\n":
+            return
+        # Scan backwards in blocks for the last newline; everything
+        # after it is the torn fragment.
+        position = size
+        block = 4096
+        while position > 0:
+            step = min(block, position)
+            position -= step
+            handle.seek(position)
+            data = handle.read(step)
+            newline = data.rfind(b"\n")
+            if newline != -1:
+                handle.truncate(position + newline + 1)
+                return
+        handle.truncate(0)
+
+
+def _completed_ids(output_path: str) -> set:
+    """Task ids already answered in an existing output file."""
+    completed = set()
+    try:
+        with open(output_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                identifier = _line_id(line)
+                if identifier is not None:
+                    completed.add(identifier)
+    except FileNotFoundError:
+        pass
+    return completed

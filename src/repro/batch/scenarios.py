@@ -1,0 +1,253 @@
+"""Randomized scenario families for stress tests and benchmarks.
+
+A *scenario* is a JSONL file of task records (:mod:`repro.batch.tasks`)
+drawn from a seeded RNG — the workload shape the related pod-function
+reproductions validate against: large families of instances at
+controllable sizes, reproducible from ``(kind, count, seed)`` alone.
+
+The CQ families are assembled from a small pool of connected components
+(paths, cycles, and seeded random connected graphs), mirroring the
+benchmark workloads: the same component shows up in many instances, so
+the canonical-component memo and the persistent store both get the hit
+patterns production traffic would produce.
+
+All constants the generators emit are JSON-safe (ints and strings), so
+every generated instance round-trips the wire format exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, TextIO
+
+from repro.errors import ReproError
+from repro.queries.cq import ConjunctiveQuery, cq_from_structure
+from repro.queries.path import PathQuery
+from repro.queries.ucq import UnionOfBooleanCQs
+from repro.structures.generators import (
+    cycle_structure,
+    path_structure,
+    random_connected_structure,
+)
+from repro.structures.operations import sum_with_multiplicities
+from repro.structures.schema import Schema
+from repro.batch.tasks import (
+    canonical_json,
+    make_containment_task,
+    make_decision_task,
+    make_path_task,
+    make_ucq_task,
+)
+
+SCENARIO_KINDS = ("cq", "cq-witness", "containment", "path", "ucq", "mixed")
+
+
+def component_pool(rng: random.Random, extra: int = 3) -> List:
+    """The component pool a scenario draws from: the fixed 7 shapes the
+    benchmarks use, plus ``extra`` seeded random connected graphs."""
+    pool = [
+        path_structure(["R"]),
+        path_structure(["R", "R"]),
+        path_structure(["S"]),
+        path_structure(["R", "S"]),
+        path_structure(["S", "R"]),
+        cycle_structure(3),
+        cycle_structure(4),
+    ]
+    schema = Schema({"R": 2, "S": 2})
+    for _ in range(extra):
+        pool.append(random_connected_structure(
+            schema, size=rng.randint(2, 4), extra_density=0.15, rng=rng))
+    return pool
+
+
+def _random_cq(rng: random.Random, pool, max_components: int) -> ConjunctiveQuery:
+    pieces = [
+        (rng.randint(1, 2), rng.choice(pool))
+        for _ in range(rng.randint(1, max_components))
+    ]
+    return cq_from_structure(sum_with_multiplicities(pieces))
+
+
+# ----------------------------------------------------------------------
+# Families
+# ----------------------------------------------------------------------
+def generate_decision_tasks(
+    count: int,
+    seed: int = 0,
+    n_views: int = 6,
+    max_components: int = 2,
+    witness: bool = False,
+) -> List[Dict]:
+    """``decide-cq`` instances over the shared component pool."""
+    rng = random.Random(seed)
+    pool = component_pool(rng)
+    tasks = []
+    for index in range(count):
+        views = [_random_cq(rng, pool, max_components)
+                 for _ in range(rng.randint(1, n_views))]
+        query = _random_cq(rng, pool, max_components)
+        tasks.append(make_decision_task(
+            f"cq-{index:05d}", views, query, witness=witness))
+    return tasks
+
+
+def generate_containment_tasks(
+    count: int,
+    seed: int = 0,
+    max_components: int = 2,
+) -> List[Dict]:
+    """Chandra–Merlin containment probes between pool-built CQs."""
+    rng = random.Random(seed)
+    pool = component_pool(rng)
+    tasks = []
+    for index in range(count):
+        query = _random_cq(rng, pool, max_components)
+        if rng.random() < 0.5:
+            # A pair that is contained by construction: conjoining more
+            # atoms onto the query can only shrink its models.
+            extra = cq_from_structure(rng.choice(pool))
+            extra = extra.rename_variables(
+                {v: f"w{index}_{v}" for v in sorted(extra.variables())})
+            container = query
+            # Not .conjoin(): that would keep the query's (narrower)
+            # declared schema and reject the extra CQ's relations.
+            query = ConjunctiveQuery(
+                list(query.atoms) + list(extra.atoms),
+                extra_variables=query.extra_variables | extra.extra_variables,
+            )
+        else:
+            container = _random_cq(rng, pool, max_components)
+        tasks.append(make_containment_task(
+            f"ct-{index:05d}", query, container))
+    return tasks
+
+
+def generate_path_tasks(
+    count: int,
+    seed: int = 0,
+    alphabet: str = "ABCD",
+    max_length: int = 6,
+) -> List[Dict]:
+    """Theorem 1 path instances: random words plus subword views."""
+    rng = random.Random(seed)
+    letters = list(alphabet)
+    tasks = []
+    for index in range(count):
+        length = rng.randint(1, max_length)
+        word = [rng.choice(letters) for _ in range(length)]
+        query = PathQuery(tuple(word))
+        views = []
+        for _ in range(rng.randint(1, 4)):
+            if rng.random() < 0.6 and length > 1:
+                start = rng.randrange(length)
+                stop = rng.randint(start + 1, length)
+                views.append(PathQuery(tuple(word[start:stop])))
+            else:
+                views.append(PathQuery(tuple(
+                    rng.choice(letters)
+                    for _ in range(rng.randint(1, max_length)))))
+        tasks.append(make_path_task(f"pq-{index:05d}", views, query))
+    return tasks
+
+
+def generate_ucq_tasks(
+    count: int,
+    seed: int = 0,
+    max_disjuncts: int = 3,
+) -> List[Dict]:
+    """Linear-certificate instances in the Example 3 shape: unions of
+    small unary/binary CQs, with overlapping views so rational
+    certificates actually exist for a fraction of instances."""
+    rng = random.Random(seed)
+    base = [
+        ConjunctiveQuery([("P", ("x",))]),
+        ConjunctiveQuery([("R", ("x",))]),
+        ConjunctiveQuery([("S", ("x",))]),
+        ConjunctiveQuery([("P", ("x",)), ("R", ("x",))]),
+        ConjunctiveQuery([("E", ("x", "y"))]),
+        ConjunctiveQuery([("E", ("x", "y")), ("E", ("y", "z"))]),
+    ]
+
+    def random_ucq() -> UnionOfBooleanCQs:
+        picks = rng.sample(base, rng.randint(1, max_disjuncts))
+        return UnionOfBooleanCQs(picks)
+
+    tasks = []
+    for index in range(count):
+        query = random_ucq()
+        views = [random_ucq() for _ in range(rng.randint(1, 4))]
+        if rng.random() < 0.5:
+            # Plant a certificate: include the query itself among the
+            # views (possibly widened), so q = 1·v_i is in the span.
+            views.append(query.union(random_ucq())
+                         if rng.random() < 0.5 else query)
+        tasks.append(make_ucq_task(f"uq-{index:05d}", views, query))
+    return tasks
+
+
+_FAMILIES: Dict[str, Callable[..., List[Dict]]] = {
+    "cq": generate_decision_tasks,
+    "containment": generate_containment_tasks,
+    "path": generate_path_tasks,
+    "ucq": generate_ucq_tasks,
+}
+
+
+def generate_scenario(kind: str, count: int, seed: int = 0, **knobs) -> List[Dict]:
+    """The ``count`` task records of scenario ``(kind, seed)``.
+
+    ``kind`` is one of :data:`SCENARIO_KINDS`; ``mixed`` interleaves the
+    four base families round-robin (each family keeps its own id space,
+    so mixed scenarios stay resumable).
+    """
+    if count < 0:
+        raise ReproError(f"scenario count must be >= 0, got {count}")
+    if kind == "cq-witness":
+        return generate_decision_tasks(count, seed, witness=True, **knobs)
+    if kind == "mixed":
+        if knobs:
+            # The four sub-families take different knobs; silently
+            # dropping them would hand back a default-shaped workload.
+            raise ReproError(
+                f"scenario kind 'mixed' does not accept family knobs "
+                f"(got {sorted(knobs)}); generate the families "
+                f"separately to tune them")
+        order = ("cq", "containment", "path", "ucq")
+        per_kind = {name: count // len(order) for name in order}
+        for name in order[: count % len(order)]:
+            per_kind[name] += 1
+        tasks: List[Dict] = []
+        streams = {
+            name: _FAMILIES[name](per_kind[name], seed=seed + offset)
+            for offset, name in enumerate(order)
+        }
+        cursors = {name: 0 for name in order}
+        for index in range(count):
+            name = order[index % len(order)]
+            while cursors[name] >= len(streams[name]):
+                name = order[(order.index(name) + 1) % len(order)]
+            tasks.append(streams[name][cursors[name]])
+            cursors[name] += 1
+        return tasks
+    family = _FAMILIES.get(kind)
+    if family is None:
+        raise ReproError(
+            f"unknown scenario kind {kind!r}; expected one of {SCENARIO_KINDS}")
+    return family(count, seed=seed, **knobs)
+
+
+def write_scenario(tasks: Iterable[Dict], sink: TextIO) -> int:
+    """Write task records as JSONL; returns the number written.
+
+    Records from this module's generators are valid by construction,
+    so this skips :func:`~repro.batch.tasks.encode_task`'s decode
+    round-trip (which would re-parse every query payload purely for
+    validation — a 2x cost on large scenario files).  Externally built
+    records should go through ``encode_task`` instead.
+    """
+    written = 0
+    for record in tasks:
+        sink.write(canonical_json(record) + "\n")
+        written += 1
+    return written

@@ -1,0 +1,217 @@
+"""The serializable task codec of the batch subsystem.
+
+A *task* is one unit of batch work — a decision, containment, witness
+or certification problem — written as a single JSON object (one line of
+a JSONL scenario file).  The codec is deliberately thin: query payloads
+reuse the wire format of :mod:`repro.structures.serialization`, so any
+tool that can emit view catalogs can emit batch scenarios.
+
+Task shapes::
+
+    {"id": "t0", "kind": "decide-cq", "views": [<cq>...], "query": <cq>,
+     "witness": false}
+    {"id": "t1", "kind": "containment", "query": <cq>, "container": <cq>}
+    {"id": "t2", "kind": "decide-path", "views": [<path>...], "query": <path>}
+    {"id": "t3", "kind": "certify-ucq", "views": [<ucq>...], "query": <ucq>}
+
+``decide-cq`` with ``"witness": true`` additionally constructs and
+verifies a counterexample pair when the instance is not determined; the
+construction is seeded from :func:`task_seed`, a content hash of the
+task, so results are reproducible across runs, worker counts and
+machines.
+
+Everything round-trips: ``decode_task(encode_task(t))`` recovers the
+query objects exactly, and ``encode_task``/``encode_record`` emit
+*canonical* JSON (sorted keys, minimal separators) so batch outputs can
+be compared byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.path import PathQuery
+from repro.queries.ucq import UnionOfBooleanCQs
+from repro.structures.serialization import SerializationError, from_dict, to_dict
+
+
+class BatchCodecError(ReproError):
+    """Malformed task lines and records."""
+
+
+VALID_KINDS = ("decide-cq", "containment", "decide-path", "certify-ucq")
+
+_QUERY_TYPES = {
+    "decide-cq": ConjunctiveQuery,
+    "containment": ConjunctiveQuery,
+    "decide-path": PathQuery,
+    "certify-ucq": UnionOfBooleanCQs,
+}
+
+
+def canonical_json(payload: Dict[str, Any]) -> str:
+    """Canonical single-line JSON: sorted keys, minimal separators.
+
+    Batch outputs are compared byte-for-byte across worker counts, so
+    every record funnels through this one serializer.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=True)
+
+
+# ----------------------------------------------------------------------
+# Task construction (object side)
+# ----------------------------------------------------------------------
+def make_decision_task(task_id: str, views, query: ConjunctiveQuery,
+                       witness: bool = False) -> Dict[str, Any]:
+    """A ``decide-cq`` task record for boolean-CQ bag-determinacy."""
+    record = {
+        "id": str(task_id),
+        "kind": "decide-cq",
+        "views": [to_dict(v) for v in views],
+        "query": to_dict(query),
+    }
+    if witness:
+        record["witness"] = True
+    return record
+
+
+def make_containment_task(task_id: str, query: ConjunctiveQuery,
+                          container: ConjunctiveQuery) -> Dict[str, Any]:
+    """A Chandra–Merlin set-containment probe ``query ⊆set container``."""
+    return {
+        "id": str(task_id),
+        "kind": "containment",
+        "query": to_dict(query),
+        "container": to_dict(container),
+    }
+
+
+def make_path_task(task_id: str, views, query: PathQuery) -> Dict[str, Any]:
+    """A Theorem 1 path-determinacy task."""
+    return {
+        "id": str(task_id),
+        "kind": "decide-path",
+        "views": [to_dict(v) for v in views],
+        "query": to_dict(query),
+    }
+
+
+def make_ucq_task(task_id: str, views, query: UnionOfBooleanCQs) -> Dict[str, Any]:
+    """A linear-certificate task for boolean UCQs."""
+    return {
+        "id": str(task_id),
+        "kind": "certify-ucq",
+        "views": [to_dict(v) for v in views],
+        "query": to_dict(query),
+    }
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+@dataclass
+class DecodedTask:
+    """A validated task with its query payloads materialized."""
+
+    id: str
+    kind: str
+    record: Dict[str, Any]
+    query: Any
+    views: Tuple[Any, ...] = ()
+    container: Optional[ConjunctiveQuery] = None
+    witness: bool = field(default=False)
+
+    def seed(self) -> int:
+        """The deterministic RNG seed for any randomized step."""
+        return task_seed(self.record)
+
+
+def encode_task(record: Dict[str, Any]) -> str:
+    """Canonical JSONL line for a task record (validates first)."""
+    decode_task(record)  # validation only
+    return canonical_json(record)
+
+
+def decode_task(line: "str | Dict[str, Any]") -> DecodedTask:
+    """Parse and validate one task line (or already-parsed record)."""
+    if isinstance(line, str):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise BatchCodecError(f"invalid JSON task line: {exc}") from exc
+    else:
+        record = line
+    if not isinstance(record, dict):
+        raise BatchCodecError(f"task must be a JSON object, got {type(record).__name__}")
+
+    kind = record.get("kind")
+    if kind not in VALID_KINDS:
+        raise BatchCodecError(
+            f"unknown task kind {kind!r}; expected one of {VALID_KINDS}")
+    task_id = record.get("id")
+    if not isinstance(task_id, str) or not task_id:
+        raise BatchCodecError(f"task needs a non-empty string 'id', got {task_id!r}")
+
+    expected = _QUERY_TYPES[kind]
+    try:
+        query = from_dict(record.get("query"))
+    except SerializationError as exc:
+        raise BatchCodecError(f"task {task_id}: bad query payload: {exc}") from exc
+    _require_type(task_id, "query", query, expected)
+
+    views: Tuple[Any, ...] = ()
+    container: Optional[ConjunctiveQuery] = None
+    if kind == "containment":
+        try:
+            container = from_dict(record.get("container"))
+        except SerializationError as exc:
+            raise BatchCodecError(
+                f"task {task_id}: bad container payload: {exc}") from exc
+        _require_type(task_id, "container", container, expected)
+    else:
+        raw_views = record.get("views", [])
+        if not isinstance(raw_views, list):
+            raise BatchCodecError(f"task {task_id}: 'views' must be a list")
+        decoded: List[Any] = []
+        for position, payload in enumerate(raw_views):
+            try:
+                view = from_dict(payload)
+            except SerializationError as exc:
+                raise BatchCodecError(
+                    f"task {task_id}: bad view #{position}: {exc}") from exc
+            _require_type(task_id, f"view #{position}", view, expected)
+            decoded.append(view)
+        views = tuple(decoded)
+
+    return DecodedTask(
+        id=task_id,
+        kind=kind,
+        record=record,
+        query=query,
+        views=views,
+        container=container,
+        witness=bool(record.get("witness", False)),
+    )
+
+
+def task_seed(record: Dict[str, Any]) -> int:
+    """Stable content hash of a task — the seed for randomized steps.
+
+    Uses CRC32 of the canonical JSON so the same task gets the same
+    randomness in every process on every machine (Python's built-in
+    ``hash`` is salted per process and useless here).
+    """
+    return zlib.crc32(canonical_json(record).encode("utf-8"))
+
+
+def _require_type(task_id: str, label: str, value, expected: type) -> None:
+    if not isinstance(value, expected):
+        raise BatchCodecError(
+            f"task {task_id}: {label} must decode to {expected.__name__}, "
+            f"got {type(value).__name__}")

@@ -12,6 +12,10 @@ Subcommands
 ``bench``         run the engine micro-benchmarks; ``--json`` writes
                   machine-readable timings to ``BENCH_engine.json`` so
                   successive PRs can track the perf trajectory.
+``batch``         throughput mode: ``batch gen`` synthesizes JSONL
+                  scenario files, ``batch run`` evaluates them across
+                  worker processes with a persistent hom-count cache,
+                  ``batch cache`` inspects that cache.
 
 Examples
 --------
@@ -130,6 +134,54 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch_gen(args: argparse.Namespace) -> int:
+    from repro.batch.scenarios import generate_scenario, write_scenario
+
+    tasks = generate_scenario(args.kind, args.count, seed=args.seed)
+    if args.output == "-":
+        write_scenario(tasks, sys.stdout)
+    else:
+        with open(args.output, "w", encoding="utf-8") as sink:
+            written = write_scenario(tasks, sink)
+        print(f"wrote {written} {args.kind} tasks to {args.output}")
+    return 0
+
+
+def _cmd_batch_run(args: argparse.Namespace) -> int:
+    from repro.batch.runner import run_batch
+
+    summary = run_batch(
+        args.input,
+        args.output,
+        workers=args.workers,
+        cache_path=args.cache,
+        chunk_size=args.chunk_size,
+        resume=args.resume,
+    )
+    print(
+        f"batch: {summary['written']} results written "
+        f"({summary['skipped']} resumed, {summary['errors']} task errors, "
+        f"{summary['tasks']} tasks seen)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_batch_cache(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.batch.cache import SQLiteHomStore
+
+    if not os.path.exists(args.cache):
+        # Opening would silently create an empty database — a typo'd
+        # path must not be indistinguishable from an empty cache.
+        raise ReproError(f"no such cache file: {args.cache}")
+    with SQLiteHomStore(args.cache) as store:
+        print(f"{args.cache}: {store.counts_len()} persisted hom counts, "
+              f"{store.exists_len()} existence verdicts")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-determinacy",
@@ -174,6 +226,47 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeat", type=int, default=3,
                        help="timing repetitions (best-of)")
     bench.set_defaults(handler=_cmd_bench)
+
+    batch = sub.add_parser(
+        "batch", help="throughput mode: evaluate JSONL task streams")
+    batch_sub = batch.add_subparsers(dest="batch_command", required=True)
+
+    gen = batch_sub.add_parser(
+        "gen", help="synthesize a randomized scenario file")
+    gen.add_argument("--kind", default="cq",
+                     choices=["cq", "cq-witness", "containment", "path",
+                              "ucq", "mixed"],
+                     help="instance family (default: cq)")
+    gen.add_argument("--count", type=int, default=100, metavar="N",
+                     help="number of tasks (default: 100)")
+    gen.add_argument("--seed", type=int, default=0,
+                     help="RNG seed; (kind, count, seed) fixes the file")
+    gen.add_argument("--output", default="-", metavar="PATH",
+                     help="JSONL destination ('-' = stdout)")
+    gen.set_defaults(handler=_cmd_batch_gen)
+
+    run = batch_sub.add_parser(
+        "run", help="evaluate a JSONL task stream")
+    run.add_argument("--input", default="-", metavar="PATH",
+                     help="JSONL task source ('-' = stdin)")
+    run.add_argument("--output", default="-", metavar="PATH",
+                     help="JSONL result destination ('-' = stdout)")
+    run.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="worker processes (1 = run inline)")
+    run.add_argument("--cache", default=None, metavar="PATH",
+                     help="persistent hom-count store (SQLite) shared "
+                          "by all workers and across runs")
+    run.add_argument("--chunk-size", type=int, default=8, metavar="M",
+                     help="tasks per scheduling chunk (default: 8)")
+    run.add_argument("--resume", action="store_true",
+                     help="skip task ids already answered in --output "
+                          "and append the rest")
+    run.set_defaults(handler=_cmd_batch_run)
+
+    cache = batch_sub.add_parser(
+        "cache", help="inspect a persistent hom-count store")
+    cache.add_argument("--cache", required=True, metavar="PATH")
+    cache.set_defaults(handler=_cmd_batch_cache)
 
     return parser
 

@@ -90,6 +90,28 @@ class BooleanDeterminacyResult:
             )
         return self._witness_cache
 
+    def to_record(self):
+        """A JSON-safe summary of the verdict (batch wire format).
+
+        Everything here is canonical: view indices refer to the input
+        order, vectors follow the construction order of the basis
+        (deterministic — components are collected in query order), and
+        rational coefficients are rendered as exact ``p/q`` strings.
+        """
+        relevant = set(self.relevant_views)
+        record = {
+            "determined": self.determined,
+            "relevant": [index for index, view in enumerate(self.views)
+                         if view in relevant],
+            "basis_dimension": self.basis.dimension,
+            "query_vector": list(self.query_vector),
+            "view_vectors": [list(vector) for vector in self.view_vectors],
+            "coefficients": None,
+        }
+        if self.coefficients is not None:
+            record["coefficients"] = [str(c) for c in self.coefficients]
+        return record
+
     def explain(self) -> str:
         """One-paragraph human-readable account of the verdict."""
         lines = [

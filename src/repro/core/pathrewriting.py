@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List, Sequence, Tuple
 
-from repro.errors import DecisionError, QueryError
+from repro.errors import DecisionError
 from repro.linalg.linrel import LinearRelation
 from repro.linalg.matrix import QMatrix
 from repro.queries.path import PathQuery

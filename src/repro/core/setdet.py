@@ -33,7 +33,7 @@ not set-determine ``q``. ∎
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.errors import DecisionError
 from repro.hom.containment import views_containing

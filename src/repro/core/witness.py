@@ -30,7 +30,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.errors import DecisionError
 from repro.hom.count import Cache, count_homs
@@ -140,6 +140,24 @@ class CounterexamplePair:
             irrelevant_answers=irrelevant_answers,
             basis_counts_match=basis_counts_match,
         )
+
+    def to_record(self, report: Optional[VerificationReport] = None):
+        """A JSON-safe summary of the pair (batch wire format).
+
+        Query answers are decimal strings — the materialized counts are
+        routinely too large to be comfortable as JSON numbers for other
+        consumers, even though Python itself would take them.
+        """
+        record = {
+            "direction": list(self.direction),
+            "parameter": str(self.parameter),
+            "left_multiplicities": list(self.left_multiplicities),
+            "right_multiplicities": list(self.right_multiplicities),
+        }
+        if report is not None:
+            record["verified"] = report.ok
+            record["query_answers"] = [str(a) for a in report.query_answers]
+        return record
 
     def explain(self) -> str:
         left_counts, right_counts = self.basis_counts()

@@ -341,9 +341,11 @@ class HomEngine:
     """
 
     __slots__ = ("_counts", "_targets", "_exists", "_reps", "_rep_count",
-                 "max_counts", "max_targets", "hits", "misses")
+                 "max_counts", "max_targets", "hits", "misses",
+                 "store", "store_hits", "store_misses")
 
-    def __init__(self, max_counts: int = 16384, max_targets: int = 512):
+    def __init__(self, max_counts: int = 16384, max_targets: int = 512,
+                 store=None):
         self.max_counts = max_counts
         self.max_targets = max_targets
         self._counts: "OrderedDict[Tuple[Structure, Structure], int]" = OrderedDict()
@@ -353,6 +355,18 @@ class HomEngine:
         self._rep_count = 0
         self.hits = 0
         self.misses = 0
+        # Optional persistent second-level cache (duck-typed: anything
+        # with ``lookup(component, leaf) -> Optional[int]`` and
+        # ``record(component, leaf, count)``; implementations may also
+        # provide ``lookup_exists``/``record_exists`` for the
+        # Chandra–Merlin probes and ``flush``; see
+        # :class:`repro.batch.cache.SQLiteHomStore`).  Consulted on
+        # in-memory misses and fed every freshly computed count, so a
+        # warm store survives the process and is shared across worker
+        # processes of a batch run.
+        self.store = store
+        self.store_hits = 0
+        self.store_misses = 0
 
     # ------------------------------------------------------------------
     # Compiled targets
@@ -404,11 +418,34 @@ class HomEngine:
             self.hits += 1
             return cached
         self.misses += 1
-        result = _count(source_plan(key[0]), self.target_index(leaf), False)
+        result = None
+        if self.store is not None:
+            result = self.store.lookup(key[0], leaf)
+            if result is None:
+                self.store_misses += 1
+            else:
+                self.store_hits += 1
+        if result is None:
+            result = _count(source_plan(key[0]), self.target_index(leaf), False)
+            if self.store is not None:
+                self.store.record(key[0], leaf, result)
         self._counts[key] = result
         if len(self._counts) > self.max_counts:
             self._counts.popitem(last=False)
         return result
+
+    def seed_count(self, component: Structure, leaf: Structure,
+                   value: int) -> None:
+        """Pre-populate the memo with an externally known count.
+
+        Used by persistent stores to warm-start a fresh engine (e.g. a
+        new batch worker) without re-running the counter.  The entry is
+        keyed through :meth:`canonical` exactly like computed counts.
+        """
+        key = (self.canonical(component), leaf)
+        self._counts[key] = value
+        if len(self._counts) > self.max_counts:
+            self._counts.popitem(last=False)
 
     def count(self, source: Structure, target) -> int:
         """``|hom(source, target)|`` — component factorization plus the
@@ -425,12 +462,43 @@ class HomEngine:
         if cached is not None:
             self._exists.move_to_end(key)
             return cached
-        result = count_with_index(source, self.target_index(target),
-                                  first_only=True) > 0
+        result = None
+        if self.store is not None:
+            lookup = getattr(self.store, "lookup_exists", None)
+            if lookup is not None:
+                result = lookup(source, target)
+                if result is None:
+                    self.store_misses += 1
+                else:
+                    self.store_hits += 1
+        if result is None:
+            result = count_with_index(source, self.target_index(target),
+                                      first_only=True) > 0
+            if self.store is not None:
+                record = getattr(self.store, "record_exists", None)
+                if record is not None:
+                    record(source, target, result)
         self._exists[key] = result
         if len(self._exists) > self.max_counts:
             self._exists.popitem(last=False)
         return result
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def attach_store(self, store) -> None:
+        """Attach a persistent second-level count store (see ``store``)."""
+        self.store = store
+
+    def detach_store(self) -> None:
+        self.store = None
+
+    def flush_store(self) -> None:
+        """Flush buffered writes of the attached store, if any."""
+        if self.store is not None:
+            flush = getattr(self.store, "flush", None)
+            if flush is not None:
+                flush()
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle
@@ -439,12 +507,15 @@ class HomEngine:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
             "cached_counts": len(self._counts),
             "compiled_targets": len(self._targets),
             "canonical_classes": sum(len(b) for b in self._reps.values()),
         }
 
     def clear(self) -> None:
+        """Drop all in-memory caches (the attached store is untouched)."""
         self._counts.clear()
         self._targets.clear()
         self._exists.clear()
@@ -452,6 +523,8 @@ class HomEngine:
         self._rep_count = 0
         self.hits = 0
         self.misses = 0
+        self.store_hits = 0
+        self.store_misses = 0
 
     def __repr__(self) -> str:
         return (f"HomEngine(counts={len(self._counts)}, "

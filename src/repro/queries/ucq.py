@@ -12,7 +12,7 @@ which matters: ``Φ ∨ Φ`` answers ``2·Φ(D)``).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional
 
 from repro.errors import QueryError
 from repro.queries.cq import ConjunctiveQuery

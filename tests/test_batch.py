@@ -1,0 +1,335 @@
+"""Tests for the batch subsystem: codec, scenarios, store, runner, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.batch.cache import SQLiteHomStore
+from repro.batch.runner import evaluate_line, iter_results, run_batch
+from repro.batch.scenarios import generate_scenario, write_scenario
+from repro.batch.tasks import (
+    BatchCodecError,
+    canonical_json,
+    decode_task,
+    encode_task,
+    make_containment_task,
+    make_decision_task,
+    make_path_task,
+    make_ucq_task,
+    task_seed,
+)
+from repro.cli import main
+from repro.hom.engine import HomEngine
+from repro.queries.parser import parse_boolean_cq, parse_path, parse_ucq
+from repro.structures.generators import clique_structure, path_structure
+
+
+# ----------------------------------------------------------------------
+# Codec
+# ----------------------------------------------------------------------
+class TestTaskCodec:
+    def test_decision_round_trip(self):
+        views = [parse_boolean_cq("R(x,y)"), parse_boolean_cq("S(x,y)")]
+        query = parse_boolean_cq("R(x,y), S(u,v)")
+        record = make_decision_task("t0", views, query, witness=True)
+        task = decode_task(encode_task(record))
+        assert task.id == "t0"
+        assert task.kind == "decide-cq"
+        assert task.witness is True
+        assert list(task.views) == views
+        assert task.query == query
+
+    def test_containment_round_trip(self):
+        record = make_containment_task(
+            "c1", parse_boolean_cq("R(x,y), R(y,z)"), parse_boolean_cq("R(x,y)"))
+        task = decode_task(encode_task(record))
+        assert task.kind == "containment"
+        assert task.container == parse_boolean_cq("R(x,y)")
+
+    def test_path_and_ucq_round_trip(self):
+        path_task = decode_task(encode_task(
+            make_path_task("p1", [parse_path("A.B")], parse_path("A.B.C"))))
+        assert path_task.query == parse_path("A.B.C")
+        ucq_task = decode_task(encode_task(
+            make_ucq_task("u1", [parse_ucq("P(x)")], parse_ucq("P(x) or R(x)"))))
+        assert ucq_task.kind == "certify-ucq"
+        assert len(ucq_task.views) == 1
+
+    @pytest.mark.parametrize("line", [
+        "not json",
+        '["a", "list"]',
+        '{"kind": "decide-cq"}',
+        '{"id": "x", "kind": "nope"}',
+        '{"id": "x", "kind": "decide-cq", "query": {"kind": "path", "letters": ["A"]}}',
+        '{"id": "x", "kind": "decide-cq", "query": {"kind": "cq", "atoms": []}, "views": 3}',
+    ])
+    def test_malformed_lines_rejected(self, line):
+        with pytest.raises(BatchCodecError):
+            decode_task(line)
+
+    def test_task_seed_is_content_stable(self):
+        record = make_decision_task("t0", [parse_boolean_cq("R(x,y)")],
+                                    parse_boolean_cq("R(x,y)"))
+        assert task_seed(record) == task_seed(json.loads(canonical_json(record)))
+        other = make_decision_task("t1", [parse_boolean_cq("R(x,y)")],
+                                   parse_boolean_cq("R(x,y)"))
+        assert task_seed(record) != task_seed(other)
+
+
+# ----------------------------------------------------------------------
+# Scenario generator
+# ----------------------------------------------------------------------
+class TestScenarios:
+    @pytest.mark.parametrize("kind", ["cq", "cq-witness", "containment",
+                                      "path", "ucq", "mixed"])
+    def test_deterministic_and_decodable(self, kind):
+        first = generate_scenario(kind, 12, seed=5)
+        second = generate_scenario(kind, 12, seed=5)
+        assert [canonical_json(t) for t in first] == \
+            [canonical_json(t) for t in second]
+        assert len(first) == 12
+        for record in first:
+            decode_task(record)  # validates
+
+    def test_seed_changes_scenario(self):
+        assert [canonical_json(t) for t in generate_scenario("cq", 6, seed=1)] != \
+            [canonical_json(t) for t in generate_scenario("cq", 6, seed=2)]
+
+    def test_mixed_interleaves_all_kinds(self):
+        kinds = {record["kind"] for record in generate_scenario("mixed", 8, seed=0)}
+        assert kinds == {"decide-cq", "containment", "decide-path", "certify-ucq"}
+
+    def test_unknown_kind_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            generate_scenario("nope", 3)
+
+    def test_mixed_rejects_family_knobs(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="mixed"):
+            generate_scenario("mixed", 8, n_views=16)
+
+    def test_write_scenario(self, tmp_path):
+        out = tmp_path / "scenario.jsonl"
+        with open(out, "w") as sink:
+            written = write_scenario(generate_scenario("path", 7, seed=0), sink)
+        assert written == 7
+        lines = out.read_text().splitlines()
+        assert len(lines) == 7
+        assert all(decode_task(line).kind == "decide-path" for line in lines)
+
+
+# ----------------------------------------------------------------------
+# Persistent store
+# ----------------------------------------------------------------------
+class TestSQLiteHomStore:
+    def test_count_round_trip_and_iso_sharing(self, tmp_path):
+        store = SQLiteHomStore(str(tmp_path / "cache.sqlite"), flush_every=1)
+        component = path_structure(["R", "R"])
+        target = clique_structure(4)
+        assert store.lookup(component, target) is None
+        store.record(component, target, 36)
+        assert store.lookup(component, target) == 36
+        # A renamed copy is found through the isomorphism fallback.
+        renamed = component.rename({c: f"n{c}" for c in component.domain()})
+        assert store.lookup(renamed, target) == 36
+        assert store.counts_len() == 1
+        store.close()
+
+    def test_exists_round_trip(self, tmp_path):
+        store = SQLiteHomStore(str(tmp_path / "cache.sqlite"), flush_every=1)
+        source = path_structure(["R"])
+        assert store.lookup_exists(source, clique_structure(3)) is None
+        store.record_exists(source, clique_structure(3), True)
+        store.record_exists(clique_structure(3), source, False)
+        assert store.lookup_exists(source, clique_structure(3)) is True
+        assert store.lookup_exists(clique_structure(3), source) is False
+        assert store.exists_len() == 2
+
+    def test_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "cache.sqlite")
+        with SQLiteHomStore(path, flush_every=1) as store:
+            store.record(path_structure(["R"]), clique_structure(3), 6)
+        with SQLiteHomStore(path) as store:
+            assert store.lookup(path_structure(["R"]), clique_structure(3)) == 6
+
+    def test_big_counts_survive(self, tmp_path):
+        store = SQLiteHomStore(str(tmp_path / "cache.sqlite"), flush_every=1)
+        huge = 10 ** 40 + 7
+        store.record(path_structure(["R"]), clique_structure(3), huge)
+        assert store.lookup(path_structure(["R"]), clique_structure(3)) == huge
+
+    def test_preload_seeds_engine(self, tmp_path):
+        path = str(tmp_path / "cache.sqlite")
+        component = path_structure(["R", "R"])
+        target = clique_structure(4)
+        with SQLiteHomStore(path, flush_every=1) as store:
+            engine = HomEngine(store=store)
+            expected = engine.count(component, target)
+        with SQLiteHomStore(path) as store:
+            warmed = HomEngine()
+            assert store.preload(warmed) > 0
+            before = warmed.misses
+            assert warmed.count(component, target) == expected
+            assert warmed.misses == before  # served from the seeded memo
+
+    def test_engine_store_hits_across_processes_simulated(self, tmp_path):
+        path = str(tmp_path / "cache.sqlite")
+        component = path_structure(["R", "R", "R"])
+        target = clique_structure(5)
+        with SQLiteHomStore(path, flush_every=1) as store:
+            first = HomEngine(store=store)
+            truth = first.count(component, target)
+            assert first.store_misses > 0
+        with SQLiteHomStore(path) as store:
+            second = HomEngine(store=store)
+            assert second.count(component, target) == truth
+            assert second.store_hits > 0
+
+    def test_stats_shape(self, tmp_path):
+        store = SQLiteHomStore(str(tmp_path / "cache.sqlite"))
+        stats = store.stats()
+        assert set(stats) == {"counts", "exists", "lookups", "lookup_hits",
+                              "inserts"}
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+def _scenario_lines(kind, count, seed):
+    return [encode_task(t) for t in generate_scenario(kind, count, seed=seed)]
+
+
+def _line_id_of(line):
+    return json.loads(line)["id"]
+
+
+class TestRunner:
+    def test_results_in_task_order(self):
+        lines = _scenario_lines("mixed", 10, seed=2)
+        results = list(iter_results(lines, workers=1))
+        assert [json.loads(r)["id"] for r in results] == \
+            [json.loads(line)["id"] for line in lines]
+
+    def test_workers_do_not_change_bytes(self):
+        lines = _scenario_lines("mixed", 16, seed=3)
+        solo = list(iter_results(lines, workers=1))
+        duo = list(iter_results(lines, workers=2, chunk_size=3))
+        assert solo == duo
+
+    def test_witness_tasks_are_deterministic(self):
+        lines = _scenario_lines("cq-witness", 4, seed=1)
+        first = list(iter_results(lines, workers=1))
+        second = list(iter_results(lines, workers=2, chunk_size=1))
+        assert first == second
+        # At least one instance should be refuted with a verified pair.
+        verified = [json.loads(r).get("witness", {}).get("verified")
+                    for r in first]
+        assert True in verified
+
+    def test_error_records_keep_batch_alive(self):
+        bad = '{"id": "broken", "kind": "decide-cq", "query": {"kind": "cq", "atoms": [["R", ["x"]]], "free": ["x"]}}'
+        lines = [bad] + _scenario_lines("cq", 2, seed=0)
+        results = [json.loads(r) for r in iter_results(lines, workers=1)]
+        assert results[0]["ok"] is False
+        assert "UnsupportedQueryError" in results[0]["error"]
+        assert all(r["ok"] for r in results[1:])
+
+    def test_shared_cache_between_runs(self, tmp_path):
+        cache = str(tmp_path / "cache.sqlite")
+        lines = _scenario_lines("cq", 8, seed=4)
+        cold = list(iter_results(lines, workers=1, cache_path=cache))
+        with SQLiteHomStore(cache) as store:
+            assert len(store) > 0
+        warm = list(iter_results(lines, workers=1, cache_path=cache))
+        assert cold == warm
+
+    def test_run_batch_resume(self, tmp_path):
+        tasks = tmp_path / "tasks.jsonl"
+        with open(tasks, "w") as sink:
+            write_scenario(generate_scenario("mixed", 9, seed=6), sink)
+        full = tmp_path / "full.jsonl"
+        summary = run_batch(str(tasks), str(full), workers=1)
+        assert summary == {"tasks": 9, "skipped": 0, "written": 9, "errors": 0}
+
+        partial = tmp_path / "partial.jsonl"
+        partial.write_text(
+            "".join(line + "\n"
+                    for line in full.read_text().splitlines()[:4]))
+        summary = run_batch(str(tasks), str(partial), workers=1, resume=True)
+        assert summary["skipped"] == 4
+        assert summary["written"] == 5
+        assert partial.read_text() == full.read_text()
+
+    def test_resume_repairs_torn_final_line(self, tmp_path):
+        """A run killed mid-write leaves a partial last line; resume
+        must drop it and re-answer that task instead of fusing bytes."""
+        tasks = tmp_path / "tasks.jsonl"
+        with open(tasks, "w") as sink:
+            write_scenario(generate_scenario("path", 6, seed=8), sink)
+        full = tmp_path / "full.jsonl"
+        run_batch(str(tasks), str(full), workers=1)
+        complete_ids = [_line_id_of(line)
+                        for line in full.read_text().splitlines()]
+
+        torn = tmp_path / "torn.jsonl"
+        lines = full.read_text().splitlines()
+        torn.write_text("".join(line + "\n" for line in lines[:3])
+                        + lines[3][: len(lines[3]) // 2])  # no newline
+        summary = run_batch(str(tasks), str(torn), workers=1, resume=True)
+        assert summary["skipped"] == 3
+        assert summary["written"] == 3
+        resumed = torn.read_text().splitlines()
+        assert sorted(_line_id_of(line) for line in resumed) == \
+            sorted(complete_ids)
+        for line in resumed:
+            json.loads(line)  # every line is whole JSON again
+
+    def test_evaluate_line_reports_unknown_id(self):
+        engine = HomEngine()
+        record = json.loads(evaluate_line("garbage", engine))
+        assert record["ok"] is False
+        assert record["id"] is None
+
+
+# ----------------------------------------------------------------------
+# CLI end-to-end
+# ----------------------------------------------------------------------
+class TestBatchCLI:
+    def test_gen_run_cache(self, tmp_path, capsys):
+        scenario = tmp_path / "scenario.jsonl"
+        out1 = tmp_path / "out1.jsonl"
+        out4 = tmp_path / "out4.jsonl"
+        cache = tmp_path / "cache.sqlite"
+
+        assert main(["batch", "gen", "--kind", "mixed", "--count", "24",
+                     "--seed", "11", "--output", str(scenario)]) == 0
+        assert len(scenario.read_text().splitlines()) == 24
+
+        assert main(["batch", "run", "--input", str(scenario),
+                     "--output", str(out1), "--workers", "1",
+                     "--cache", str(cache)]) == 0
+        assert main(["batch", "run", "--input", str(scenario),
+                     "--output", str(out4), "--workers", "4",
+                     "--chunk-size", "4", "--cache", str(cache)]) == 0
+        assert out1.read_bytes() == out4.read_bytes()
+
+        assert main(["batch", "cache", "--cache", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "existence verdicts" in out
+
+    def test_cache_subcommand_rejects_missing_file(self, tmp_path, capsys):
+        missing = tmp_path / "typo.sqlite"
+        assert main(["batch", "cache", "--cache", str(missing)]) == 2
+        assert "no such cache file" in capsys.readouterr().err
+        assert not missing.exists()  # inspection must not create a DB
+
+    def test_gen_to_stdout(self, capsys):
+        assert main(["batch", "gen", "--kind", "path", "--count", "3"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        assert all(decode_task(line).kind == "decide-path" for line in lines)

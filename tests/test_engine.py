@@ -20,7 +20,7 @@ from fractions import Fraction
 from hypothesis import given, settings, strategies as st
 
 from repro.hom.count import count_homs
-from repro.hom.engine import HomEngine, TargetIndex, count_with_index, default_engine
+from repro.hom.engine import HomEngine, TargetIndex, count_with_index
 from repro.hom.search import count_homomorphisms_direct, exists_homomorphism
 from repro.linalg.matrix import QMatrix, gaussian_det
 from repro.structures.generators import (

@@ -5,8 +5,6 @@ everything, self-referential instances, degenerate dimensions, and the
 library's own error taxonomy.
 """
 
-import pytest
-
 from repro.errors import (
     DecisionError,
     LinalgError,

@@ -1,7 +1,6 @@
 """Unit + property tests for linear relations (Def. 19, Lemmas 21–24)."""
 
 import random
-from fractions import Fraction
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.hom.count import count_homs
 from repro.hom.lovasz import (
     distinguisher_battery,

@@ -5,16 +5,13 @@ This file is the "does the library actually reproduce the paper"
 checklist; EXPERIMENTS.md points here.
 """
 
-import pytest
-
 from repro.hom.matrix import evaluation_matrix
 from repro.linalg.cone import SimplicialCone
-from repro.linalg.matrix import QMatrix
 from repro.queries.cq import cq_from_structure
 from repro.queries.evaluation import evaluate_boolean, evaluate_cq
-from repro.queries.parser import parse_boolean_cq, parse_cq, parse_path, parse_ucq
-from repro.structures.generators import loop_structure, path_structure
-from repro.structures.structure import Fact, Structure
+from repro.queries.parser import parse_cq, parse_ucq
+from repro.structures.generators import loop_structure
+from repro.structures.structure import Structure
 from repro.core.decision import decide_bag_determinacy
 from repro.core.pathdet import decide_path_determinacy
 from repro.ucq.analysis import linear_certificate

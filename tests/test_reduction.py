@@ -11,7 +11,6 @@ from repro.ucq.analysis import (
     semidecide_reduction_determinacy,
 )
 from repro.ucq.hilbert import (
-    DiophantineInstance,
     Monomial,
     linear_instance,
     pythagoras_instance,
@@ -20,7 +19,6 @@ from repro.ucq.hilbert import (
 from repro.ucq.profiles import (
     Profile,
     count_cq_on_profile,
-    count_ucq_on_profile,
     view_profile_answers,
 )
 from repro.ucq.reduction import build_reduction, phi_for_monomial, reduction_schema

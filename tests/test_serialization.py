@@ -18,7 +18,7 @@ from repro.structures.serialization import (
     loads,
     to_dict,
 )
-from repro.structures.structure import Fact, Structure
+from repro.structures.structure import Structure
 
 
 class TestConstants:

@@ -1,8 +1,6 @@
 """Additional UCQ-layer tests: certificate algebra, reduction scaling,
 and interplay between the certificate and the reduction."""
 
-import pytest
-
 from repro.queries.evaluation import evaluate_boolean
 from repro.queries.parser import parse_boolean_cq, parse_ucq
 from repro.queries.ucq import UnionOfBooleanCQs, as_ucq
