@@ -35,6 +35,7 @@ ABLATION_KEYS = frozenset({
     "direct_backtracking_s",
     "exact_key_dict_s",
     "gaussian_fraction_s",
+    "backtracking_engine_s",
 })
 
 
@@ -60,13 +61,18 @@ def compare(
     compared = 0
     for name in sorted(base_workloads):
         if name not in current_workloads:
-            lines.append(f"  {name}: missing from current report (skipped)")
+            # A workload that exists in the baseline but not in the
+            # current run is a silently dropped benchmark — exactly the
+            # kind of coverage loss this gate exists to catch.
+            lines.append(f"  {name}: MISSING from current report")
+            failures.append(f"{name} (missing workload)")
             continue
         for key in sorted(base_workloads[name]):
             if not key.endswith("_s") or key in ABLATION_KEYS:
                 continue
             if key not in current_workloads[name]:
-                lines.append(f"  {name}.{key}: missing (skipped)")
+                lines.append(f"  {name}.{key}: MISSING from current report")
+                failures.append(f"{name}.{key} (missing timing)")
                 continue
             base_value = float(base_workloads[name][key])
             current_value = float(current_workloads[name][key])

@@ -26,6 +26,7 @@ from repro.queries.path import PathQuery
 from repro.queries.ucq import UnionOfBooleanCQs
 from repro.structures.generators import (
     cycle_structure,
+    grid_structure,
     path_structure,
     random_connected_structure,
 )
@@ -39,7 +40,8 @@ from repro.batch.tasks import (
     make_ucq_task,
 )
 
-SCENARIO_KINDS = ("cq", "cq-witness", "containment", "path", "ucq", "mixed")
+SCENARIO_KINDS = ("cq", "cq-witness", "containment", "path", "ucq", "dense",
+                  "mixed")
 
 
 def component_pool(rng: random.Random, extra: int = 3) -> List:
@@ -186,11 +188,56 @@ def generate_ucq_tasks(
     return tasks
 
 
+def _dense_component(rng: random.Random, width: int, length: int):
+    """One dense-but-tree-like connected source: a grid (bounded
+    treewidth = min(rows, cols)) or a long chained join (a path of
+    alternating binary atoms, treewidth 1)."""
+    if rng.random() < 0.5:
+        return grid_structure(rng.randint(2, width), rng.randint(2, length),
+                              horizontal="R", vertical="S")
+    letters = [rng.choice(("R", "S"))
+               for _ in range(rng.randint(width, width * length))]
+    return path_structure(letters)
+
+
+def generate_dense_tasks(
+    count: int,
+    seed: int = 0,
+    n_views: int = 4,
+    width: int = 3,
+    length: int = 4,
+) -> List[Dict]:
+    """``decide-cq`` instances over grid-like and chained-join sources.
+
+    The shapes the tree-decomposition DP backend exists for: many
+    variables, bounded treewidth (``width`` caps grid rows and seeds
+    chain lengths), dense constraint graphs.  A slice of the views is
+    the query itself, so a fraction of instances is determined by
+    construction and the rewriting side gets exercised too.
+    """
+    width = max(2, width)
+    length = max(2, length)
+    rng = random.Random(seed)
+    tasks = []
+    for index in range(count):
+        query = cq_from_structure(_dense_component(rng, width, length))
+        views = []
+        for _ in range(rng.randint(1, n_views)):
+            if rng.random() < 0.3:
+                views.append(query)
+            else:
+                views.append(
+                    cq_from_structure(_dense_component(rng, width, length)))
+        tasks.append(make_decision_task(f"dn-{index:05d}", views, query))
+    return tasks
+
+
 _FAMILIES: Dict[str, Callable[..., List[Dict]]] = {
     "cq": generate_decision_tasks,
     "containment": generate_containment_tasks,
     "path": generate_path_tasks,
     "ucq": generate_ucq_tasks,
+    "dense": generate_dense_tasks,
 }
 
 
@@ -198,7 +245,7 @@ def generate_scenario(kind: str, count: int, seed: int = 0, **knobs) -> List[Dic
     """The ``count`` task records of scenario ``(kind, seed)``.
 
     ``kind`` is one of :data:`SCENARIO_KINDS`; ``mixed`` interleaves the
-    four base families round-robin (each family keeps its own id space,
+    five base families round-robin (each family keeps its own id space,
     so mixed scenarios stay resumable).
     """
     if count < 0:
@@ -213,7 +260,7 @@ def generate_scenario(kind: str, count: int, seed: int = 0, **knobs) -> List[Dic
                 f"scenario kind 'mixed' does not accept family knobs "
                 f"(got {sorted(knobs)}); generate the families "
                 f"separately to tune them")
-        order = ("cq", "containment", "path", "ucq")
+        order = ("cq", "containment", "path", "ucq", "dense")
         per_kind = {name: count // len(order) for name in order}
         for name in order[: count % len(order)]:
             per_kind[name] += 1

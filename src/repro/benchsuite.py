@@ -14,6 +14,10 @@ E-series benchmarks in ``benchmarks/``:
   sources assembled from renamed copies of a small component pool;
 * ``decision``               — E4: the full Theorem 3 pipeline on a
   synthetic 16-view catalog;
+* ``hom_treewidth``          — E16: tree-decomposition DP vs
+  backtracking on bounded-treewidth sources (a 3×4 grid and a long
+  chained join) into a dense target, plus an assertion that cost-based
+  plan selection picks the DP on its own;
 * ``linalg_det``             — Bareiss fraction-free determinant vs the
   textbook Fraction-Gauss reference on a radix-style integer matrix.
 
@@ -29,16 +33,25 @@ import time
 from typing import Callable, Dict, List
 
 from repro.hom.count import count_homs
-from repro.hom.engine import HomEngine, default_engine
+from repro.hom.engine import (
+    HomEngine,
+    TargetIndex,
+    choose_strategy,
+    count_plan,
+    default_engine,
+    source_plan,
+)
 from repro.hom.search import count_homomorphisms_direct
 from repro.linalg.matrix import QMatrix, gaussian_det
 from repro.queries.cq import cq_from_structure
 from repro.structures.generators import (
     clique_structure,
     cycle_structure,
+    grid_structure,
     path_structure,
 )
 from repro.structures.operations import sum_with_multiplicities
+from repro.structures.structure import Structure
 from repro.core.decision import decide_bag_determinacy
 
 
@@ -175,6 +188,42 @@ def run_benchmarks(repeat: int = 3) -> Dict[str, object]:
 
     workloads["decision"] = {
         "decide_16_views_s": _timeit(decide, repeat),
+    }
+
+    # -------------------------------------------------- hom_treewidth
+    # Bounded-treewidth sources into a dense target: the shapes the
+    # backtracking counter pays an exponential price for (every
+    # homomorphism is enumerated) and the DP counts in |B|^{tw+1}.
+    grid = grid_structure(3, 4, horizontal="R", vertical="S")
+    chain = path_structure(["R", "S"] * 4)
+    dense_target = Structure(
+        [("R", (i, j)) for i in range(4) for j in range(4) if i != j]
+        + [("S", (i, j)) for i in range(4) for j in range(4) if i != j],
+        domain=range(4))
+    index = TargetIndex(dense_target)
+    plans = [source_plan(grid), source_plan(chain)]
+    for plan in plans:
+        truth = count_plan(plan, index, strategy="backtrack")
+        assert count_plan(plan, index, strategy="dp") == truth
+    assert count_plan(source_plan(chain), index, strategy="dp") == \
+        count_homomorphisms_direct(chain, dense_target)
+    # No override flag: the cost model must pick the DP by itself.
+    # Reported as a measured 0/1 (not asserted-then-hardcoded) so a
+    # plan-selection regression shows up in the JSON trajectory even
+    # when asserts are stripped.
+    auto_picks_dp = float(all(
+        choose_strategy(plan, index) == "dp" for plan in plans))
+    assert auto_picks_dp == 1.0
+
+    backtrack = _timeit(lambda: [count_plan(p, index, strategy="backtrack")
+                                 for p in plans], repeat)
+    dp = _timeit(lambda: [count_plan(p, index, strategy="dp")
+                          for p in plans], repeat)
+    workloads["hom_treewidth"] = {
+        "backtracking_engine_s": backtrack,
+        "dp_engine_s": dp,
+        "speedup": backtrack / dp if dp else float("inf"),
+        "auto_picks_dp": auto_picks_dp,
     }
 
     # -------------------------------------------------- linalg_det

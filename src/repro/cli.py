@@ -235,7 +235,7 @@ def build_parser() -> argparse.ArgumentParser:
         "gen", help="synthesize a randomized scenario file")
     gen.add_argument("--kind", default="cq",
                      choices=["cq", "cq-witness", "containment", "path",
-                              "ucq", "mixed"],
+                              "ucq", "dense", "mixed"],
                      help="instance family (default: cq)")
     gen.add_argument("--count", type=int, default=100, metavar="N",
                      help="number of tasks (default: 100)")

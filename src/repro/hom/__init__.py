@@ -7,15 +7,22 @@ Hot-path counting runs on the **compiled engine** in
 compiles each counting target once (positional candidate sets,
 per-relation tuple sets, binary projection maps for forward checking),
 a :class:`~repro.hom.engine.SourcePlan` compiles each source once
-(variable order, incident-fact lists), and a
-:class:`~repro.hom.engine.HomEngine` memoizes counts in an LRU cache
-keyed by canonical representatives of connected components — so
-isomorphic components share one count.  ``count_homs`` uses the shared
-process-wide engine by default; construct a ``HomEngine`` to scope the
-memoization (as the decision procedure and :class:`ViewCatalog` do), or
-pass a plain dict for the legacy exact-key cache.
+(variable order, incident-fact lists, and a lazy tree-decomposition DP
+schedule), and a :class:`~repro.hom.engine.HomEngine` memoizes counts
+in an LRU cache keyed by canonical representatives of connected
+components — so isomorphic components share one count.  Two counting
+backends sit behind the engine (DESIGN.md §9): worst-case-exponential
+backtracking with forward checking, and bag-table dynamic programming
+over a nice tree decomposition (:mod:`repro.hom.decompose` /
+:mod:`repro.hom.dpcount`) that is polynomial for bounded-treewidth
+sources; :func:`~repro.hom.engine.choose_strategy` picks per
+``(source, target)`` pair by estimated cost.  ``count_homs`` uses the
+shared process-wide engine by default; construct a ``HomEngine`` to
+scope the memoization (as the decision procedure and
+:class:`ViewCatalog` do), or pass a plain dict for the legacy
+exact-key cache.
 :func:`~repro.hom.search.count_homomorphisms_direct` stays the naive
-recursive ground truth that the engine is property-tested against.
+recursive ground truth that both backends are property-tested against.
 """
 
 from repro.hom.search import (
@@ -24,7 +31,21 @@ from repro.hom.search import (
     find_homomorphism,
     iter_homomorphisms,
 )
-from repro.hom.engine import HomEngine, SourcePlan, TargetIndex, default_engine
+from repro.hom.engine import (
+    HomEngine,
+    SourcePlan,
+    TargetIndex,
+    choose_strategy,
+    default_engine,
+)
+from repro.hom.decompose import (
+    NiceDecomposition,
+    TreeDecomposition,
+    decompose,
+    gaifman_graph,
+    make_nice,
+)
+from repro.hom.dpcount import count_homomorphisms_dp
 from repro.hom.count import count_homs, count_homs_connected, hom_vector
 from repro.hom.containment import (
     are_equivalent_set,
@@ -49,7 +70,14 @@ __all__ = [
     "HomEngine",
     "SourcePlan",
     "TargetIndex",
+    "choose_strategy",
     "default_engine",
+    "NiceDecomposition",
+    "TreeDecomposition",
+    "decompose",
+    "gaifman_graph",
+    "make_nice",
+    "count_homomorphisms_dp",
     "count_homs",
     "count_homs_connected",
     "hom_vector",

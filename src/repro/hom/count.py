@@ -22,12 +22,15 @@ Strategy (all identities are Lemma 4 of the paper):
 Counts of (component, leaf) pairs are memoized through the compiled
 engine of :mod:`repro.hom.engine`: pass no cache to use the shared
 process-wide :class:`~repro.hom.engine.HomEngine` (targets compiled
-once, counts shared across isomorphic components), pass a
-:class:`~repro.hom.engine.HomEngine` to scope the memoization, or pass
-a plain ``dict`` for the legacy exact-key cache — dict-cached counting
-deliberately runs the *naive* recursive backtracker, so it stays an
-independent audit path for engine-produced results (the witness
-verifier relies on this).
+once, counts shared across isomorphic components, each leaf count
+routed to backtracking or tree-decomposition DP by the engine's cost
+model — see DESIGN.md §9), pass a
+:class:`~repro.hom.engine.HomEngine` to scope the memoization (or to
+force a backend via its ``strategy`` knob), or pass a plain ``dict``
+for the legacy exact-key cache — dict-cached counting deliberately
+runs the *naive* recursive backtracker, so it stays an independent
+audit path for engine-produced results (the witness verifier relies
+on this).
 """
 
 from __future__ import annotations

@@ -1,0 +1,346 @@
+"""Tree decompositions of source structures (the DP backend's frontend).
+
+Counting homomorphisms from a bounded-treewidth source is polynomial —
+``O(|B|^{tw+1})`` by dynamic programming over a tree decomposition
+(Díaz–Serna–Thilikos style, the standard technique behind hom-vector
+computations in Lovász-type arguments) — while the backtracking counter
+of :mod:`repro.hom.engine` is worst-case exponential in the number of
+source variables no matter how tree-like the source is.  This module
+produces the decompositions that :mod:`repro.hom.dpcount` runs on:
+
+1. :func:`gaifman_graph` — the primal graph of a structure: vertices
+   are active-domain constants, edges join constants co-occurring in a
+   fact (every fact's term set is a clique);
+2. :func:`decompose` — a greedy elimination-order decomposition
+   (``min-fill`` by default, ``min-degree`` as the cheap alternative),
+   deterministic for a given structure: ties break on ``repr`` order;
+3. :meth:`TreeDecomposition.validate` — checks the three
+   decomposition invariants (vertex coverage, fact coverage,
+   running-intersection connectedness) so a buggy heuristic can never
+   silently corrupt counts;
+4. :func:`make_nice` — conversion to a *nice* decomposition: a rooted
+   tree of empty-bag leaves, single-variable ``introduce``/``forget``
+   nodes and equal-bag ``join`` nodes, with an empty root bag.  The DP
+   transitions in :mod:`repro.hom.dpcount` are one dict pass per node.
+
+Elimination-order decompositions cover every fact by construction: a
+fact's terms form a clique in the Gaifman graph, and when the first of
+them is eliminated the rest are among its neighbours, so its bag
+contains them all.  ``validate`` re-checks anyway — it is cheap and the
+property tests run it over the whole random corpus.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import StructureError
+from repro.structures.structure import Structure
+
+Constant = Hashable
+
+HEURISTICS = ("min-fill", "min-degree")
+
+# Nice-node kinds (ints: the DP inner loop switches on them).
+LEAF, INTRODUCE, FORGET, JOIN = 0, 1, 2, 3
+
+
+def gaifman_graph(structure: Structure) -> Dict[Constant, Set[Constant]]:
+    """The primal (Gaifman) graph over the *active* domain.
+
+    Isolated domain elements are excluded on purpose: the counting
+    layers handle them by a ``|dom(B)|`` power, never by search.
+    """
+    adjacency: Dict[Constant, Set[Constant]] = {}
+    for fact in structure.facts():
+        for term in fact.terms:
+            adjacency.setdefault(term, set())
+        distinct = set(fact.terms)
+        for a in distinct:
+            for b in distinct:
+                if a != b:
+                    adjacency[a].add(b)
+    return adjacency
+
+
+class TreeDecomposition:
+    """Bags plus tree edges; immutable once built.
+
+    ``bags[i]`` is a frozenset of constants, ``edges`` are index pairs
+    forming a tree over the bags (a single bag has no edges).
+    """
+
+    __slots__ = ("bags", "edges", "width")
+
+    def __init__(self, bags: Sequence[FrozenSet[Constant]],
+                 edges: Sequence[Tuple[int, int]]):
+        self.bags: Tuple[FrozenSet[Constant], ...] = tuple(
+            frozenset(bag) for bag in bags)
+        self.edges: Tuple[Tuple[int, int], ...] = tuple(
+            (min(a, b), max(a, b)) for a, b in edges)
+        self.width = max((len(bag) for bag in self.bags), default=0) - 1
+
+    def validate(self, structure: Structure) -> None:
+        """Raise :class:`~repro.errors.StructureError` unless this is a
+        valid tree decomposition of ``structure``'s Gaifman graph:
+
+        * every active constant appears in some bag;
+        * every fact's term set is contained in some bag;
+        * the edges form a tree (or forest) over the bags;
+        * for each constant, the bags containing it induce a connected
+          subtree (the running-intersection property).
+        """
+        n = len(self.bags)
+        for a, b in self.edges:
+            if not (0 <= a < n and 0 <= b < n):
+                raise StructureError(f"tree edge ({a}, {b}) out of range")
+        if len(self.edges) >= n and n > 0:
+            raise StructureError("decomposition edges contain a cycle")
+
+        covered: Set[Constant] = set()
+        for bag in self.bags:
+            covered |= bag
+        active = structure.active_domain()
+        missing = active - covered
+        if missing:
+            raise StructureError(
+                f"constants in no bag: {sorted(map(repr, missing))}")
+
+        for fact in structure.facts():
+            terms = frozenset(fact.terms)
+            if terms and not any(terms <= bag for bag in self.bags):
+                raise StructureError(f"fact {fact} covered by no bag")
+
+        # Running intersection: bags holding v must form one tree
+        # component of the subgraph induced on them.
+        adjacency: Dict[int, List[int]] = {i: [] for i in range(n)}
+        for a, b in self.edges:
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+        for constant in active:
+            holders = [i for i, bag in enumerate(self.bags) if constant in bag]
+            seen = {holders[0]}
+            frontier = [holders[0]]
+            holder_set = set(holders)
+            while frontier:
+                node = frontier.pop()
+                for neighbour in adjacency[node]:
+                    if neighbour in holder_set and neighbour not in seen:
+                        seen.add(neighbour)
+                        frontier.append(neighbour)
+            if seen != holder_set:
+                raise StructureError(
+                    f"bags containing {constant!r} are not connected")
+
+    def __repr__(self) -> str:
+        return (f"TreeDecomposition(bags={len(self.bags)}, "
+                f"width={self.width})")
+
+
+def _elimination_order(adjacency: Dict[Constant, Set[Constant]],
+                       heuristic: str) -> List[Constant]:
+    """Greedy elimination order; mutates a private copy of the graph.
+
+    ``min-fill`` eliminates the vertex whose elimination adds the
+    fewest fill edges; ``min-degree`` the vertex of least degree.  Ties
+    break on ``repr`` so the order — and hence the decomposition and
+    every DP table built on it — is deterministic per structure.
+    """
+    if heuristic not in HEURISTICS:
+        raise StructureError(
+            f"unknown decomposition heuristic {heuristic!r}; "
+            f"expected one of {HEURISTICS}")
+    graph = {v: set(neighbours) for v, neighbours in adjacency.items()}
+    order: List[Constant] = []
+    while graph:
+        best = None
+        best_score = None
+        for vertex in graph:
+            neighbours = graph[vertex]
+            if heuristic == "min-degree":
+                score = len(neighbours)
+            else:
+                fill = 0
+                listed = list(neighbours)
+                for i, a in enumerate(listed):
+                    missing = neighbours - graph[a]
+                    missing.discard(a)
+                    fill += len(missing)
+                score = fill  # double-counts symmetrically: fine for argmin
+            key = (score, repr(vertex))
+            if best_score is None or key < best_score:
+                best, best_score = vertex, key
+        neighbours = graph.pop(best)
+        for a in neighbours:
+            graph[a].discard(best)
+            graph[a] |= neighbours - {a}
+        order.append(best)
+    return order
+
+
+def decompose(structure: Structure,
+              heuristic: str = "min-fill") -> TreeDecomposition:
+    """A greedy tree decomposition of ``structure``'s Gaifman graph.
+
+    One bag per active constant (``{v} ∪ N(v)`` at elimination time),
+    parent = the bag of ``v``'s earliest-eliminated remaining
+    neighbour.  Disconnected Gaifman graphs yield one subtree per
+    component; the subtree roots are chained so the result is a single
+    tree (harmless: the chained bags share no constants).  Structures
+    with no facts (or only nullary facts) get one empty bag.
+    """
+    adjacency = gaifman_graph(structure)
+    if not adjacency:
+        return TreeDecomposition([frozenset()], [])
+    order = _elimination_order(adjacency, heuristic)
+    position = {v: i for i, v in enumerate(order)}
+
+    graph = {v: set(neighbours) for v, neighbours in adjacency.items()}
+    bags: List[FrozenSet[Constant]] = []
+    edges: List[Tuple[int, int]] = []
+    roots: List[int] = []
+    bag_of: Dict[Constant, int] = {}
+    for vertex in order:
+        neighbours = graph.pop(vertex)
+        for a in neighbours:
+            graph[a].discard(vertex)
+            graph[a] |= neighbours - {a}
+        index = len(bags)
+        bags.append(frozenset({vertex, *neighbours}))
+        bag_of[vertex] = index
+        if neighbours:
+            parent = min(neighbours, key=lambda u: position[u])
+            # The parent bag does not exist yet (parents eliminate
+            # later); record the edge once it does, via a fixup list.
+            edges.append((index, parent))  # type: ignore[arg-type]
+        else:
+            roots.append(index)
+    fixed_edges = [(index, bag_of[parent]) for index, parent in edges]
+    for previous, current in zip(roots, roots[1:]):
+        fixed_edges.append((previous, current))
+    return TreeDecomposition(bags, fixed_edges)
+
+
+class NiceNode:
+    """One node of a nice decomposition, in bottom-up order.
+
+    ``kind`` is one of the module constants ``LEAF``/``INTRODUCE``/
+    ``FORGET``/``JOIN``; ``order`` is the bag as a deterministically
+    sorted tuple (the key layout of the node's DP table); ``var`` is
+    the introduced/forgotten constant (``None`` elsewhere);
+    ``var_pos`` its index in ``order`` (introduce) or in the child's
+    ``order`` (forget); ``children`` are indices of earlier nodes.
+    """
+
+    __slots__ = ("kind", "order", "var", "var_pos", "children")
+
+    def __init__(self, kind: int, order: Tuple[Constant, ...],
+                 var: Optional[Constant], var_pos: int,
+                 children: Tuple[int, ...]):
+        self.kind = kind
+        self.order = order
+        self.var = var
+        self.var_pos = var_pos
+        self.children = children
+
+    def __repr__(self) -> str:
+        name = ("leaf", "introduce", "forget", "join")[self.kind]
+        return f"NiceNode({name}, bag={self.order!r})"
+
+
+class NiceDecomposition:
+    """A nice decomposition: ``nodes`` in bottom-up (children-first)
+    order, ending in the root, whose bag is empty — so the final DP
+    table has the single key ``()`` holding the total count."""
+
+    __slots__ = ("nodes", "width")
+
+    def __init__(self, nodes: Sequence[NiceNode], width: int):
+        self.nodes = tuple(nodes)
+        self.width = width
+
+    def __repr__(self) -> str:
+        return f"NiceDecomposition(nodes={len(self.nodes)}, width={self.width})"
+
+
+def _sorted_bag(bag: FrozenSet[Constant]) -> Tuple[Constant, ...]:
+    return tuple(sorted(bag, key=repr))
+
+
+def make_nice(decomposition: TreeDecomposition,
+              root: int = 0) -> NiceDecomposition:
+    """Convert to a nice decomposition rooted (with an empty bag) at
+    ``root``.
+
+    Between adjacent bags the conversion forgets the vanishing
+    constants first, then introduces the new ones — so for any set
+    ``S`` inside an original bag there is an introduce node whose bag
+    already contains all of ``S`` (the fact-check anchoring
+    :mod:`repro.hom.dpcount` relies on).  Multi-child bags become
+    left-folded binary joins; leaves grow from empty bags one
+    introduce at a time.
+    """
+    n = len(decomposition.bags)
+    adjacency: Dict[int, List[int]] = {i: [] for i in range(n)}
+    for a, b in decomposition.edges:
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+
+    nodes: List[NiceNode] = []
+
+    def emit(node: NiceNode) -> int:
+        nodes.append(node)
+        return len(nodes) - 1
+
+    def chain_to(bag_order: Tuple[Constant, ...], top: int,
+                 target: FrozenSet[Constant]) -> Tuple[Tuple[Constant, ...], int]:
+        """Forget-then-introduce from ``bag_order`` to ``target``."""
+        current = list(bag_order)
+        bag = frozenset(current)
+        for gone in _sorted_bag(bag - target):
+            var_pos = current.index(gone)
+            current.pop(var_pos)
+            top = emit(NiceNode(FORGET, tuple(current), gone, var_pos, (top,)))
+        for fresh in _sorted_bag(target - bag):
+            new_order = _sorted_bag(frozenset(current) | {fresh})
+            var_pos = new_order.index(fresh)
+            current = list(new_order)
+            top = emit(NiceNode(INTRODUCE, new_order, fresh, var_pos, (top,)))
+        return tuple(current), top
+
+    # Iterative post-order over the (rooted) bag tree: children's nice
+    # subtrees are built before their parent joins them.
+    done: Dict[int, int] = {}
+    stack: List[Tuple[int, int, bool]] = [(root, -1, False)]
+    while stack:
+        node, parent, expanded = stack.pop()
+        if not expanded:
+            stack.append((node, parent, True))
+            for neighbour in adjacency[node]:
+                if neighbour != parent:
+                    stack.append((neighbour, node, False))
+            continue
+        target = decomposition.bags[node]
+        tops: List[int] = []
+        for neighbour in adjacency[node]:
+            if neighbour == parent:
+                continue
+            child_top = done[neighbour]
+            child_order = nodes[child_top].order
+            _, lifted = chain_to(child_order, child_top, target)
+            tops.append(lifted)
+        if not tops:
+            top = emit(NiceNode(LEAF, (), None, -1, ()))
+            _, top = chain_to((), top, target)
+        else:
+            top = tops[0]
+            for other in tops[1:]:
+                top = emit(NiceNode(JOIN, nodes[top].order, None, -1,
+                                    (top, other)))
+        done[node] = top
+
+    # Drain the root bag so the final table key is ().
+    root_top = done[root]
+    _, final = chain_to(nodes[root_top].order, root_top, frozenset())
+    assert nodes[final].order == ()
+    return NiceDecomposition(nodes, decomposition.width)

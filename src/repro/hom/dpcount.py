@@ -1,0 +1,206 @@
+"""Bag-table dynamic programming over nice tree decompositions.
+
+The second counting backend (DESIGN.md §9).  Where the backtracking
+counter of :mod:`repro.hom.engine` explores assignments one variable at
+a time — worst-case exponential in the number of source variables —
+this module counts ``|hom(A, B)|`` in ``O(poly · |B|^{w+1})`` for a
+source of treewidth ``w`` by sweeping a nice tree decomposition
+(:mod:`repro.hom.decompose`) bottom-up:
+
+* **leaf** — the empty partial assignment, multiplicity 1;
+* **introduce v** — extend every table key by each candidate value of
+  ``v`` (positional candidate sets, exactly the ones the backtracking
+  counter prunes with), filtering by the facts *anchored* at this node;
+* **forget v** — project ``v`` out, summing multiplicities;
+* **join** — multiply tables pointwise on the shared bag (extensions
+  below the two children are disjoint by the running-intersection
+  property, so the product is exact).
+
+Each fact is anchored at exactly one introduce node whose bag contains
+all its terms (such a node always exists: ``make_nice`` forgets before
+it introduces between adjacent bags, so any in-bag term set survives
+to the introduce of its last term).  Checking a fact once suffices —
+every counted assignment restricts to that node's bag — and anchoring
+each fact once keeps the inner loop minimal.
+
+Nullary facts, arity mismatches and isolated source elements are
+handled by the same preamble the backtracking counter uses
+(:func:`repro.hom.engine._plan_preamble`), so the two backends are
+bit-identical by construction on everything outside the core search —
+and property-tested bit-identical on the core
+(``tests/test_dpcount.py``).  Disconnected sources need no special
+case here: a decomposition of a disconnected Gaifman graph is a forest
+chained into one tree, and the DP multiplies the components' counts
+through its join/forget algebra; the engine still factors into
+components *first* (canonical memoization happens per component), so
+this path usually sees connected sources.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import StructureError
+from repro.structures.structure import Structure
+from repro.hom.decompose import (
+    FORGET,
+    INTRODUCE,
+    JOIN,
+    LEAF,
+    NiceDecomposition,
+    decompose,
+    make_nice,
+)
+
+_EMPTY: frozenset = frozenset()
+
+
+class DPPlan:
+    """A compiled DP schedule for one source structure.
+
+    Built once per source (cached on the
+    :class:`~repro.hom.engine.SourcePlan`) and reused across every
+    target: ``nodes`` come from the nice decomposition, ``checks[i]``
+    holds the facts anchored at introduce node ``i`` as
+    ``(relation, term_positions)`` pairs with positions resolved into
+    the node's bag order, and ``size_histogram`` maps bag size to node
+    count — all a cost model needs (`Σ count · |B|^size`).
+    """
+
+    __slots__ = ("nice", "checks", "width", "size_histogram")
+
+    def __init__(self, nice: NiceDecomposition,
+                 checks: Tuple[Tuple[Tuple[str, Tuple[int, ...]], ...], ...]):
+        self.nice = nice
+        self.checks = checks
+        self.width = nice.width
+        histogram: Dict[int, int] = {}
+        for node in nice.nodes:
+            size = len(node.order)
+            histogram[size] = histogram.get(size, 0) + 1
+        self.size_histogram = histogram
+
+    def __repr__(self) -> str:
+        return (f"DPPlan(nodes={len(self.nice.nodes)}, "
+                f"width={self.width})")
+
+
+def build_dp_plan(source: Structure, plan,
+                  heuristic: str = "min-fill") -> DPPlan:
+    """Compile the DP schedule for ``source``.
+
+    ``plan`` is the source's :class:`~repro.hom.engine.SourcePlan`
+    (duck-typed: only ``plan.facts`` is read).  The decomposition is
+    validated before use (once per source, cheap next to the DP it
+    enables) and every fact must find an anchor — so a heuristic bug
+    raises :class:`~repro.errors.StructureError` instead of silently
+    corrupting counts.
+    """
+    decomposition = decompose(source, heuristic=heuristic)
+    decomposition.validate(source)
+    nice = make_nice(decomposition)
+    remaining = list(enumerate(plan.facts))
+    checks: List[Tuple[Tuple[str, Tuple[int, ...]], ...]] = []
+    for node in nice.nodes:
+        if node.kind != INTRODUCE or not remaining:
+            checks.append(())
+            continue
+        bag = set(node.order)
+        position = {term: i for i, term in enumerate(node.order)}
+        anchored = []
+        kept = []
+        for entry in remaining:
+            _, (relation, terms) = entry
+            if all(term in bag for term in terms):
+                anchored.append(
+                    (relation, tuple(position[term] for term in terms)))
+            else:
+                kept.append(entry)
+        remaining = kept
+        checks.append(tuple(anchored))
+    if remaining:
+        raise StructureError(
+            f"decomposition anchored no bag for facts "
+            f"{[str(relation) for _, (relation, _) in remaining]}; "
+            f"invariants violated")
+    return DPPlan(nice, tuple(checks))
+
+
+def count_plan_dp(plan, index) -> int:
+    """``|hom| `` of a compiled source plan into a compiled target.
+
+    ``plan`` is a :class:`~repro.hom.engine.SourcePlan`, ``index`` a
+    :class:`~repro.hom.engine.TargetIndex`.  Semantics are identical to
+    :func:`repro.hom.engine._count` with ``first_only=False``.
+    """
+    from repro.hom.engine import _plan_preamble
+
+    decided, domains, free_factor = _plan_preamble(plan, index, False)
+    if decided is not None:
+        return decided
+
+    dp = plan.dp_plan()
+    nodes = dp.nice.nodes
+    all_checks = dp.checks
+    tuples = index.tuples
+    tables: List[Optional[Dict[tuple, int]]] = [None] * len(nodes)
+    for position, node in enumerate(nodes):
+        kind = node.kind
+        if kind == LEAF:
+            tables[position] = {(): 1}
+            continue
+        if kind == JOIN:
+            left_at, right_at = node.children
+            left, right = tables[left_at], tables[right_at]
+            tables[left_at] = tables[right_at] = None
+            if len(left) > len(right):
+                left, right = right, left
+            joined: Dict[tuple, int] = {}
+            for key, count in left.items():
+                other = right.get(key)
+                if other is not None:
+                    joined[key] = count * other
+            tables[position] = joined
+            continue
+        child_at = node.children[0]
+        child = tables[child_at]
+        tables[child_at] = None
+        var_pos = node.var_pos
+        out: Dict[tuple, int] = {}
+        if kind == FORGET:
+            for key, count in child.items():
+                shrunk = key[:var_pos] + key[var_pos + 1:]
+                accumulated = out.get(shrunk)
+                out[shrunk] = count if accumulated is None \
+                    else accumulated + count
+        else:  # INTRODUCE
+            values = domains[node.var]
+            checks = all_checks[position]
+            for key, count in child.items():
+                head, tail = key[:var_pos], key[var_pos:]
+                for value in values:
+                    grown = head + (value,) + tail
+                    for relation, term_positions in checks:
+                        image = tuple(grown[i] for i in term_positions)
+                        if image not in tuples.get(relation, _EMPTY):
+                            break
+                    else:
+                        # (key, value) -> grown is injective: plain set.
+                        out[grown] = count
+        tables[position] = out
+    total = tables[-1].get((), 0)
+    return total * free_factor
+
+
+def count_homomorphisms_dp(source: Structure, target: Structure) -> int:
+    """``|hom(source, target)|`` via tree-decomposition DP.
+
+    Convenience entry point (fresh compilation each call, no
+    factorization into components) — the property-test counterpart of
+    :func:`repro.hom.search.count_homomorphisms_direct`.  Hot paths go
+    through :class:`~repro.hom.engine.HomEngine` instead, which picks
+    DP or backtracking per source by estimated cost.
+    """
+    from repro.hom.engine import TargetIndex, source_plan
+
+    return count_plan_dp(source_plan(source), TargetIndex(target))

@@ -18,8 +18,10 @@ work into three layers that are each computed **once** and reused:
 ``SourcePlan``
     Per-source compilation: static variable order (decreasing
     constraint degree), per-variable incident-fact lists, nullary-fact
-    preconditions, and the ``tail_simple`` flag that lets the counter
-    close the last level combinatorially.  Cached per source structure.
+    preconditions, the ``tail_simple`` flag that lets the counter
+    close the last level combinatorially, and a lazily-built
+    tree-decomposition DP schedule (:meth:`SourcePlan.dp_plan`).
+    Cached per source structure.
 
 ``HomEngine``
     The façade.  Counts are memoized in an LRU-bounded cache keyed by
@@ -28,14 +30,27 @@ work into three layers that are each computed **once** and reused:
     and identified up to isomorphism, so the rampant isomorphic
     components of synthetic workloads share a single count.
 
-The counter itself is *iterative* backtracking with forward checking:
-assigning a variable prunes the candidate sets of its unassigned
-neighbours through the projection maps, and wiped-out domains cut the
-subtree immediately.  Candidate sets are never mutated in place — they
-are rebound and restored through an undo trail, so value iterators stay
-valid.  :func:`repro.hom.search.count_homomorphisms_direct` remains the
-independent recursive ground truth that the engine is property-tested
-against.
+Two counting backends sit behind one dispatch (:func:`count_plan`):
+
+* **backtracking** — iterative search with forward checking: assigning
+  a variable prunes the candidate sets of its unassigned neighbours
+  through the projection maps, and wiped-out domains cut the subtree
+  immediately.  Candidate sets are never mutated in place — they are
+  rebound and restored through an undo trail, so value iterators stay
+  valid.  Worst-case exponential in the number of source variables.
+* **tree-decomposition DP** (:mod:`repro.hom.dpcount`) — bag-table
+  dynamic programming over a nice decomposition of the source's
+  Gaifman graph, ``O(poly · |B|^{w+1})`` for treewidth ``w``.
+
+:func:`choose_strategy` picks per ``(source, target)`` pair by
+comparing a branching-degree-product estimate of the backtracking
+search tree against ``Σ |B|^{bag}`` over the DP schedule; the engine's
+``strategy`` knob (``"auto"``/``"backtrack"``/``"dp"``) overrides the
+choice globally, and per-strategy counters plus a width histogram are
+surfaced through :meth:`HomEngine.stats`.
+:func:`repro.hom.search.count_homomorphisms_direct` remains the
+independent recursive ground truth that both backends are
+property-tested against.
 """
 
 from __future__ import annotations
@@ -44,12 +59,25 @@ from collections import OrderedDict
 from functools import lru_cache
 from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
 
+from repro.errors import ReproError
 from repro.structures.isomorphism import find_isomorphism, invariant_key
 from repro.structures.structure import Structure
 
 Constant = Hashable
 
 _EMPTY: FrozenSet = frozenset()
+
+STRATEGIES = ("auto", "backtrack", "dp")
+
+# Plan-selection tuning.  Sources with fewer variables than this never
+# pay for a decomposition (backtracking wins on trivia outright); a
+# backtracking estimate below the floor is already so cheap that the
+# DP's fixed per-table overhead cannot pay off; and one DP table entry
+# costs roughly this many backtracking node visits (dict churn vs the
+# trail-based search step), so the DP must win by that factor.
+_DP_MIN_VARS = 5
+_BACKTRACK_CHEAP_FLOOR = 512.0
+_DP_COST_BIAS = 4.0
 
 
 class TargetIndex:
@@ -116,10 +144,13 @@ class SourcePlan:
     targets (module-level LRU via :func:`source_plan`).
     """
 
-    __slots__ = ("order", "incident", "facts", "fact_arities",
-                 "nullary_relations", "isolated_count", "tail_simple")
+    __slots__ = ("source", "order", "incident", "facts", "fact_arities",
+                 "nullary_relations", "isolated_count", "tail_simple",
+                 "_dp_plan")
 
     def __init__(self, source: Structure):
+        self.source = source
+        self._dp_plan = None
         facts: List[Tuple[str, Tuple[Constant, ...]]] = []
         nullary: List[str] = []
         for fact in source.facts():
@@ -168,6 +199,20 @@ class SourcePlan:
         else:
             self.tail_simple = False
 
+    def dp_plan(self):
+        """The (lazily built, cached) tree-decomposition DP schedule.
+
+        Shared across every target the source is counted into — the
+        decomposition depends on the source alone.
+        """
+        plan = self._dp_plan
+        if plan is None:
+            from repro.hom.dpcount import build_dp_plan
+
+            plan = build_dp_plan(self.source, self)
+            self._dp_plan = plan
+        return plan
+
 
 @lru_cache(maxsize=4096)
 def source_plan(source: Structure) -> SourcePlan:
@@ -176,23 +221,129 @@ def source_plan(source: Structure) -> SourcePlan:
 
 
 def count_with_index(source: Structure, index: TargetIndex,
-                     first_only: bool = False) -> int:
+                     first_only: bool = False,
+                     strategy: str = "auto") -> int:
     """``|hom(source, index.structure)|`` via the compiled plan.
 
     ``first_only`` turns the counter into an existence test: it returns
-    1 as soon as any homomorphism is found (0 otherwise).
+    1 as soon as any homomorphism is found (0 otherwise).  ``strategy``
+    picks the backend (see :func:`count_plan`).
     """
-    return _count(source_plan(source), index, first_only)
+    return count_plan(source_plan(source), index, first_only, strategy)
 
 
-def _count(plan: SourcePlan, index: TargetIndex, first_only: bool) -> int:
+def _estimate_backtrack_cost(plan: SourcePlan, index: TargetIndex) -> float:
+    """Branching-degree-product estimate of the backtracking tree size.
+
+    Level by level down the static variable order: the first value of a
+    variable's branching bound is its smallest positional candidate
+    set; once an already-assigned neighbour constrains it through a
+    shared fact, the bound drops to that relation's average fan-out
+    (``|tuples| / |distinct values at the assigned position|``).  The
+    per-level products are summed, approximating the number of search
+    nodes.  Fan-outs below 1 are kept (floored at 0.5): they model the
+    early die-off forward checking actually delivers on sparse targets.
+    """
+    domain_size = float(index.domain_size)
+    positions = index.positions
+    tuples = index.tuples
+    total = 1.0
+    level = 1.0
+    assigned: set = set()
+    for variable in plan.order:
+        branching = domain_size
+        for relation, terms, var_positions, _ in plan.incident[variable]:
+            fact_count = len(tuples.get(relation, ()))
+            for i in var_positions:
+                allowed = positions.get((relation, i))
+                if allowed is not None:
+                    branching = min(branching, float(len(allowed)))
+            for j, term in enumerate(terms):
+                if term != variable and term in assigned:
+                    anchors = len(positions.get((relation, j), ())) or 1
+                    branching = min(branching, fact_count / anchors)
+        level *= max(branching, 0.5)
+        total += level
+        if total > 1e18:  # saturate: past any DP cost by then anyway
+            return 1e18
+        assigned.add(variable)
+    return total
+
+
+def _estimate_dp_cost(dp_plan, index: TargetIndex) -> float:
+    """``Σ nodes·|B|^bagsize`` — the DP's table-work bound."""
+    domain_size = max(1.0, float(index.domain_size))
+    cost = 0.0
+    for size, count in dp_plan.size_histogram.items():
+        cost += count * domain_size ** size
+        if cost > 1e18:
+            return 1e18
+    return cost
+
+
+def choose_strategy(plan: SourcePlan, index: TargetIndex,
+                    first_only: bool = False) -> str:
+    """Cost-based backend choice for one ``(source, target)`` pair.
+
+    Existence probes always backtrack (they short-circuit on the first
+    homomorphism; the DP cannot).  Tiny sources and cheap searches
+    backtrack without ever paying for a decomposition; otherwise the
+    decomposition is built once (cached on the plan) and the two cost
+    estimates are compared.
+    """
+    if first_only or len(plan.order) < _DP_MIN_VARS:
+        return "backtrack"
+    backtrack_cost = _estimate_backtrack_cost(plan, index)
+    if backtrack_cost <= _BACKTRACK_CHEAP_FLOOR:
+        return "backtrack"
+    try:
+        dp = plan.dp_plan()
+    except ReproError:  # decomposition failed: never block counting
+        return "backtrack"
+    if _estimate_dp_cost(dp, index) * _DP_COST_BIAS < backtrack_cost:
+        return "dp"
+    return "backtrack"
+
+
+def count_plan(plan: SourcePlan, index: TargetIndex,
+               first_only: bool = False, strategy: str = "auto") -> int:
+    """Count through a compiled plan with explicit backend control.
+
+    ``strategy`` is ``"auto"`` (cost-based choice), ``"backtrack"`` or
+    ``"dp"``.  A forced ``"dp"`` existence probe computes the full
+    count and thresholds it — still exact, just not short-circuiting.
+    """
+    if strategy == "auto":
+        strategy = choose_strategy(plan, index, first_only)
+    elif strategy not in STRATEGIES:
+        raise ReproError(
+            f"unknown counting strategy {strategy!r}; "
+            f"expected one of {STRATEGIES}")
+    if strategy == "dp":
+        from repro.hom.dpcount import count_plan_dp
+
+        result = count_plan_dp(plan, index)
+        return (1 if result else 0) if first_only else result
+    return _count(plan, index, first_only)
+
+
+def _plan_preamble(plan: SourcePlan, index: TargetIndex, first_only: bool):
+    """The shared pre-search phase of both counting backends.
+
+    Returns ``(decided, domains, free_factor)``: when ``decided`` is
+    not ``None`` the count is fully determined before any search (0-ary
+    fact missing, arity mismatch, empty candidate set, variable-free
+    source); otherwise ``domains`` maps each ordered variable to its
+    positional candidate set and ``free_factor`` is the isolated-element
+    multiplier the caller applies to the search result.
+    """
     tuples = index.tuples
     # 0-ary facts of the source must literally be present in the target;
     # this runs before any candidate machinery is built.
     for relation in plan.nullary_relations:
         present = tuples.get(relation)
         if not present or () not in present:
-            return 0
+            return 0, None, 1
 
     # Arity guard: a fact R(t̄) can only map onto same-arity R-facts.
     # The positional filters below assume matching arities (a wider
@@ -201,20 +352,18 @@ def _count(plan: SourcePlan, index: TargetIndex, first_only: bool) -> int:
     target_arities = index.arities
     for relation, arity in plan.fact_arities:
         if target_arities.get(relation) != arity:
-            return 0
+            return 0, None, 1
 
-    order = plan.order
-    n = len(order)
     if plan.isolated_count and not first_only:
         if index.domain_size == 0:
-            return 0
+            return 0, None, 1
         free_factor = index.domain_size ** plan.isolated_count
     elif plan.isolated_count and index.domain_size == 0:
-        return 0
+        return 0, None, 1
     else:
         free_factor = 1
-    if n == 0:
-        return 1 if first_only else free_factor
+    if not plan.order:
+        return (1 if first_only else free_factor), None, free_factor
 
     # Positional candidate sets (intersection over every occurrence).
     positions = index.positions
@@ -223,15 +372,25 @@ def _count(plan: SourcePlan, index: TargetIndex, first_only: bool) -> int:
         for i, term in enumerate(terms):
             allowed = positions.get((relation, i))
             if allowed is None:
-                return 0
+                return 0, None, free_factor
             current = domains.get(term)
             if current is None:
                 domains[term] = set(allowed)
             else:
                 current &= allowed
-    for variable in order:
+    for variable in plan.order:
         if not domains[variable]:
-            return 0
+            return 0, None, free_factor
+    return None, domains, free_factor
+
+
+def _count(plan: SourcePlan, index: TargetIndex, first_only: bool) -> int:
+    decided, domains, free_factor = _plan_preamble(plan, index, first_only)
+    if decided is not None:
+        return decided
+    tuples = index.tuples
+    order = plan.order
+    n = len(order)
 
     if n == 1 and plan.tail_simple:
         size = len(domains[order[0]])
@@ -342,12 +501,26 @@ class HomEngine:
 
     __slots__ = ("_counts", "_targets", "_exists", "_reps", "_rep_count",
                  "max_counts", "max_targets", "hits", "misses",
-                 "store", "store_hits", "store_misses")
+                 "store", "store_hits", "store_misses", "strategy",
+                 "dp_counts", "backtrack_counts", "width_histogram")
 
     def __init__(self, max_counts: int = 16384, max_targets: int = 512,
-                 store=None):
+                 store=None, strategy: str = "auto"):
+        if strategy not in STRATEGIES:
+            raise ReproError(
+                f"unknown counting strategy {strategy!r}; "
+                f"expected one of {STRATEGIES}")
         self.max_counts = max_counts
         self.max_targets = max_targets
+        # Backend override: "auto" picks per (source, target) pair by
+        # estimated cost; "backtrack"/"dp" force one backend for every
+        # count this engine performs (ablations, debugging).
+        self.strategy = strategy
+        self.dp_counts = 0
+        self.backtrack_counts = 0
+        # Decomposition widths of DP-executed counts — the observable
+        # that tells an operator *why* the DP path was worth taking.
+        self.width_histogram: Dict[int, int] = {}
         self._counts: "OrderedDict[Tuple[Structure, Structure], int]" = OrderedDict()
         self._targets: "OrderedDict[Structure, TargetIndex]" = OrderedDict()
         self._exists: "OrderedDict[Tuple[Structure, Structure], bool]" = OrderedDict()
@@ -426,13 +599,33 @@ class HomEngine:
             else:
                 self.store_hits += 1
         if result is None:
-            result = _count(source_plan(key[0]), self.target_index(leaf), False)
+            result = self._dispatch(source_plan(key[0]),
+                                    self.target_index(leaf), False)
             if self.store is not None:
                 self.store.record(key[0], leaf, result)
         self._counts[key] = result
         if len(self._counts) > self.max_counts:
             self._counts.popitem(last=False)
         return result
+
+    def _dispatch(self, plan: SourcePlan, index: TargetIndex,
+                  first_only: bool) -> int:
+        """Run one count through the selected backend, keeping the
+        per-strategy counters and the width histogram current."""
+        strategy = self.strategy
+        if strategy == "auto":
+            strategy = choose_strategy(plan, index, first_only)
+        if strategy == "dp":
+            from repro.hom.dpcount import count_plan_dp
+
+            self.dp_counts += 1
+            width = plan.dp_plan().width
+            self.width_histogram[width] = \
+                self.width_histogram.get(width, 0) + 1
+            result = count_plan_dp(plan, index)
+            return (1 if result else 0) if first_only else result
+        self.backtrack_counts += 1
+        return _count(plan, index, first_only)
 
     def seed_count(self, component: Structure, leaf: Structure,
                    value: int) -> None:
@@ -472,8 +665,8 @@ class HomEngine:
                 else:
                     self.store_hits += 1
         if result is None:
-            result = count_with_index(source, self.target_index(target),
-                                      first_only=True) > 0
+            result = self._dispatch(source_plan(source),
+                                    self.target_index(target), True) > 0
             if self.store is not None:
                 record = getattr(self.store, "record_exists", None)
                 if record is not None:
@@ -503,7 +696,7 @@ class HomEngine:
     # ------------------------------------------------------------------
     # Introspection / lifecycle
     # ------------------------------------------------------------------
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, object]:
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -512,6 +705,9 @@ class HomEngine:
             "cached_counts": len(self._counts),
             "compiled_targets": len(self._targets),
             "canonical_classes": sum(len(b) for b in self._reps.values()),
+            "dp_counts": self.dp_counts,
+            "backtrack_counts": self.backtrack_counts,
+            "width_histogram": dict(self.width_histogram),
         }
 
     def clear(self) -> None:
@@ -525,6 +721,9 @@ class HomEngine:
         self.misses = 0
         self.store_hits = 0
         self.store_misses = 0
+        self.dp_counts = 0
+        self.backtrack_counts = 0
+        self.width_histogram.clear()
 
     def __repr__(self) -> str:
         return (f"HomEngine(counts={len(self._counts)}, "

@@ -8,8 +8,12 @@ Targets may be lazy expressions; counts are exact integers embedded in
 a rational :class:`~repro.linalg.matrix.QMatrix` so the rest of the
 pipeline (inverse, cone membership) stays exact.  Counting goes through
 the compiled engine (:mod:`repro.hom.engine`): every target column is
-compiled once and shared across the ``k`` basis rows, and isomorphic
-basis components share one count.
+compiled once and shared across the ``k`` basis rows, isomorphic basis
+components share one count, and each counted component's compiled plan
+— in particular its tree decomposition, when the cost model routes it
+to the DP backend — is built once (module-level plan cache, keyed by
+the engine's canonical component representatives) and reused across
+the whole family of ``m`` target columns.
 """
 
 from __future__ import annotations
@@ -17,11 +21,17 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.hom.count import Cache, CountCache, count_homs
+from repro.hom.engine import default_engine
 from repro.linalg.matrix import QMatrix
 from repro.structures.expression import StructureExpression
 from repro.structures.structure import Structure
 
 __all__ = ["CountCache", "answer_vector", "evaluation_matrix"]
+
+
+def _resolve_cache(cache: Cache) -> Cache:
+    """Default to the shared engine; legacy dict caches pass through."""
+    return default_engine() if cache is None else cache
 
 
 def evaluation_matrix(
@@ -30,6 +40,7 @@ def evaluation_matrix(
     cache: Cache = None,
 ) -> QMatrix:
     """The k×m matrix ``M(i,j) = |hom(basis[i], targets[j])|``."""
+    cache = _resolve_cache(cache)
     rows = [
         [count_homs(w, s, cache) for s in targets]
         for w in basis
@@ -44,4 +55,5 @@ def answer_vector(
 ) -> list:
     """The column ``(w_1(D), ..., w_k(D))`` for a single structure —
     a point of the answer space P of Definition 51 when ``D ∈ S``."""
+    cache = _resolve_cache(cache)
     return [count_homs(w, target, cache) for w in basis]

@@ -30,9 +30,19 @@ from repro.linalg.matrix import QMatrix, vector
 
 
 class LinearRelation:
-    """A linear subspace of ``Q^n × Q^n`` seen as a relation on ``Q^n``."""
+    """A linear subspace of ``Q^n × Q^n`` seen as a relation on ``Q^n``.
 
-    __slots__ = ("n", "basis")
+    The generator matrix is row-reduced **once**, at construction: the
+    stored ``basis`` is the RREF rows and ``_pivots`` their leading
+    columns.  Every subsequent membership question —
+    :meth:`contains_pair` and the :meth:`__le__` containment order the
+    decision loops hammer — is answered by reducing the candidate
+    vector against that cached form (one subtraction per basis row)
+    instead of re-running Gaussian elimination on a freshly stacked
+    matrix per comparison.
+    """
+
+    __slots__ = ("n", "basis", "_pivots")
 
     def __init__(self, n: int, generators: Sequence[Sequence] = ()):
         if n < 0:
@@ -47,8 +57,25 @@ class LinearRelation:
         if rows:
             reduced, pivots = QMatrix(rows).rref()
             self.basis = tuple(reduced.rows[i] for i in range(len(pivots)))
+            self._pivots = pivots
         else:
             self.basis = ()
+            self._pivots = ()
+
+    def _in_span(self, candidate: Sequence[Fraction]) -> bool:
+        """Is ``candidate`` in the row span of the cached RREF basis?
+
+        Because the basis is in reduced echelon form (each pivot column
+        is zero in every other row, pivot entries are 1), the unique
+        candidate combination is read off the pivot coordinates
+        directly — no elimination, one pass per basis row.
+        """
+        residual = list(candidate)
+        for row, pivot in zip(self.basis, self._pivots):
+            factor = residual[pivot]
+            if factor:
+                residual = [a - factor * b for a, b in zip(residual, row)]
+        return not any(residual)
 
     # ------------------------------------------------------------------
     # Constructors
@@ -134,19 +161,14 @@ class LinearRelation:
         candidate = list(vector(x)) + list(vector(y))
         if len(candidate) != 2 * self.n:
             raise LinalgError("pair has wrong dimension")
-        if not self.basis:
-            return all(v == 0 for v in candidate)
-        stacked = QMatrix(list(self.basis) + [candidate])
-        return stacked.rank() == len(self.basis)
+        return self._in_span(candidate)
 
     def __le__(self, other: "LinearRelation") -> bool:
-        """Subspace containment ``self ⊆ other``."""
+        """Subspace containment ``self ⊆ other`` (row-by-row reduction
+        against ``other``'s cached RREF basis)."""
         if self.n != other.n:
             raise LinalgError("comparing relations of different dimensions")
-        if not self.basis:
-            return True
-        stacked = QMatrix(list(other.basis) + list(self.basis))
-        return stacked.rank() == len(other.basis)
+        return all(other._in_span(row) for row in self.basis)
 
     def __ge__(self, other: "LinearRelation") -> bool:
         return other <= self

@@ -83,7 +83,7 @@ class TestTaskCodec:
 # ----------------------------------------------------------------------
 class TestScenarios:
     @pytest.mark.parametrize("kind", ["cq", "cq-witness", "containment",
-                                      "path", "ucq", "mixed"])
+                                      "path", "ucq", "dense", "mixed"])
     def test_deterministic_and_decodable(self, kind):
         first = generate_scenario(kind, 12, seed=5)
         second = generate_scenario(kind, 12, seed=5)
@@ -98,8 +98,30 @@ class TestScenarios:
             [canonical_json(t) for t in generate_scenario("cq", 6, seed=2)]
 
     def test_mixed_interleaves_all_kinds(self):
-        kinds = {record["kind"] for record in generate_scenario("mixed", 8, seed=0)}
+        records = generate_scenario("mixed", 10, seed=0)
+        kinds = {record["kind"] for record in records}
         assert kinds == {"decide-cq", "containment", "decide-path", "certify-ucq"}
+        # the dense family rides along inside decide-cq (its own id space)
+        assert any(record["id"].startswith("dn-") for record in records)
+
+    def test_dense_family_shape(self):
+        """Dense tasks are decide-cq instances whose sources are the
+        grid / chained-join shapes the DP counting backend targets."""
+        records = generate_scenario("dense", 12, seed=7, width=3, length=4)
+        assert all(record["kind"] == "decide-cq" for record in records)
+        saw_wide = False
+        for record in records:
+            task = decode_task(record)
+            body = task.query.frozen_body()
+            assert body.relations_used() <= {"R", "S"}
+            # controllable width: never wider than the knob allows
+            from repro.hom.decompose import decompose
+
+            decomposition = decompose(body)
+            decomposition.validate(body)
+            assert decomposition.width <= 4
+            saw_wide = saw_wide or decomposition.width >= 2
+        assert saw_wide  # some instances actually exercise width >= 2
 
     def test_unknown_kind_rejected(self):
         from repro.errors import ReproError

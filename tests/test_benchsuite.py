@@ -18,6 +18,8 @@ EXPECTED_WORKLOADS = {
     "hom_isomorphic_components": {"exact_key_dict_s", "canonical_engine_s",
                                   "speedup"},
     "decision": {"decide_16_views_s"},
+    "hom_treewidth": {"backtracking_engine_s", "dp_engine_s", "speedup",
+                      "auto_picks_dp"},
     "linalg_det": {"gaussian_fraction_s", "bareiss_s", "speedup"},
 }
 
@@ -144,6 +146,23 @@ class TestRegressionGate:
         _, failures = gate.compare(_report(a_s=0.1),
                                    {"workloads": {"other": {"b_s": 0.1}}})
         assert failures
+
+    def test_missing_workload_is_a_failure(self):
+        gate = _load_gate()
+        baseline = {"suite": "repro-engine-bench", "repeat": 1,
+                    "workloads": {"kept": {"a_s": 0.1},
+                                  "dropped": {"b_s": 0.1}}}
+        current = {"suite": "repro-engine-bench", "repeat": 1,
+                   "workloads": {"kept": {"a_s": 0.1}}}
+        lines, failures = gate.compare(baseline, current)
+        assert "dropped (missing workload)" in failures
+        assert any("MISSING" in line for line in lines)
+
+    def test_missing_gated_timing_is_a_failure(self):
+        gate = _load_gate()
+        _, failures = gate.compare(_report(a_s=0.1, b_s=0.2),
+                                   _report(a_s=0.1))
+        assert failures == ["w.b_s (missing timing)"]
 
     def test_main_exit_codes(self, tmp_path, capsys):
         gate = _load_gate()

@@ -128,3 +128,41 @@ def test_lemma22_style_monotonicity(seed, other, size):
 def test_double_inverse_is_identity_operation(seed, size):
     graph = LinearRelation.graph_of(_random_matrix(seed, size))
     assert graph.inverse().inverse() == graph
+
+
+# ----------------------------------------------------------------------
+# Cached-RREF membership vs full re-elimination (PR 3 satellite)
+# ----------------------------------------------------------------------
+def _rank_based_le(left: LinearRelation, right: LinearRelation) -> bool:
+    """The pre-cache reference: stack and re-run elimination."""
+    if not left.basis:
+        return True
+    stacked = QMatrix(list(right.basis) + list(left.basis))
+    return stacked.rank() == len(right.basis)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000), other=st.integers(0, 100_000),
+       size=st.integers(1, 3))
+def test_cached_reduction_containment_matches_rank_reference(seed, other,
+                                                             size):
+    f = LinearRelation.graph_of(_random_matrix(seed, size))
+    g = LinearRelation.graph_of(_random_matrix(other, size))
+    for left, right in [(f, g), (g, f), (f, f),
+                        (f.compose(g), g), (f, LinearRelation.full(size)),
+                        (LinearRelation.empty(size), f)]:
+        assert (left <= right) == _rank_based_le(left, right)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000), size=st.integers(1, 3))
+def test_cached_reduction_contains_pair_matches_rank_reference(seed, size):
+    m = _random_matrix(seed, size)
+    graph = LinearRelation.graph_of(m)
+    rng = random.Random(seed)
+    x = [rng.randint(-3, 3) for _ in range(size)]
+    assert graph.contains_pair(x, m.matvec(x))
+    candidate = list(x) + [v + 1 for v in m.matvec(x)]
+    stacked = QMatrix(list(graph.basis) + [candidate])
+    assert graph.contains_pair(candidate[:size], candidate[size:]) == \
+        (stacked.rank() == len(graph.basis))
