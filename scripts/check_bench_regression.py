@@ -36,6 +36,7 @@ ABLATION_KEYS = frozenset({
     "exact_key_dict_s",
     "gaussian_fraction_s",
     "backtracking_engine_s",
+    "cold_dispatch_per_task_s",
 })
 
 

@@ -79,6 +79,12 @@ from repro.ucq import (
     linear_certificate,
     search_reduction_counterexample,
 )
+from repro.session import (
+    SolverSession,
+    default_session,
+    resolve_session,
+    set_default_session,
+)
 
 __version__ = "1.0.0"
 
@@ -130,5 +136,9 @@ __all__ = [
     "build_reduction",
     "linear_certificate",
     "search_reduction_counterexample",
+    "SolverSession",
+    "default_session",
+    "resolve_session",
+    "set_default_session",
     "__version__",
 ]

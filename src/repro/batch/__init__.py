@@ -25,6 +25,7 @@ from repro.batch.tasks import (
     encode_task,
     make_containment_task,
     make_decision_task,
+    make_hom_count_task,
     make_path_task,
     make_ucq_task,
     task_seed,
@@ -42,6 +43,7 @@ __all__ = [
     "iter_results",
     "make_containment_task",
     "make_decision_task",
+    "make_hom_count_task",
     "make_path_task",
     "make_ucq_task",
     "run_batch",

@@ -124,7 +124,13 @@ class SQLiteHomStore:
     def _connect(self) -> sqlite3.Connection:
         pid = os.getpid()
         if self._connection is None or self._owner_pid != pid:
-            connection = sqlite3.connect(self.path, timeout=30.0)
+            # check_same_thread=False: the request service shares one
+            # store across its pool threads with all access serialized
+            # under the service's engine lock, which is the contract
+            # sqlite3 requires for cross-thread handles.  Batch workers
+            # are single-threaded processes and are unaffected.
+            connection = sqlite3.connect(self.path, timeout=30.0,
+                                         check_same_thread=False)
             connection.execute("PRAGMA journal_mode=WAL")
             connection.execute("PRAGMA synchronous=NORMAL")
             with connection:

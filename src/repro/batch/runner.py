@@ -21,10 +21,13 @@ Guarantees
 
 Workers are plain ``multiprocessing`` processes (``fork`` start method
 when the platform has it, so they inherit the loaded library for free).
-Each worker owns a private :class:`~repro.hom.engine.HomEngine`
-attached to the shared on-disk store (:mod:`repro.batch.cache`), and
-warm-starts its in-memory memo from that store, so hom counts are
-computed once per machine rather than once per process.
+Each worker owns a private :class:`~repro.session.SolverSession`
+whose engine is attached to the shared on-disk store
+(:mod:`repro.batch.cache`), and warm-starts its in-memory memo from
+that store, so hom counts are computed once per machine rather than
+once per process.  The long-running request service
+(:mod:`repro.service`) reuses :func:`evaluate_line` with *its* session,
+so batch mode and serving mode produce byte-identical records.
 """
 
 from __future__ import annotations
@@ -36,36 +39,57 @@ import random
 import sys
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.errors import ReproError
-from repro.batch.cache import SQLiteHomStore
 from repro.batch.tasks import DecodedTask, canonical_json, decode_task
 from repro.core.decision import decide_bag_determinacy
 from repro.core.pathdet import decide_path_determinacy
 from repro.hom.containment import is_contained_set
 from repro.hom.engine import HomEngine
+from repro.session import SolverSession
 from repro.ucq.analysis import linear_certificate
 
 DEFAULT_CHUNK_SIZE = 8
 DEFAULT_PRELOAD = 2048
 
+Context = Union[SolverSession, HomEngine]
+
+
+def _as_session(context: Context) -> SolverSession:
+    """Adopt the legacy bare-engine calling convention into a session."""
+    if isinstance(context, SolverSession):
+        return context
+    return SolverSession(engine=context)
+
 
 # ----------------------------------------------------------------------
 # Single-task evaluation
 # ----------------------------------------------------------------------
-def evaluate_task(task: DecodedTask, engine: HomEngine) -> Dict:
-    """The result record (without envelope) for one decoded task."""
+def evaluate_task(task: DecodedTask, context: Context) -> Dict:
+    """The result record (without envelope) for one decoded task.
+
+    ``context`` is the :class:`~repro.session.SolverSession` the task
+    runs under (a bare :class:`~repro.hom.engine.HomEngine` is adopted
+    for backward compatibility).
+    """
+    session = _as_session(context)
     if task.kind == "decide-cq":
-        result = decide_bag_determinacy(list(task.views), task.query, engine)
+        result = decide_bag_determinacy(list(task.views), task.query,
+                                        session=session)
         record = result.to_record()
         if task.witness and not result.determined:
             pair = result.witness(rng=random.Random(task.seed()))
-            record["witness"] = pair.to_record(pair.verify(engine))
+            record["witness"] = pair.to_record(pair.verify(session.engine))
         return record
     if task.kind == "containment":
         return {"contained": is_contained_set(task.query, task.container,
-                                              engine)}
+                                              session=session)}
+    if task.kind == "hom-count":
+        # Counts routinely exceed 64-bit range; decimal text keeps the
+        # record safe for non-Python JSON consumers (same convention as
+        # witness query answers).
+        return {"count": str(session.count(task.source, task.target))}
     if task.kind == "decide-path":
         result = decide_path_determinacy(list(task.views), task.query)
         record = {
@@ -89,47 +113,53 @@ def evaluate_task(task: DecodedTask, engine: HomEngine) -> Dict:
     raise ReproError(f"unhandled task kind {task.kind!r}")  # pragma: no cover
 
 
-def evaluate_line(line: str, engine: HomEngine) -> str:
-    """One canonical result line for one task line; never raises on
+def evaluate_envelope(line: str, context: Context) -> Dict:
+    """The full result record for one task line; never raises on
     library errors — they become ``{"ok": false}`` records."""
+    session = _as_session(context)
     task_id, kind = None, None
     try:
         task = decode_task(line)
         task_id, kind = task.id, task.kind
-        record = evaluate_task(task, engine)
+        record = evaluate_task(task, session)
     except ReproError as exc:
-        envelope: Dict = {
+        session.record_task(ok=False)
+        return {
             "id": task_id,
             "kind": kind,
             "ok": False,
             "error": f"{type(exc).__name__}: {exc}",
         }
-        return canonical_json(envelope)
-    envelope = {"id": task.id, "kind": task.kind, "ok": True}
+    session.record_task(ok=True)
+    envelope: Dict = {"id": task.id, "kind": task.kind, "ok": True}
     envelope.update(record)
-    return canonical_json(envelope)
+    return envelope
+
+
+def evaluate_line(line: str, context: Context) -> str:
+    """One canonical result line for one task line (see
+    :func:`evaluate_envelope`, which the request service consumes
+    directly to avoid re-parsing its own output)."""
+    return canonical_json(evaluate_envelope(line, context))
 
 
 # ----------------------------------------------------------------------
 # Worker pool plumbing
 # ----------------------------------------------------------------------
-_WORKER_ENGINE: Optional[HomEngine] = None
+_WORKER_SESSION: Optional[SolverSession] = None
 
 
 def _init_worker(cache_path: Optional[str], preload: int) -> None:
-    global _WORKER_ENGINE
-    store = SQLiteHomStore(cache_path) if cache_path else None
-    _WORKER_ENGINE = HomEngine(store=store)
-    if store is not None and preload > 0:
-        store.preload(_WORKER_ENGINE, limit=preload)
+    global _WORKER_SESSION
+    _WORKER_SESSION = SolverSession(store_path=cache_path, preload=preload)
 
 
 def _evaluate_chunk(lines: List[str]) -> List[str]:
-    engine = _WORKER_ENGINE
-    if engine is None:  # pragma: no cover - initializer always ran
+    session = _WORKER_SESSION
+    if session is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("batch worker used before initialization")
-    results = [evaluate_line(line, engine) for line in lines]
-    engine.flush_store()
+    results = [evaluate_line(line, session) for line in lines]
+    session.flush()
     return results
 
 
@@ -161,6 +191,7 @@ def iter_results(
     cache_path: Optional[str] = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     preload: int = DEFAULT_PRELOAD,
+    session: Optional[SolverSession] = None,
 ) -> Iterator[str]:
     """Evaluate task lines, yielding result lines in task order.
 
@@ -168,21 +199,34 @@ def iter_results(
     ``workers`` processes shards the stream in chunks of ``chunk_size``
     tasks.  ``cache_path`` names the shared persistent hom-count store;
     ``preload`` bounds how many stored counts each worker seeds into
-    its in-memory memo at startup.
+    its in-memory memo at startup.  An explicit ``session`` (inline
+    mode only — worker processes own their sessions) evaluates the
+    stream under caller-owned state: the request service passes its
+    resident session here so memo and store stay warm across streams.
     """
     chunk_size = max(1, chunk_size)
     if workers <= 1:
-        _init_worker(cache_path, preload)
-        engine = _WORKER_ENGINE
-        try:
+        if session is not None:
+            if cache_path is not None:
+                raise ReproError(
+                    "iter_results: pass either session= or cache_path=, "
+                    "not both (the session already owns its store)")
             for chunk in _chunks(lines, chunk_size):
                 for line in chunk:
-                    yield evaluate_line(line, engine)
-                engine.flush_store()
-        finally:
-            if engine is not None and engine.store is not None:
-                engine.store.close()
+                    yield evaluate_line(line, session)
+                session.flush()
+            return
+        scoped = SolverSession(store_path=cache_path, preload=preload)
+        with scoped:
+            for chunk in _chunks(lines, chunk_size):
+                for line in chunk:
+                    yield evaluate_line(line, scoped)
+                scoped.flush()
         return
+    if session is not None:
+        raise ReproError(
+            "iter_results: session= requires workers <= 1 (worker "
+            "processes cannot share one in-memory session)")
 
     # ProcessPoolExecutor rather than multiprocessing.Pool: a worker
     # killed mid-task (OOM, segfault) raises BrokenProcessPool out of

@@ -36,12 +36,13 @@ from repro.batch.tasks import (
     canonical_json,
     make_containment_task,
     make_decision_task,
+    make_hom_count_task,
     make_path_task,
     make_ucq_task,
 )
 
 SCENARIO_KINDS = ("cq", "cq-witness", "containment", "path", "ucq", "dense",
-                  "mixed")
+                  "hom", "mixed")
 
 
 def component_pool(rng: random.Random, extra: int = 3) -> List:
@@ -232,12 +233,40 @@ def generate_dense_tasks(
     return tasks
 
 
+def generate_hom_tasks(
+    count: int,
+    seed: int = 0,
+    max_components: int = 3,
+    max_target_size: int = 5,
+) -> List[Dict]:
+    """Raw ``hom-count`` requests: pool-assembled sources into seeded
+    random connected targets — the primitive workload of the request
+    service (and a direct stress of the canonical-component memo, since
+    sources repeat pool components across tasks)."""
+    rng = random.Random(seed)
+    pool = component_pool(rng)
+    schema = Schema({"R": 2, "S": 2})
+    tasks = []
+    for index in range(count):
+        pieces = [
+            (rng.randint(1, 2), rng.choice(pool))
+            for _ in range(rng.randint(1, max_components))
+        ]
+        source = sum_with_multiplicities(pieces)
+        target = random_connected_structure(
+            schema, size=rng.randint(2, max_target_size),
+            extra_density=0.3, rng=rng)
+        tasks.append(make_hom_count_task(f"hc-{index:05d}", source, target))
+    return tasks
+
+
 _FAMILIES: Dict[str, Callable[..., List[Dict]]] = {
     "cq": generate_decision_tasks,
     "containment": generate_containment_tasks,
     "path": generate_path_tasks,
     "ucq": generate_ucq_tasks,
     "dense": generate_dense_tasks,
+    "hom": generate_hom_tasks,
 }
 
 

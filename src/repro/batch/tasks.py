@@ -13,6 +13,8 @@ Task shapes::
     {"id": "t1", "kind": "containment", "query": <cq>, "container": <cq>}
     {"id": "t2", "kind": "decide-path", "views": [<path>...], "query": <path>}
     {"id": "t3", "kind": "certify-ucq", "views": [<ucq>...], "query": <ucq>}
+    {"id": "t4", "kind": "hom-count", "source": <structure>,
+     "target": <structure>}
 
 ``decide-cq`` with ``"witness": true`` additionally constructs and
 verifies a counterexample pair when the instance is not determined; the
@@ -37,14 +39,22 @@ from repro.errors import ReproError
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.path import PathQuery
 from repro.queries.ucq import UnionOfBooleanCQs
-from repro.structures.serialization import SerializationError, from_dict, to_dict
+from repro.structures.serialization import (
+    SerializationError,
+    from_dict,
+    structure_from_dict,
+    structure_to_dict,
+    to_dict,
+)
+from repro.structures.structure import Structure
 
 
 class BatchCodecError(ReproError):
     """Malformed task lines and records."""
 
 
-VALID_KINDS = ("decide-cq", "containment", "decide-path", "certify-ucq")
+VALID_KINDS = ("decide-cq", "containment", "decide-path", "certify-ucq",
+               "hom-count")
 
 _QUERY_TYPES = {
     "decide-cq": ConjunctiveQuery,
@@ -112,12 +122,30 @@ def make_ucq_task(task_id: str, views, query: UnionOfBooleanCQs) -> Dict[str, An
     }
 
 
+def make_hom_count_task(task_id: str, source: Structure,
+                        target: Structure) -> Dict[str, Any]:
+    """A raw ``|hom(source, target)|`` count request — the primitive
+    the request service exposes directly (Lemma 4 work without the
+    determinacy pipeline around it)."""
+    return {
+        "id": str(task_id),
+        "kind": "hom-count",
+        "source": structure_to_dict(source),
+        "target": structure_to_dict(target),
+    }
+
+
 # ----------------------------------------------------------------------
 # Decoding
 # ----------------------------------------------------------------------
 @dataclass
 class DecodedTask:
-    """A validated task with its query payloads materialized."""
+    """A validated task with its query payloads materialized.
+
+    ``query``/``views``/``container`` carry the determinacy payloads;
+    ``source``/``target`` carry the structures of a ``hom-count`` task
+    (whose ``query`` is ``None``).
+    """
 
     id: str
     kind: str
@@ -126,6 +154,8 @@ class DecodedTask:
     views: Tuple[Any, ...] = ()
     container: Optional[ConjunctiveQuery] = None
     witness: bool = field(default=False)
+    source: Optional[Structure] = None
+    target: Optional[Structure] = None
 
     def seed(self) -> int:
         """The deterministic RNG seed for any randomized step."""
@@ -157,6 +187,24 @@ def decode_task(line: "str | Dict[str, Any]") -> DecodedTask:
     task_id = record.get("id")
     if not isinstance(task_id, str) or not task_id:
         raise BatchCodecError(f"task needs a non-empty string 'id', got {task_id!r}")
+
+    if kind == "hom-count":
+        payloads = {}
+        for label in ("source", "target"):
+            payload = record.get(label)
+            try:
+                payloads[label] = structure_from_dict(payload)
+            except (SerializationError, AttributeError, TypeError) as exc:
+                raise BatchCodecError(
+                    f"task {task_id}: bad {label} payload: {exc}") from exc
+        return DecodedTask(
+            id=task_id,
+            kind=kind,
+            record=record,
+            query=None,
+            source=payloads["source"],
+            target=payloads["target"],
+        )
 
     expected = _QUERY_TYPES[kind]
     try:

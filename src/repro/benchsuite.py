@@ -18,11 +18,18 @@ E-series benchmarks in ``benchmarks/``:
   backtracking on bounded-treewidth sources (a 3×4 grid and a long
   chained join) into a dense target, plus an assertion that cost-based
   plan selection picks the DP on its own;
+* ``service_throughput``     — E17: a warm ``repro serve`` session
+  answering a mixed request stream vs cold per-invocation dispatch
+  (fresh session per task — the one-shot CLI cost model), results
+  byte-compared before timing;
 * ``linalg_det``             — Bareiss fraction-free determinant vs the
   textbook Fraction-Gauss reference on a radix-style integer matrix.
 
-Every workload cross-checks its counts against ground truth before
-timing, so a regression in correctness fails the bench run itself.
+Every engine-built workload routes its sessions through one factory
+(:func:`bench_session`), so a bench run reports unified session stats
+instead of scattering anonymous ``HomEngine()`` instances.  Every
+workload cross-checks its counts against ground truth before timing,
+so a regression in correctness fails the bench run itself.
 """
 
 from __future__ import annotations
@@ -34,16 +41,15 @@ from typing import Callable, Dict, List
 
 from repro.hom.count import count_homs
 from repro.hom.engine import (
-    HomEngine,
     TargetIndex,
     choose_strategy,
     count_plan,
-    default_engine,
     source_plan,
 )
 from repro.hom.search import count_homomorphisms_direct
 from repro.linalg.matrix import QMatrix, gaussian_det
 from repro.queries.cq import cq_from_structure
+from repro.session import SolverSession, default_session
 from repro.structures.generators import (
     clique_structure,
     cycle_structure,
@@ -53,6 +59,16 @@ from repro.structures.generators import (
 from repro.structures.operations import sum_with_multiplicities
 from repro.structures.structure import Structure
 from repro.core.decision import decide_bag_determinacy
+
+
+def bench_session(**knobs) -> SolverSession:
+    """The one session factory every bench workload goes through.
+
+    Cold workloads get a fresh scoped session (same configuration
+    surface as production: strategy/store/limits via ``knobs``); the
+    factory is the single place a bench-wide override would be wired.
+    """
+    return SolverSession(**knobs)
 
 
 def _component_pool():
@@ -111,10 +127,10 @@ def run_benchmarks(repeat: int = 3) -> Dict[str, object]:
     assert count_homomorphisms_direct(path3, big) == expected
 
     def cold_engine():
-        engine = HomEngine()
+        session = bench_session()
         for _ in range(5):
-            engine.clear()
-            engine.count(path3, big)
+            session.clear()
+            session.count(path3, big)
 
     direct = _timeit(lambda: [count_homomorphisms_direct(path3, big)
                               for _ in range(5)], repeat)
@@ -126,7 +142,7 @@ def run_benchmarks(repeat: int = 3) -> Dict[str, object]:
     }
 
     # -------------------------------------------------- hom_memoized
-    shared = default_engine()
+    shared = default_session()
     shared.count(path3, big)
 
     memo = _timeit(lambda: [shared.count(path3, big) for _ in range(5)], repeat)
@@ -147,10 +163,10 @@ def run_benchmarks(repeat: int = 3) -> Dict[str, object]:
     truth = count_homomorphisms_direct(source, target)
 
     def canonical_memo():
-        engine = HomEngine()
+        session = bench_session()
         for _ in range(3):
-            engine.clear()
-            assert engine.count(source, target) == truth
+            session.clear()
+            assert session.count(source, target) == truth
 
     def exact_dict():
         # The seed-era strategy: exact (component, leaf) dict keys over
@@ -226,6 +242,63 @@ def run_benchmarks(repeat: int = 3) -> Dict[str, object]:
         "auto_picks_dp": auto_picks_dp,
     }
 
+    # -------------------------------------------------- service_throughput
+    # E17: what the resident service buys over one-shot dispatch.  The
+    # same mixed request stream is answered (a) by a warm SolverService
+    # — one session across all requests, the deployment `repro serve`
+    # runs — and (b) cold, with a fresh session per task: the per-
+    # invocation CLI cost model minus process startup (so the measured
+    # speedup is a *lower bound* on the real serve-vs-CLI win).
+    from repro.batch.runner import evaluate_line
+    from repro.batch.scenarios import generate_scenario
+    from repro.batch.tasks import canonical_json, make_hom_count_task
+    from repro.service import SolverService
+
+    # Production-shaped stream: requests repeat a small catalog of
+    # counting shapes against stable dense targets (the hit pattern a
+    # materialized-view service actually sees), plus a slice of mixed
+    # decision traffic.  Each request's source is *renamed* (distinct
+    # constants per request, as distinct clients would send), so the
+    # cold path must recount every time while the warm session's
+    # canonical-component memo recognizes the isomorphism class.
+    svc_rng = random.Random(0x5E12)
+    svc_shapes = [grid, chain]
+    svc_targets = [
+        Structure(
+            [(rel, (i, j)) for rel in ("R", "S")
+             for i in range(n) for j in range(n) if i != j],
+            domain=range(n))
+        for n in (5, 6)
+    ]
+    stream = [canonical_json(record)
+              for record in generate_scenario("mixed", 16, seed=23)]
+    for index in range(24):
+        base = svc_rng.choice(svc_shapes)
+        source = base.rename({c: (index, c) for c in base.domain()})
+        stream.append(canonical_json(make_hom_count_task(
+            f"svc-{index:03d}", source, svc_rng.choice(svc_targets))))
+
+    def serve_warm() -> List[str]:
+        with SolverService(workers=1) as service:
+            results = [service.handle_line(line) for line in stream]
+        return results
+
+    def dispatch_cold() -> List[str]:
+        return [evaluate_line(line, bench_session()) for line in stream]
+
+    warm_results = serve_warm()
+    cold_results = dispatch_cold()
+    assert warm_results == cold_results  # serving must not change answers
+
+    warm = _timeit(serve_warm, repeat) / len(stream)
+    cold = _timeit(dispatch_cold, repeat) / len(stream)
+    workloads["service_throughput"] = {
+        "cold_dispatch_per_task_s": cold,
+        "warm_service_per_task_s": warm,
+        "speedup": cold / warm if warm else float("inf"),
+        "tasks": float(len(stream)),
+    }
+
     # -------------------------------------------------- linalg_det
     rng = random.Random(0xBA5E)
     size = 9
@@ -241,7 +314,12 @@ def run_benchmarks(repeat: int = 3) -> Dict[str, object]:
         "speedup": gauss / bareiss if bareiss else float("inf"),
     }
 
-    report["engine_stats"] = default_engine().stats()
+    # One copy of each stats block: the engine counters under the
+    # established engine_stats key, the session-level remainder
+    # (task accounting, strategy) under session_stats.
+    session_report = default_session().stats()
+    report["engine_stats"] = session_report.pop("engine")
+    report["session_stats"] = session_report
     return report
 
 

@@ -16,6 +16,10 @@ Subcommands
                   scenario files, ``batch run`` evaluates them across
                   worker processes with a persistent hom-count cache,
                   ``batch cache`` inspects that cache.
+``serve``         resident mode: a long-running daemon answering the
+                  batch task codec over stdio (default) or TCP, one
+                  warm solver session shared across every request
+                  (``{"op": "stats"}`` lines report it live).
 
 Examples
 --------
@@ -167,6 +171,42 @@ def _cmd_batch_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.service import SolverService, serve_socket, serve_stdio
+
+    service = SolverService(workers=args.workers, store_path=args.cache,
+                            strategy=args.strategy, preload=args.preload)
+
+    def _graceful(signum, frame):  # noqa: ARG001 — signal signature
+        service.request_shutdown()
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _graceful)
+    try:
+        with service:
+            if args.port is not None:
+                print(f"repro serve: listening on {args.host}:{args.port} "
+                      f"({args.workers} workers)", file=sys.stderr)
+                serve_socket(service, host=args.host, port=args.port)
+            else:
+                serve_stdio(service)
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        report = service.stats()
+        engine = report["session"]["engine"]  # type: ignore[index]
+        svc = report["service"]  # type: ignore[index]
+        print(
+            f"repro serve: {svc['requests']} requests "
+            f"({svc['errors']} errors) in {svc['uptime_s']}s; "
+            f"memo hits {engine['hits']}+{engine['exists_hits']}, "
+            f"misses {engine['misses']}+{engine['exists_misses']}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_batch_cache(args: argparse.Namespace) -> int:
     import os
 
@@ -235,7 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
         "gen", help="synthesize a randomized scenario file")
     gen.add_argument("--kind", default="cq",
                      choices=["cq", "cq-witness", "containment", "path",
-                              "ucq", "dense", "mixed"],
+                              "ucq", "dense", "hom", "mixed"],
                      help="instance family (default: cq)")
     gen.add_argument("--count", type=int, default=100, metavar="N",
                      help="number of tasks (default: 100)")
@@ -267,6 +307,26 @@ def build_parser() -> argparse.ArgumentParser:
         "cache", help="inspect a persistent hom-count store")
     cache.add_argument("--cache", required=True, metavar="PATH")
     cache.set_defaults(handler=_cmd_batch_cache)
+
+    serve = sub.add_parser(
+        "serve", help="resident solver daemon for JSONL request streams")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address for TCP mode (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None, metavar="N",
+                       help="listen on TCP port N; omitted = stdio mode "
+                            "(read requests from stdin, answer on stdout)")
+    serve.add_argument("--workers", type=int, default=4, metavar="N",
+                       help="bounded request-dispatch pool size (default: 4)")
+    serve.add_argument("--cache", default=None, metavar="PATH",
+                       help="persistent hom-count store (SQLite) owned by "
+                            "the service session")
+    serve.add_argument("--preload", type=int, default=2048, metavar="K",
+                       help="stored counts seeded into the warm memo at "
+                            "startup when --cache is given (default: 2048)")
+    serve.add_argument("--strategy", default="auto",
+                       choices=["auto", "backtrack", "dp"],
+                       help="counting-backend override for the session")
+    serve.set_defaults(handler=_cmd_serve)
 
     return parser
 

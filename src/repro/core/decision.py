@@ -27,8 +27,9 @@ from typing import Optional, Sequence, Tuple
 
 from repro.errors import DecisionError
 from repro.hom.containment import views_containing
-from repro.hom.engine import HomEngine, default_engine
+from repro.hom.engine import HomEngine
 from repro.linalg.span import span_coefficients
+from repro.session import SolverSession, resolve_session
 from repro.queries.cq import ConjunctiveQuery
 from repro.core.basis import ComponentBasis, validate_for_component_basis
 from repro.core.rewriting import MonomialRewriting, rewriting_from_span
@@ -51,6 +52,12 @@ class BooleanDeterminacyResult:
         Vector representations over ``W``.
     coefficients:
         Span coefficients when determined, else ``None``.
+    session:
+        The :class:`~repro.session.SolverSession` the decision ran
+        under.  Witness construction reuses it (same engine memo, same
+        compiled targets), and callers can read aggregated counting
+        statistics from it.  This replaces the old private ``_engine``
+        back-channel.
     """
 
     query: ConjunctiveQuery
@@ -60,8 +67,9 @@ class BooleanDeterminacyResult:
     view_vectors: Tuple[Tuple[int, ...], ...]
     query_vector: Tuple[int, ...]
     coefficients: Optional[Tuple[Fraction, ...]]
+    session: Optional[SolverSession] = field(default=None, repr=False,
+                                             compare=False)
     _witness_cache: object = field(default=None, repr=False, compare=False)
-    _engine: object = field(default=None, repr=False, compare=False)
 
     @property
     def determined(self) -> bool:
@@ -86,7 +94,7 @@ class BooleanDeterminacyResult:
 
             self._witness_cache = construct_counterexample(
                 self, rng=rng, distinguisher_budget=distinguisher_budget,
-                engine=self._engine,
+                session=self.session,
             )
         return self._witness_cache
 
@@ -134,25 +142,27 @@ def decide_bag_determinacy(
     views: Sequence[ConjunctiveQuery],
     query: ConjunctiveQuery,
     engine: Optional[HomEngine] = None,
+    session: Optional[SolverSession] = None,
 ) -> BooleanDeterminacyResult:
     """Decide ``V0 →bag q`` for boolean conjunctive queries (Theorem 3).
 
-    ``engine`` is the shared counting engine used for the containment
-    probes and, later, witness construction; it defaults to the
-    process-wide engine so repeated decisions over the same catalog
-    reuse every compiled target and memoized count.
+    ``session`` is the solver context the containment probes and, later,
+    witness construction run under; it defaults to the process-wide
+    session so repeated decisions over the same catalog reuse every
+    compiled target and memoized count.  ``engine`` is the pre-session
+    calling convention and is adopted into a session when given.
 
     >>> from repro.queries.parser import parse_boolean_cq
     >>> q = parse_boolean_cq("R(x,y)")
     >>> decide_bag_determinacy([q], q).determined
     True
     """
-    engine = engine or default_engine()
+    session = resolve_session(session, engine)
     validate_for_component_basis(query)
     for view in views:
         validate_for_component_basis(view)
 
-    relevant = tuple(views_containing(query, views, engine))
+    relevant = tuple(views_containing(query, views, session=session))
     basis = ComponentBasis.from_queries(list(relevant) + [query])
     view_vectors = tuple(basis.vector(view) for view in relevant)
     query_vector = basis.vector(query)
@@ -166,7 +176,7 @@ def decide_bag_determinacy(
         view_vectors=view_vectors,
         query_vector=query_vector,
         coefficients=tuple(coefficients) if coefficients is not None else None,
-        _engine=engine,
+        session=session,
     )
 
 

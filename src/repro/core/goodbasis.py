@@ -38,8 +38,9 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import DecisionError, SearchExhaustedError
 from repro.hom.count import count_homs
-from repro.hom.engine import HomEngine, default_engine
+from repro.hom.engine import HomEngine
 from repro.hom.matrix import evaluation_matrix
+from repro.session import SolverSession, resolve_session
 from repro.linalg.matrix import QMatrix
 from repro.queries.cq import ConjunctiveQuery
 from repro.structures.expression import (
@@ -84,14 +85,15 @@ def construct_good_basis(
     rng: Optional[random.Random] = None,
     distinguisher_budget: int = 5000,
     engine: Optional[HomEngine] = None,
+    session: Optional[SolverSession] = None,
 ) -> GoodBasis:
     """Build a good set of basis structures for ``components`` and ``q``.
 
     ``irrelevant_views`` are ``V0 \\ V``; decency against them is
-    verified before returning.
+    verified before returning.  All counting runs under ``session``
+    (or an adopted ``engine``; default: the process-wide session).
     """
-    if engine is None:
-        engine = default_engine()
+    engine = resolve_session(session, engine).engine
     rng = rng or random.Random(0x5EED)
     ambient = _ambient_schema(components, query, irrelevant_views)
     k = len(components)
@@ -177,6 +179,7 @@ def find_distinguishers(
     rng: Optional[random.Random] = None,
     budget: int = 5000,
     engine: Optional[HomEngine] = None,
+    session: Optional[SolverSession] = None,
 ) -> List[Structure]:
     """A finite set ``S⁽¹⁾`` with: for every pair ``w ≠ w'`` some
     ``s ∈ S⁽¹⁾`` has ``|hom(w, s)| ≠ |hom(w', s)|``.
@@ -186,6 +189,7 @@ def find_distinguishers(
     :class:`SearchExhaustedError` when the budget runs out (never
     observed on real inputs; the budget guards pathological schemas).
     """
+    engine = resolve_session(session, engine).engine
     rng = rng or random.Random(0x5EED)
     chosen: List[Structure] = []
     pairs = [

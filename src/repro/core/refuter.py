@@ -30,8 +30,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.hom.count import count_homs
-from repro.hom.engine import HomEngine, default_engine
 from repro.queries.cq import ConjunctiveQuery
+from repro.session import SolverSession, resolve_session
 from repro.queries.evaluation import evaluate_boolean
 from repro.structures.components import connected_components
 from repro.structures.expression import SumExpression, as_expression
@@ -77,12 +77,15 @@ def search_lattice_counterexample(
     extra_random_blocks: int = 0,
     rng: Optional[random.Random] = None,
     max_pairs: int = 200_000,
+    session: Optional[SolverSession] = None,
 ) -> Optional[Refutation]:
     """Search ``spanN(blocks)`` for a counterexample pair.
 
     Answers on ``Σ a_i B_i`` are evaluated per query component ``c`` as
     ``Σ_i a_i·|hom(c, B_i)|`` and multiplied — no structure is built
-    until a hit is found.
+    until a hit is found.  Block counts run under ``session``, resolved
+    lazily *per call* (never captured at import time), so a store or
+    strategy configured after this module was imported is honoured.
     """
     rng = rng or random.Random(0xBEEF)
     if blocks is None:
@@ -96,7 +99,7 @@ def search_lattice_counterexample(
                     random_connected_structure(schema, rng.randint(1, 3), rng=rng)
                 )
 
-    engine: HomEngine = default_engine()
+    engine = resolve_session(session).engine
     # Precompute per-component block counts for every query involved.
     all_queries = list(views) + [query]
     component_lists = [connected_components(q.frozen_body()) for q in all_queries]

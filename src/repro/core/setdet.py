@@ -33,13 +33,13 @@ not set-determine ``q``. ∎
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.errors import DecisionError
 from repro.hom.containment import views_containing
-from repro.hom.search import exists_homomorphism
 from repro.queries.cq import ConjunctiveQuery
 from repro.core.basis import validate_for_component_basis
+from repro.session import SolverSession, resolve_session
 from repro.structures.operations import product, sum_structures
 from repro.structures.structure import Structure
 
@@ -69,8 +69,13 @@ class SetDeterminacyResult:
 def decide_set_determinacy_boolean(
     views: Sequence[ConjunctiveQuery],
     query: ConjunctiveQuery,
+    session: Optional[SolverSession] = None,
 ) -> SetDeterminacyResult:
     """Decide ``V0 →set q`` for boolean CQs.
+
+    Containment probes and the final homomorphism test run under
+    ``session`` (default: the process-wide one), so a request stream
+    mixing set- and bag-semantics decisions shares one memo.
 
     >>> from repro.queries.parser import parse_boolean_cq
     >>> q = parse_boolean_cq("R(x,y), R(y,z)")
@@ -80,12 +85,13 @@ def decide_set_determinacy_boolean(
     >>> decide_set_determinacy_boolean([v], q).determined
     False
     """
+    session = resolve_session(session)
     validate_for_component_basis(query)
     for view in views:
         validate_for_component_basis(view)
-    relevant = tuple(views_containing(query, views))
+    relevant = tuple(views_containing(query, views, session=session))
     conjunction_body = sum_structures([v.frozen_body() for v in relevant])
-    determined = exists_homomorphism(query.frozen_body(), conjunction_body)
+    determined = session.exists(query.frozen_body(), conjunction_body)
     return SetDeterminacyResult(
         query=query,
         views=tuple(views),

@@ -34,8 +34,9 @@ from typing import Optional, Sequence, Tuple
 
 from repro.errors import DecisionError
 from repro.hom.count import Cache, count_homs
-from repro.hom.engine import HomEngine, default_engine
+from repro.hom.engine import HomEngine
 from repro.linalg.cone import SimplicialCone, perturb
+from repro.session import SolverSession, resolve_session
 from repro.linalg.orthogonal import integer_orthogonal_witness
 from repro.linalg.span import integerize
 from repro.queries.cq import ConjunctiveQuery
@@ -106,8 +107,9 @@ class CounterexamplePair:
         algebra that produced the pair.  The default dict cache routes
         leaf counts through the *naive* recursive backtracker, keeping
         the audit independent of the compiled engine that produced the
-        decision; pass a :class:`~repro.hom.engine.HomEngine` to trade
-        that independence for speed."""
+        decision; pass a :class:`~repro.hom.engine.HomEngine` or a
+        :class:`~repro.session.SolverSession` to trade that
+        independence for speed."""
         if cache is None:
             cache = {}
         query_answers = (
@@ -175,17 +177,21 @@ def construct_counterexample(
     rng: Optional[random.Random] = None,
     distinguisher_budget: int = 5000,
     engine: Optional[HomEngine] = None,
+    session: Optional[SolverSession] = None,
 ) -> CounterexamplePair:
     """Build the counterexample pair for a failed span test.
 
     ``result`` is a :class:`repro.core.decision.BooleanDeterminacyResult`
-    with ``determined == False``; ``engine`` is the shared counting
-    engine (defaulting to the result's own, then the process-wide one).
+    with ``determined == False``; ``session`` is the solver context the
+    construction counts under — defaulting to the result's own
+    ``session`` field (so the good-basis search verifiably reuses the
+    deciding engine's memo), then the process-wide session.
     """
     if result.coefficients is not None:
         raise DecisionError("the views determine the query; no counterexample exists")
-    if engine is None:
-        engine = getattr(result, "_engine", None) or default_engine()
+    if session is None and engine is None:
+        session = result.session
+    session = resolve_session(session, engine)
     irrelevant = tuple(
         v for v in result.views if v not in set(result.relevant_views)
     )
@@ -195,7 +201,7 @@ def construct_counterexample(
         irrelevant_views=irrelevant,
         rng=rng,
         distinguisher_budget=distinguisher_budget,
-        engine=engine,
+        session=session,
     )
 
     direction = integer_orthogonal_witness(result.view_vectors, result.query_vector)

@@ -22,15 +22,20 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import DecisionError
-from repro.hom.engine import HomEngine
 from repro.queries.cq import ConjunctiveQuery
 from repro.core.basis import validate_for_component_basis
 from repro.core.decision import BooleanDeterminacyResult, decide_bag_determinacy
 from repro.core.rewriting import MonomialRewriting
+from repro.session import SolverSession
 
 
 class ViewCatalog:
     """A fixed set of boolean counting views, ready to judge queries.
+
+    Decisions run under one :class:`~repro.session.SolverSession` —
+    a private one by default, or a caller-provided session so several
+    catalogs (or a catalog plus ad-hoc decisions) share memo state and
+    a persistent store.
 
     >>> from repro.queries.parser import parse_boolean_cq
     >>> catalog = ViewCatalog([parse_boolean_cq("R(x,y)")])
@@ -38,11 +43,12 @@ class ViewCatalog:
     True
     """
 
-    def __init__(self, views: Sequence[ConjunctiveQuery]):
+    def __init__(self, views: Sequence[ConjunctiveQuery],
+                 session: Optional[SolverSession] = None):
         for view in views:
             validate_for_component_basis(view)
         self.views: Tuple[ConjunctiveQuery, ...] = tuple(views)
-        self._engine = HomEngine()
+        self.session = session if session is not None else SolverSession()
         self._decisions: Dict[ConjunctiveQuery, BooleanDeterminacyResult] = {}
 
     # ------------------------------------------------------------------
@@ -53,7 +59,7 @@ class ViewCatalog:
         cached = self._decisions.get(query)
         if cached is None:
             cached = decide_bag_determinacy(self.views, query,
-                                            engine=self._engine)
+                                            session=self.session)
             self._decisions[query] = cached
         return cached
 
@@ -129,8 +135,10 @@ class ViewCatalog:
     # ------------------------------------------------------------------
     def with_view(self, view: ConjunctiveQuery) -> "ViewCatalog":
         """A new catalog with one more view (decisions recomputed lazily;
-        determinacy is monotone, so answerable queries stay answerable)."""
-        return ViewCatalog(list(self.views) + [view])
+        determinacy is monotone, so answerable queries stay answerable).
+        The counting session is shared — component counts already
+        memoized for this catalog serve the evolved one too."""
+        return ViewCatalog(list(self.views) + [view], session=self.session)
 
     def minimal_subcatalog(
         self, queries: Sequence[ConjunctiveQuery]
@@ -148,7 +156,8 @@ class ViewCatalog:
             return None
         for size in range(len(self.views) + 1):
             for combo in itertools.combinations(range(len(self.views)), size):
-                candidate = ViewCatalog([self.views[i] for i in combo])
+                candidate = ViewCatalog([self.views[i] for i in combo],
+                                        session=self.session)
                 answerable, missing = candidate.partition_workload(queries)
                 if not missing:
                     return candidate

@@ -19,18 +19,21 @@ from typing import Optional
 from repro.errors import QueryError
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.ucq import UnionOfBooleanCQs
-from repro.hom.engine import HomEngine, default_engine
+from repro.hom.engine import HomEngine
+from repro.session import SolverSession, resolve_session
 
 
 def is_contained_set(
     query: ConjunctiveQuery,
     container: ConjunctiveQuery,
     engine: Optional[HomEngine] = None,
+    session: Optional[SolverSession] = None,
 ) -> bool:
     """``query ⊆set container`` for boolean CQs (Chandra–Merlin).
 
     The existence probe runs on the compiled engine (shared target
-    indexes + memoized verdicts); pass ``engine`` to scope the memo.
+    indexes + memoized verdicts); pass ``session`` (or a bare
+    ``engine``) to scope the memo.
 
     >>> from repro.queries.parser import parse_boolean_cq
     >>> q = parse_boolean_cq("R(x,y), R(y,z)")
@@ -42,13 +45,16 @@ def is_contained_set(
     """
     _require_boolean(query)
     _require_boolean(container)
-    engine = engine or default_engine()
-    return engine.exists(container.frozen_body(), query.frozen_body())
+    session = resolve_session(session, engine)
+    return session.exists(container.frozen_body(), query.frozen_body())
 
 
-def are_equivalent_set(left: ConjunctiveQuery, right: ConjunctiveQuery) -> bool:
+def are_equivalent_set(left: ConjunctiveQuery, right: ConjunctiveQuery,
+                       session: Optional[SolverSession] = None) -> bool:
     """Set-semantics equivalence (mutual containment)."""
-    return is_contained_set(left, right) and is_contained_set(right, left)
+    session = resolve_session(session)
+    return (is_contained_set(left, right, session=session)
+            and is_contained_set(right, left, session=session))
 
 
 def is_contained_set_ucq(query: UnionOfBooleanCQs, container: UnionOfBooleanCQs) -> bool:
@@ -63,12 +69,14 @@ def views_containing(
     query: ConjunctiveQuery,
     views,
     engine: Optional[HomEngine] = None,
+    session: Optional[SolverSession] = None,
 ) -> list:
     """Definition 25: the sublist of ``views`` that ``query`` is
     ⊆set-contained in (these are the views that can never answer 0 on a
     structure where ``q`` answers positively)."""
-    engine = engine or default_engine()
-    return [view for view in views if is_contained_set(query, view, engine)]
+    session = resolve_session(session, engine)
+    return [view for view in views
+            if is_contained_set(query, view, session=session)]
 
 
 def _require_boolean(query: ConjunctiveQuery) -> None:

@@ -24,18 +24,19 @@ engine of :mod:`repro.hom.engine`: pass no cache to use the shared
 process-wide :class:`~repro.hom.engine.HomEngine` (targets compiled
 once, counts shared across isomorphic components, each leaf count
 routed to backtracking or tree-decomposition DP by the engine's cost
-model — see DESIGN.md §9), pass a
-:class:`~repro.hom.engine.HomEngine` to scope the memoization (or to
-force a backend via its ``strategy`` knob), or pass a plain ``dict``
-for the legacy exact-key cache — dict-cached counting deliberately
-runs the *naive* recursive backtracker, so it stays an independent
-audit path for engine-produced results (the witness verifier relies
-on this).
+model — see DESIGN.md §9), pass ``session=`` (or a
+:class:`~repro.session.SolverSession` / a
+:class:`~repro.hom.engine.HomEngine` as the cache) to scope the
+memoization (or to force a backend via the ``strategy`` knob), or pass
+a plain ``dict`` for the legacy exact-key cache — dict-cached counting
+deliberately runs the *naive* recursive backtracker, so it stays an
+independent audit path for engine-produced results (the witness
+verifier relies on this).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 from repro.errors import StructureError
 from repro.structures.components import connected_components
@@ -50,16 +51,32 @@ from repro.structures.expression import (
 from repro.structures.structure import Structure
 from repro.hom.engine import HomEngine, default_engine
 from repro.hom.search import count_homomorphisms_direct
+from repro.session import SolverSession
 
 Target = Structure | StructureExpression
 CountCache = Dict[Tuple[Structure, Structure], int]
-Cache = Union[CountCache, HomEngine, None]
+Cache = Union[CountCache, HomEngine, SolverSession, None]
+
+
+def _unwrap(cache: Cache, session: Optional[SolverSession]) -> Cache:
+    """Collapse the cache/session calling conventions onto one value.
+
+    An explicit ``session`` wins (its engine carries the memo); a
+    :class:`SolverSession` passed *as* the cache is unwrapped to its
+    engine; dicts and engines pass through untouched.
+    """
+    if session is not None:
+        return session.engine
+    if isinstance(cache, SolverSession):
+        return cache.engine
+    return cache
 
 
 def count_homs(
     source: Structure,
     target: Target,
     cache: Cache = None,
+    session: Optional[SolverSession] = None,
 ) -> int:
     """``|hom(source, target)|`` with component factorization.
 
@@ -67,6 +84,7 @@ def count_homs(
     >>> count_homs(path_structure(['R']), path_structure(['R', 'R']))
     2
     """
+    cache = _unwrap(cache, session)
     expression = as_expression(target)
     total = 1
     for component in connected_components(source):
@@ -80,9 +98,11 @@ def count_homs_connected(
     component: Structure,
     target: Target,
     cache: Cache = None,
+    session: Optional[SolverSession] = None,
 ) -> int:
     """Count for a source already known to be connected (no re-split)."""
-    return _count_connected(component, as_expression(target), cache)
+    return _count_connected(component, as_expression(target),
+                            _unwrap(cache, session))
 
 
 def _count_connected(
@@ -171,6 +191,8 @@ def _require_summable(component: Structure) -> None:
             )
 
 
-def hom_vector(sources, target: Target, cache: Cache = None):
+def hom_vector(sources, target: Target, cache: Cache = None,
+               session: Optional[SolverSession] = None):
     """Counts for many sources against one target, as a list of ints."""
+    cache = _unwrap(cache, session)
     return [count_homs(source, target, cache) for source in sources]

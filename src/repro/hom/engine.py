@@ -57,7 +57,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from functools import lru_cache
-from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Hashable, List, Tuple
 
 from repro.errors import ReproError
 from repro.structures.isomorphism import find_isomorphism, invariant_key
@@ -501,6 +501,7 @@ class HomEngine:
 
     __slots__ = ("_counts", "_targets", "_exists", "_reps", "_rep_count",
                  "max_counts", "max_targets", "hits", "misses",
+                 "exists_hits", "exists_misses",
                  "store", "store_hits", "store_misses", "strategy",
                  "dp_counts", "backtrack_counts", "width_histogram")
 
@@ -528,6 +529,8 @@ class HomEngine:
         self._rep_count = 0
         self.hits = 0
         self.misses = 0
+        self.exists_hits = 0
+        self.exists_misses = 0
         # Optional persistent second-level cache (duck-typed: anything
         # with ``lookup(component, leaf) -> Optional[int]`` and
         # ``record(component, leaf, count)``; implementations may also
@@ -654,7 +657,9 @@ class HomEngine:
         cached = self._exists.get(key)
         if cached is not None:
             self._exists.move_to_end(key)
+            self.exists_hits += 1
             return cached
+        self.exists_misses += 1
         result = None
         if self.store is not None:
             lookup = getattr(self.store, "lookup_exists", None)
@@ -700,6 +705,8 @@ class HomEngine:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "exists_hits": self.exists_hits,
+            "exists_misses": self.exists_misses,
             "store_hits": self.store_hits,
             "store_misses": self.store_misses,
             "cached_counts": len(self._counts),
@@ -719,6 +726,8 @@ class HomEngine:
         self._rep_count = 0
         self.hits = 0
         self.misses = 0
+        self.exists_hits = 0
+        self.exists_misses = 0
         self.store_hits = 0
         self.store_misses = 0
         self.dp_counts = 0
@@ -731,12 +740,15 @@ class HomEngine:
                 f"misses={self.misses})")
 
 
-_DEFAULT_ENGINE: Optional[HomEngine] = None
-
-
 def default_engine() -> HomEngine:
-    """The process-wide shared engine (LRU-bounded, safe to keep)."""
-    global _DEFAULT_ENGINE
-    if _DEFAULT_ENGINE is None:
-        _DEFAULT_ENGINE = HomEngine()
-    return _DEFAULT_ENGINE
+    """The process-wide shared engine (LRU-bounded, safe to keep).
+
+    Compatibility shim: the engine is owned by the module-level default
+    :class:`~repro.session.SolverSession`, so legacy callers and
+    session-aware callers that pass no session always share one memo.
+    Prefer an explicit session (``session=`` on every decision entry
+    point) for anything beyond a one-shot script.
+    """
+    from repro.session import default_session
+
+    return default_session().engine

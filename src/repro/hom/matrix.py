@@ -18,29 +18,32 @@ the whole family of ``m`` target columns.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.hom.count import Cache, CountCache, count_homs
-from repro.hom.engine import default_engine
 from repro.linalg.matrix import QMatrix
+from repro.session import SolverSession, resolve_session
 from repro.structures.expression import StructureExpression
 from repro.structures.structure import Structure
 
 __all__ = ["CountCache", "answer_vector", "evaluation_matrix"]
 
 
-def _resolve_cache(cache: Cache) -> Cache:
-    """Default to the shared engine; legacy dict caches pass through."""
-    return default_engine() if cache is None else cache
+def _resolve_cache(cache: Cache, session: Optional[SolverSession]) -> Cache:
+    """Session (explicit, then default) wins; dict caches pass through."""
+    if session is not None or cache is None:
+        return resolve_session(session).engine
+    return cache
 
 
 def evaluation_matrix(
     basis: Sequence[Structure],
     targets: Sequence[Structure | StructureExpression],
     cache: Cache = None,
+    session: Optional[SolverSession] = None,
 ) -> QMatrix:
     """The k×m matrix ``M(i,j) = |hom(basis[i], targets[j])|``."""
-    cache = _resolve_cache(cache)
+    cache = _resolve_cache(cache, session)
     rows = [
         [count_homs(w, s, cache) for s in targets]
         for w in basis
@@ -52,8 +55,9 @@ def answer_vector(
     basis: Sequence[Structure],
     target: Structure | StructureExpression,
     cache: Cache = None,
+    session: Optional[SolverSession] = None,
 ) -> list:
     """The column ``(w_1(D), ..., w_k(D))`` for a single structure —
     a point of the answer space P of Definition 51 when ``D ∈ S``."""
-    cache = _resolve_cache(cache)
+    cache = _resolve_cache(cache, session)
     return [count_homs(w, target, cache) for w in basis]

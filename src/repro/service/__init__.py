@@ -1,0 +1,22 @@
+"""The resident request service (``repro serve``).
+
+Turns the one-shot CLI into a long-running daemon: one
+:class:`~repro.session.SolverSession` stays warm across an entire
+request stream, so compiled targets, canonical-component memo entries
+and the persistent store amortize over thousands of requests instead
+of being rebuilt per process invocation.  See DESIGN.md §10.
+"""
+
+from repro.service.daemon import (
+    ServiceStats,
+    SolverService,
+    serve_socket,
+    serve_stdio,
+)
+
+__all__ = [
+    "ServiceStats",
+    "SolverService",
+    "serve_socket",
+    "serve_stdio",
+]

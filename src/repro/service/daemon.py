@@ -1,0 +1,370 @@
+"""The long-running solver daemon behind ``repro serve``.
+
+Architecture (DESIGN.md §10): one resident
+:class:`~repro.session.SolverSession` shared by every request, a
+bounded thread pool dispatching requests onto it, and two front-ends
+speaking the same line protocol —
+
+* **stdio** (:func:`serve_stdio`): read JSONL requests from a stream,
+  write one JSONL response per request *in request order*, exit at EOF
+  or on a ``shutdown`` op.  Piping a scenario file through this mode is
+  byte-identical to ``repro batch run --workers 1`` on the same file.
+* **socket** (:func:`serve_socket`): a threading TCP server; each
+  connection speaks the same protocol, responses in per-connection
+  request order.
+
+Request lines are exactly the batch task codec
+(:mod:`repro.batch.tasks`): ``decide-cq`` (optionally with witness
+construction), ``decide-path``, ``containment``, ``certify-ucq`` and
+``hom-count``.  Additionally a *control* line — a JSON object carrying
+an ``"op"`` key — asks the daemon about itself::
+
+    {"op": "ping"}      -> {"ok": true, "op": "ping"}
+    {"op": "stats"}     -> {"ok": true, "op": "stats", "stats": {...}}
+    {"op": "shutdown"}  -> {"ok": true, "op": "shutdown"} and the
+                           daemon drains in-flight work and exits.
+
+Concurrency model: the worker pool bounds how many requests are
+admitted at once (backpressure for many connections), while actual
+engine access is serialized under one lock — the memo's ``OrderedDict``
+bookkeeping is not thread-safe, and the counting workload is
+GIL-bound pure Python, so a lock costs no real parallelism and buys
+exact, shared memoization.  Every request is error-isolated: library
+errors become ``{"ok": false}`` records (same as batch mode) and
+unexpected exceptions are caught per request so one poisoned task can
+never take the daemon down.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import sys
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, IO, Iterable, Optional
+
+from repro.batch.runner import evaluate_envelope
+from repro.batch.tasks import canonical_json
+from repro.errors import ReproError
+from repro.session import SolverSession
+
+DEFAULT_WORKERS = 4
+CONTROL_OPS = ("ping", "stats", "shutdown")
+
+
+@dataclass
+class ServiceStats:
+    """Mutable request accounting for one service lifetime."""
+
+    requests: int = 0
+    errors: int = 0
+    control_requests: int = 0
+    total_latency_s: float = 0.0
+    kinds: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, kind: Optional[str], ok: bool, elapsed: float) -> None:
+        self.requests += 1
+        if not ok:
+            self.errors += 1
+        self.total_latency_s += elapsed
+        label = kind or "invalid"
+        self.kinds[label] = self.kinds.get(label, 0) + 1
+
+    def snapshot(self) -> Dict[str, object]:
+        mean = (self.total_latency_s / self.requests) if self.requests else 0.0
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "control_requests": self.control_requests,
+            "mean_latency_ms": round(mean * 1000.0, 3),
+            "kinds": dict(sorted(self.kinds.items())),
+        }
+
+
+class SolverService:
+    """A resident solver: one warm session, a bounded dispatch pool.
+
+    ``session`` is adopted when given (the caller closes it), otherwise
+    the service builds one from ``store_path``/``strategy`` and owns
+    it.  ``workers`` bounds concurrently admitted requests.
+    """
+
+    def __init__(self, session: Optional[SolverSession] = None,
+                 workers: int = DEFAULT_WORKERS,
+                 store_path: Optional[str] = None,
+                 strategy: str = "auto",
+                 preload: int = 0):
+        if session is not None:
+            # Same rule as SolverSession's engine adoption: silently
+            # dropping the caller's store/strategy configuration would
+            # masquerade as a warm persistent deployment while serving
+            # cold — refuse the contradiction instead.
+            if store_path is not None or strategy != "auto":
+                raise ReproError(
+                    "cannot adopt an existing session and also configure "
+                    "store_path/strategy; configure the session itself")
+            self.session = session
+            self._owns_session = False
+        else:
+            self.session = SolverSession(store_path=store_path,
+                                         strategy=strategy, preload=preload)
+            self._owns_session = True
+        self.workers = max(1, workers)
+        self.stats_counters = ServiceStats()
+        self.started_at = time.monotonic()
+        self._engine_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._shutdown = threading.Event()
+        self._pool = ThreadPoolExecutor(max_workers=self.workers,
+                                        thread_name_prefix="repro-serve")
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def control_response(self, line: str) -> Optional[str]:
+        """The response line if ``line`` is a control op, else ``None``.
+
+        Control ops are cheap and answered inline (never queued behind
+        counting work); ``shutdown`` flips the service into draining
+        mode — callers stop reading after relaying the response.
+        """
+        stripped = line.strip()
+        if not stripped.startswith("{") or '"op"' not in stripped:
+            return None
+        try:
+            payload = json.loads(stripped)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(payload, dict) or "op" not in payload:
+            return None
+        op = payload["op"]
+        with self._state_lock:
+            self.stats_counters.control_requests += 1
+        if op == "ping":
+            return canonical_json({"ok": True, "op": "ping"})
+        if op == "stats":
+            return canonical_json({"ok": True, "op": "stats",
+                                   "stats": self.stats()})
+        if op == "shutdown":
+            self._shutdown.set()
+            return canonical_json({"ok": True, "op": "shutdown"})
+        return canonical_json({
+            "ok": False, "op": str(op),
+            "error": f"unknown control op {op!r}; "
+                     f"expected one of {list(CONTROL_OPS)}"})
+
+    def evaluate(self, line: str) -> str:
+        """One result line for one task line — locked, error-isolated."""
+        start = time.perf_counter()
+        ok = True
+        kind = None
+        try:
+            with self._engine_lock:
+                envelope = evaluate_envelope(line, self.session)
+            kind = envelope.get("kind")
+            ok = bool(envelope.get("ok"))
+            result = canonical_json(envelope)
+        except Exception as exc:  # noqa: BLE001 — the daemon must survive
+            # evaluate_envelope already converts library errors;
+            # anything arriving here is an unexpected bug in a single
+            # request, which must not kill the other requests in
+            # flight.  Session accounting still sees the request, so
+            # the stats op's two counters stay in step on error
+            # streams.
+            ok = False
+            with self._engine_lock:
+                self.session.record_task(ok=False)
+            result = canonical_json({
+                "id": None, "kind": None, "ok": False,
+                "error": f"InternalError: {type(exc).__name__}: {exc}",
+            })
+        elapsed = time.perf_counter() - start
+        with self._state_lock:
+            self.stats_counters.record(kind, ok, elapsed)
+        return result
+
+    def submit(self, line: str) -> "Future[str]":
+        """Queue a task line on the bounded pool."""
+        return self._pool.submit(self.evaluate, line)
+
+    def handle_line(self, line: str) -> Optional[str]:
+        """Synchronous convenience: control inline, tasks evaluated now.
+
+        Returns ``None`` for blank lines.  The stream front-ends use
+        the finer-grained :meth:`control_response`/:meth:`submit` pair
+        instead, to keep control ops out of the counting queue.
+        """
+        if not line.strip():
+            return None
+        return self.control_response(line) or self.evaluate(line)
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def shutting_down(self) -> bool:
+        return self._shutdown.is_set()
+
+    def request_shutdown(self) -> None:
+        """Flip into draining mode (signal handlers call this)."""
+        self._shutdown.set()
+
+    def stats(self) -> Dict[str, object]:
+        """Service counters + the resident session's aggregated stats."""
+        with self._state_lock:
+            service = self.stats_counters.snapshot()
+        service["uptime_s"] = round(time.monotonic() - self.started_at, 3)
+        service["workers"] = self.workers
+        # Engine lock: the session snapshot touches the memo and the
+        # SQLite store handle, which are only safe while no worker
+        # thread is mid-evaluation.
+        with self._engine_lock:
+            session = self.session.stats()
+        return {"service": service, "session": session}
+
+    def close(self) -> None:
+        """Drain the pool, flush the session, close owned state."""
+        if self._closed:
+            return
+        self._closed = True
+        self._shutdown.set()
+        self._pool.shutdown(wait=True)
+        if self._owns_session:
+            self.session.close()
+        else:
+            self.session.flush()
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# stdio front-end
+# ----------------------------------------------------------------------
+def serve_stdio(service: SolverService,
+                source: Optional[Iterable[str]] = None,
+                sink: Optional[IO[str]] = None) -> int:
+    """Answer a JSONL request stream, responses in request order.
+
+    Reads ``source`` (default stdin) to EOF — or until a ``shutdown``
+    op or :meth:`SolverService.request_shutdown` — writing one response
+    line per request to ``sink`` (default stdout).  Task lines are
+    dispatched through the bounded pool; a dedicated writer thread
+    emits and flushes each response *as soon as it resolves*, oldest
+    first, so an interactive client gets its answer immediately while
+    response order always matches request order.  The bounded queue
+    between reader and writer is the backpressure on unbounded
+    streams.  Returns the number of response lines written.
+    """
+    import queue as queue_module
+
+    source = sys.stdin if source is None else source
+    sink = sys.stdout if sink is None else sink
+    pending: "queue_module.Queue" = queue_module.Queue(
+        maxsize=max(2, service.workers * 4))
+    done = object()
+    written = 0
+
+    def write_responses() -> None:
+        nonlocal written
+        while True:
+            item = pending.get()
+            if item is done:
+                return
+            response = item.result() if isinstance(item, Future) else item
+            sink.write(response + "\n")
+            sink.flush()
+            written += 1
+
+    writer = threading.Thread(target=write_responses,
+                              name="repro-serve-writer", daemon=True)
+    writer.start()
+    try:
+        for line in source:
+            if not line.strip():
+                continue
+            control = service.control_response(line)
+            if control is not None:
+                # Queued behind the tasks before it: order preserved.
+                pending.put(control)
+                if service.shutting_down:
+                    break
+                continue
+            if service.shutting_down:
+                break
+            pending.put(service.submit(line))
+    except KeyboardInterrupt:
+        # Graceful: answer everything already admitted, then stop.
+        pass
+    pending.put(done)
+    writer.join()
+    service.session.flush()
+    return written
+
+
+# ----------------------------------------------------------------------
+# socket front-end
+# ----------------------------------------------------------------------
+class _RequestHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # pragma: no cover — exercised via TCP tests
+        service: SolverService = self.server.service  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace")
+            if not line.strip():
+                continue
+            response = service.control_response(line)
+            if response is None:
+                response = service.submit(line).result()
+            try:
+                self.wfile.write(response.encode("utf-8") + b"\n")
+                self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError):
+                return
+            if service.shutting_down:
+                # shutdown() must come from outside the serve_forever
+                # thread; handler threads qualify (ThreadingMixIn).
+                threading.Thread(target=self.server.shutdown,
+                                 daemon=True).start()
+                return
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address, service: SolverService):
+        super().__init__(address, _RequestHandler)
+        self.service = service
+
+
+def serve_socket(service: SolverService, host: str = "127.0.0.1",
+                 port: int = 0, ready: Optional[threading.Event] = None,
+                 bound: Optional[list] = None) -> None:
+    """Serve the line protocol over TCP until shut down.
+
+    ``port=0`` binds an ephemeral port; the bound ``(host, port)`` is
+    appended to ``bound`` (when given) and ``ready`` is set once the
+    server accepts connections — the test harness and embedders use
+    both to rendezvous without sleeping.  Blocks until a ``shutdown``
+    op arrives or :meth:`SolverService.request_shutdown` plus a closing
+    connection end the loop.
+    """
+    with _Server((host, port), service) as server:
+        if bound is not None:
+            bound.append(server.server_address)
+        if ready is not None:
+            ready.set()
+        try:
+            server.serve_forever(poll_interval=0.1)
+        except KeyboardInterrupt:
+            # Graceful: stop accepting; in-flight handler threads are
+            # daemons and the pool drains in service.close().
+            pass
+    service.session.flush()

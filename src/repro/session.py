@@ -1,0 +1,251 @@
+"""Session-scoped solver context — the ownership layer above the engine.
+
+Every decision procedure in the library bottoms out in the compiled
+counting engine (:mod:`repro.hom.engine`).  Before this module, engine
+ownership was ad hoc: a process-global ``default_engine()`` singleton,
+bare ``HomEngine()`` constructions scattered through the workbench and
+the batch runner, and a private ``_engine`` attribute threaded through
+decision results.  None of that composes into a *request stream*: a
+resident service answering thousands of tasks needs one place that owns
+the engine, the persistent store, the strategy override and the memo
+limits — and that can report aggregated statistics over its lifetime.
+
+:class:`SolverSession` is that place.  One session owns:
+
+* a :class:`~repro.hom.engine.HomEngine` (created from the session's
+  configuration, or adopted from the caller);
+* an optional persistent store — either an object implementing the
+  engine's duck-typed store protocol, or a path to an SQLite store the
+  session opens (and then closes) itself;
+* the counting ``strategy`` override and the memo bounds;
+* session-level counters (tasks evaluated, errors) that the batch
+  runner and the request service feed.
+
+Every decision-procedure entry point accepts ``session=``; passing the
+same session across ``decide → witness → refute`` reuses every compiled
+target and memoized count, and two sessions never share state.  The
+legacy ``default_engine()`` singleton survives as a thin shim over the
+module-level *default session* (:func:`default_session`), so existing
+callers keep their behaviour while new code scopes its state
+explicitly::
+
+    with SolverSession(store_path="homs.sqlite") as session:
+        result = decide_bag_determinacy(views, query, session=session)
+        if not result.determined:
+            pair = result.witness()        # reuses the deciding engine
+        print(session.stats()["engine"]["hits"])
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import ReproError
+from repro.hom.engine import STRATEGIES, HomEngine
+
+
+class SolverSession:
+    """Explicit ownership of engine, store, strategy and statistics.
+
+    Parameters
+    ----------
+    engine:
+        Adopt an existing engine instead of building one.  The session
+        then *borrows* the engine: ``close()`` flushes but never closes
+        a store the caller attached.  Mutually exclusive with the
+        engine-configuration knobs below.
+    store:
+        A store object implementing the engine's duck-typed protocol
+        (``lookup``/``record``; see :class:`repro.hom.engine.HomEngine`).
+        Borrowed — the caller closes it.
+    store_path:
+        Path to an SQLite hom store
+        (:class:`repro.batch.cache.SQLiteHomStore`).  Owned — the
+        session opens it lazily here and closes it in :meth:`close`.
+    strategy:
+        Counting-backend override, ``"auto"``/``"backtrack"``/``"dp"``.
+    max_counts / max_targets:
+        Memo bounds forwarded to the engine.
+    preload:
+        With ``store_path`` (or ``store``): seed up to this many stored
+        counts into the fresh engine's memo (warm start).
+    """
+
+    __slots__ = ("engine", "_store", "_owns_engine", "_owns_store",
+                 "tasks_evaluated", "task_errors", "_closed")
+
+    def __init__(self, *, engine: Optional[HomEngine] = None,
+                 store=None, store_path: Optional[str] = None,
+                 strategy: str = "auto",
+                 max_counts: int = 16384, max_targets: int = 512,
+                 preload: int = 0):
+        if store is not None and store_path is not None:
+            raise ReproError(
+                "SolverSession takes either a store object or a "
+                "store_path, not both")
+        if strategy not in STRATEGIES:
+            raise ReproError(
+                f"unknown counting strategy {strategy!r}; "
+                f"expected one of {STRATEGIES}")
+        self._owns_store = False
+        if store_path is not None:
+            from repro.batch.cache import SQLiteHomStore
+
+            store = SQLiteHomStore(store_path)
+            self._owns_store = True
+        self._store = store
+        if engine is not None:
+            # Adopted engine: its configuration wins; wiring a second
+            # store or strategy under the caller's feet would be a
+            # silent behaviour change, so it is refused.
+            if store is not None or strategy != "auto":
+                raise ReproError(
+                    "cannot adopt an existing engine and also configure "
+                    "store/strategy; configure the engine itself")
+            self.engine = engine
+            self._owns_engine = False
+            self._store = engine.store
+        else:
+            self.engine = HomEngine(max_counts=max_counts,
+                                    max_targets=max_targets,
+                                    store=store, strategy=strategy)
+            self._owns_engine = True
+            if store is not None and preload > 0:
+                seeder = getattr(store, "preload", None)
+                if seeder is not None:
+                    seeder(self.engine, limit=preload)
+        self.tasks_evaluated = 0
+        self.task_errors = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Counting facade (the operations consumers actually perform)
+    # ------------------------------------------------------------------
+    def count(self, source, target) -> int:
+        """``|hom(source, target)|`` through this session's engine."""
+        return self.engine.count(source, target)
+
+    def exists(self, source, target) -> bool:
+        """Chandra–Merlin existence probe through this session's engine."""
+        return self.engine.exists(source, target)
+
+    @property
+    def store(self):
+        return self.engine.store
+
+    @property
+    def strategy(self) -> str:
+        return self.engine.strategy
+
+    # ------------------------------------------------------------------
+    # Request accounting (fed by the batch runner and the service)
+    # ------------------------------------------------------------------
+    def record_task(self, ok: bool = True) -> None:
+        """Count one evaluated request against this session."""
+        self.tasks_evaluated += 1
+        if not ok:
+            self.task_errors += 1
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Aggregated session statistics: engine memo counters, store
+        counters when a store is attached, and request accounting."""
+        report: Dict[str, object] = {
+            "engine": self.engine.stats(),
+            "tasks_evaluated": self.tasks_evaluated,
+            "task_errors": self.task_errors,
+            "strategy": self.engine.strategy,
+        }
+        store = self.engine.store
+        if store is not None:
+            store_stats = getattr(store, "stats", None)
+            report["store"] = store_stats() if store_stats else {}
+        return report
+
+    def flush(self) -> None:
+        """Flush buffered writes of the attached store, if any."""
+        self.engine.flush_store()
+
+    def clear(self) -> None:
+        """Drop the engine's in-memory caches (store untouched)."""
+        self.engine.clear()
+
+    def close(self) -> None:
+        """Flush, and close the store when this session opened it.
+
+        Idempotent; adopted engines and borrowed stores are left as the
+        caller configured them (only buffered writes are flushed).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.flush()
+        if self._owns_store and self._store is not None:
+            self._store.close()
+            if self._owns_engine:
+                self.engine.detach_store()
+
+    def __enter__(self) -> "SolverSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"SolverSession(engine={self.engine!r}, "
+                f"tasks={self.tasks_evaluated}, "
+                f"owns_engine={self._owns_engine})")
+
+
+# ----------------------------------------------------------------------
+# The module-level default session (compatibility surface)
+# ----------------------------------------------------------------------
+_DEFAULT_SESSION: Optional[SolverSession] = None
+
+
+def default_session() -> SolverSession:
+    """The process-wide shared session (LRU-bounded, safe to keep).
+
+    :func:`repro.hom.engine.default_engine` is a shim over this — the
+    two always agree on which engine is "the default".
+    """
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = SolverSession()
+    return _DEFAULT_SESSION
+
+
+def set_default_session(session: Optional[SolverSession]
+                        ) -> Optional[SolverSession]:
+    """Swap the process-wide default session; returns the previous one.
+
+    ``None`` resets to "build a fresh default on next use".  The
+    previous session is *not* closed — the caller decides its fate
+    (tests swap a scoped session in and restore the old one after).
+    """
+    global _DEFAULT_SESSION
+    previous = _DEFAULT_SESSION
+    _DEFAULT_SESSION = session
+    return previous
+
+
+def resolve_session(session: Optional[SolverSession] = None,
+                    engine: Optional[HomEngine] = None) -> SolverSession:
+    """The session an API call should run under.
+
+    Precedence: an explicit ``session`` wins; a bare ``engine`` (the
+    pre-session calling convention) is adopted into a lightweight
+    borrowing session; otherwise the process default.  Passing both a
+    session and a *different* engine is a contradiction and raises.
+    """
+    if session is not None:
+        if engine is not None and engine is not session.engine:
+            raise ReproError(
+                "both session= and engine= were given and disagree; "
+                "pass one of them")
+        return session
+    if engine is not None:
+        return SolverSession(engine=engine)
+    return default_session()

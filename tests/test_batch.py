@@ -83,7 +83,7 @@ class TestTaskCodec:
 # ----------------------------------------------------------------------
 class TestScenarios:
     @pytest.mark.parametrize("kind", ["cq", "cq-witness", "containment",
-                                      "path", "ucq", "dense", "mixed"])
+                                      "path", "ucq", "dense", "hom", "mixed"])
     def test_deterministic_and_decodable(self, kind):
         first = generate_scenario(kind, 12, seed=5)
         second = generate_scenario(kind, 12, seed=5)

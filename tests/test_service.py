@@ -1,0 +1,321 @@
+"""The resident request service: protocol, parity, isolation, shutdown.
+
+The headline contract (ISSUE 4 acceptance): a warm ``repro serve``
+session answers a 200-task mixed JSONL stream **byte-identical** to
+``repro batch run --workers 1``, with cross-request memo hits > 0.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.batch.runner import iter_results
+from repro.batch.scenarios import generate_scenario
+from repro.batch.tasks import (
+    BatchCodecError,
+    canonical_json,
+    decode_task,
+    make_hom_count_task,
+)
+from repro.service import SolverService, serve_socket, serve_stdio
+from repro.session import SolverSession
+from repro.structures.generators import clique_structure, path_structure
+
+
+def _stream(kind: str, count: int, seed: int):
+    return [canonical_json(record)
+            for record in generate_scenario(kind, count, seed=seed)]
+
+
+def _serve_lines(service: SolverService, lines) -> list:
+    sink = io.StringIO()
+    serve_stdio(service, source=iter(line + "\n" for line in lines),
+                sink=sink)
+    return sink.getvalue().splitlines()
+
+
+# ----------------------------------------------------------------------
+# Batch parity (the acceptance criterion)
+# ----------------------------------------------------------------------
+class TestBatchParity:
+    def test_200_task_mixed_stream_matches_batch_run(self):
+        lines = _stream("mixed", 200, seed=11)
+        batch = list(iter_results(lines, workers=1))
+        with SolverService(workers=2) as service:
+            served = _serve_lines(service, lines)
+            report = service.stats()
+        assert served == batch  # byte-for-byte
+
+        engine = report["session"]["engine"]
+        # Cross-request reuse is the point of residency: the warm memo
+        # answered some probes without recomputation.
+        assert engine["hits"] + engine["exists_hits"] > 0
+        assert report["service"]["requests"] == 200
+        assert report["service"]["errors"] == 0
+        assert report["session"]["tasks_evaluated"] == 200
+
+    def test_hom_scenario_matches_batch_run(self):
+        lines = _stream("hom", 16, seed=5)
+        batch = list(iter_results(lines, workers=1))
+        with SolverService() as service:
+            assert _serve_lines(service, lines) == batch
+
+    def test_iter_results_accepts_resident_session(self):
+        """The service's inline-evaluation path: iter_results under a
+        caller-owned session keeps the memo warm across streams."""
+        lines = _stream("hom", 8, seed=9)
+        session = SolverSession()
+        first = list(iter_results(lines, workers=1, session=session))
+        warm_before = session.stats()["engine"]["hits"]
+        second = list(iter_results(lines, workers=1, session=session))
+        assert first == second
+        assert session.stats()["engine"]["hits"] > warm_before
+        assert session.tasks_evaluated == 16
+
+    def test_iter_results_rejects_session_with_workers(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="workers"):
+            list(iter_results([], workers=2, session=SolverSession()))
+
+    def test_iter_results_rejects_session_plus_cache_path(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="not both"):
+            list(iter_results([], workers=1, session=SolverSession(),
+                              cache_path="x.sqlite"))
+
+
+# ----------------------------------------------------------------------
+# The hom-count request kind
+# ----------------------------------------------------------------------
+class TestHomCountKind:
+    def test_round_trip_and_answer(self):
+        source = path_structure(["R", "R"])
+        target = clique_structure(4)
+        record = make_hom_count_task("h1", source, target)
+        task = decode_task(canonical_json(record))
+        assert task.kind == "hom-count"
+        assert task.source == source
+        assert task.target == target
+
+        session = SolverSession()
+        with SolverService(session=session) as service:
+            [line] = _serve_lines(service, [canonical_json(record)])
+        payload = json.loads(line)
+        assert payload["ok"] is True
+        assert int(payload["count"]) == session.count(source, target)
+
+    def test_bad_payload_rejected(self):
+        with pytest.raises(BatchCodecError, match="source"):
+            decode_task('{"id": "x", "kind": "hom-count", '
+                        '"source": 3, "target": 4}')
+
+    def test_missing_target_rejected(self):
+        source = path_structure(["R"])
+        record = make_hom_count_task("x", source, source)
+        del record["target"]
+        with pytest.raises(BatchCodecError, match="target"):
+            decode_task(record)
+
+
+# ----------------------------------------------------------------------
+# Control protocol
+# ----------------------------------------------------------------------
+class TestControlOps:
+    def test_ping(self):
+        with SolverService() as service:
+            assert json.loads(service.handle_line('{"op": "ping"}')) == \
+                {"ok": True, "op": "ping"}
+
+    def test_stats_reports_service_and_session(self):
+        lines = _stream("hom", 4, seed=2)
+        with SolverService() as service:
+            _serve_lines(service, lines)
+            payload = json.loads(service.handle_line('{"op": "stats"}'))
+        assert payload["ok"] is True
+        stats = payload["stats"]
+        assert stats["service"]["requests"] == 4
+        assert stats["service"]["kinds"] == {"hom-count": 4}
+        assert "hits" in stats["session"]["engine"]
+        assert stats["service"]["mean_latency_ms"] >= 0.0
+
+    def test_unknown_op_is_an_error_response(self):
+        with SolverService() as service:
+            payload = json.loads(service.handle_line('{"op": "dance"}'))
+        assert payload["ok"] is False
+        assert "dance" in payload["error"]
+
+    def test_shutdown_stops_the_stream(self):
+        lines = _stream("hom", 2, seed=3)
+        source = [lines[0], '{"op": "shutdown"}', lines[1]]
+        with SolverService() as service:
+            responses = _serve_lines(service, source)
+            assert service.shutting_down
+        assert len(responses) == 2  # task result + shutdown ack, no more
+        assert json.loads(responses[0])["kind"] == "hom-count"
+        assert json.loads(responses[1]) == {"ok": True, "op": "shutdown"}
+
+    def test_control_lines_are_not_tasks(self):
+        with SolverService() as service:
+            assert service.control_response("not json at all") is None
+            assert service.control_response('{"kind": "hom-count"}') is None
+            assert service.control_response('{"op": "ping"}') is not None
+
+
+# ----------------------------------------------------------------------
+# Error isolation
+# ----------------------------------------------------------------------
+class TestErrorIsolation:
+    def test_poison_lines_do_not_kill_the_stream(self):
+        lines = _stream("hom", 2, seed=7)
+        source = ["garbage{{{",
+                  '{"id": "u1", "kind": "unknown-kind"}',
+                  lines[0],
+                  '{"id": "", "kind": "hom-count"}',
+                  lines[1]]
+        with SolverService() as service:
+            responses = _serve_lines(service, source)
+            report = service.stats()
+        assert len(responses) == 5
+        verdicts = [json.loads(r)["ok"] for r in responses]
+        assert verdicts == [False, False, True, False, True]
+        assert report["service"]["errors"] == 3
+        assert report["service"]["requests"] == 5
+
+    def test_unexpected_exception_becomes_internal_error(self, monkeypatch):
+        import repro.service.daemon as daemon
+
+        def boom(line, context):
+            raise ValueError("wired to fail")
+
+        monkeypatch.setattr(daemon, "evaluate_envelope", boom)
+        with SolverService() as service:
+            payload = json.loads(service.evaluate('{"x": 1}'))
+            report = service.stats()
+        assert payload["ok"] is False
+        assert payload["error"].startswith("InternalError")
+        assert report["service"]["errors"] == 1
+        # service and session accounting stay in step on error streams
+        assert report["session"]["tasks_evaluated"] == 1
+        assert report["session"]["task_errors"] == 1
+
+    def test_adopted_session_refuses_reconfiguration(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="adopt"):
+            SolverService(session=SolverSession(), store_path="x.sqlite")
+        with pytest.raises(ReproError, match="adopt"):
+            SolverService(session=SolverSession(), strategy="dp")
+
+    def test_interactive_client_gets_response_before_next_request(self):
+        """Request/response over a live pipe: the answer to request N
+        must be flushed before the client sends request N+1 (the writer
+        thread emits each response as it resolves — no batching until
+        EOF)."""
+        import time
+
+        lines = _stream("hom", 2, seed=21)
+        sink = io.StringIO()
+        got_first = threading.Event()
+
+        def interactive_source():
+            yield lines[0] + "\n"
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if sink.getvalue().count("\n") >= 1:
+                    got_first.set()
+                    break
+                time.sleep(0.005)
+            yield lines[1] + "\n"
+
+        with SolverService(workers=2) as service:
+            serve_stdio(service, source=interactive_source(), sink=sink)
+        assert got_first.is_set()
+        assert len(sink.getvalue().splitlines()) == 2
+
+    def test_ordering_preserved_with_concurrent_workers(self):
+        lines = _stream("mixed", 40, seed=13)
+        expected = list(iter_results(lines, workers=1))
+        with SolverService(workers=4) as service:
+            assert _serve_lines(service, lines) == expected
+
+
+class TestPersistentStore:
+    def test_store_survives_across_service_lifetimes(self, tmp_path):
+        """Pool worker threads share the session's SQLite handle (the
+        engine lock serializes access); a second daemon over the same
+        store answers the whole stream from the preloaded warm memo."""
+        path = str(tmp_path / "serve.sqlite")
+        lines = _stream("hom", 12, seed=3)
+        with SolverService(workers=4, store_path=path) as first:
+            cold = _serve_lines(first, lines)
+            assert first.stats()["service"]["errors"] == 0
+        with SolverService(workers=4, store_path=path,
+                           preload=2048) as second:
+            warm = _serve_lines(second, lines)
+            report = second.stats()
+        assert warm == cold
+        engine = report["session"]["engine"]
+        assert engine["misses"] == 0  # everything came pre-warmed
+        assert engine["hits"] > 0
+        assert report["session"]["store"]["counts"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Socket front-end
+# ----------------------------------------------------------------------
+class TestSocketMode:
+    def test_tcp_round_trip_and_shutdown(self):
+        service = SolverService(workers=2)
+        ready = threading.Event()
+        bound: list = []
+        thread = threading.Thread(
+            target=serve_socket, args=(service,),
+            kwargs={"port": 0, "ready": ready, "bound": bound}, daemon=True)
+        thread.start()
+        assert ready.wait(10)
+        host, port = bound[0]
+
+        task = canonical_json(make_hom_count_task(
+            "tcp-1", path_structure(["R"]), clique_structure(3)))
+        with socket.create_connection((host, port), timeout=10) as conn:
+            wire = conn.makefile("rw", encoding="utf-8")
+            wire.write(task + "\n")
+            wire.flush()
+            answer = json.loads(wire.readline())
+            assert answer["ok"] is True and answer["count"] == "6"
+            wire.write('{"op": "stats"}\n')
+            wire.flush()
+            stats = json.loads(wire.readline())
+            assert stats["stats"]["service"]["requests"] == 1
+            wire.write('{"op": "shutdown"}\n')
+            wire.flush()
+            assert json.loads(wire.readline())["op"] == "shutdown"
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        service.close()
+
+
+# ----------------------------------------------------------------------
+# CLI front-end
+# ----------------------------------------------------------------------
+class TestServeCli:
+    def test_stdio_serve_command(self, monkeypatch, capsys):
+        from repro.cli import main
+
+        lines = _stream("hom", 3, seed=1) + ['{"op": "shutdown"}']
+        monkeypatch.setattr("sys.stdin",
+                            io.StringIO("\n".join(lines) + "\n"))
+        assert main(["serve", "--workers", "2"]) == 0
+        captured = capsys.readouterr()
+        out_lines = captured.out.splitlines()
+        assert len(out_lines) == 4
+        assert all(json.loads(line) for line in out_lines)
+        assert "repro serve:" in captured.err
+        assert "3 requests" in captured.err
