@@ -37,6 +37,8 @@ ABLATION_KEYS = frozenset({
     "gaussian_fraction_s",
     "backtracking_engine_s",
     "cold_dispatch_per_task_s",
+    "pairwise_iso_dedup_s",
+    "large_target_direct_s",
 })
 
 

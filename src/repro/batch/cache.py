@@ -8,25 +8,27 @@ layer: an SQLite-backed store that the engine consults on in-memory
 misses (see ``HomEngine.store``), so each answer is computed **once per
 machine**, not once per process.
 
-Layout
-------
+Layout (schema version 2, ``PRAGMA user_version``)
+--------------------------------------------------
 ``targets``     ``hash -> canonical JSON`` of every distinct counting
                 target (stored once, referenced by hash).
 ``hom_counts``  exact counts; ``hom_exists`` existence verdicts.  Both
                 are keyed by
 
-* ``inv``    — SHA-256 of the source's
-  :func:`~repro.structures.isomorphism.invariant_key` (an iso-invariant,
-  so isomorphic sources land in the same bucket);
-* ``target`` — the target's hash;
-* ``source`` — the source's canonical JSON itself.
+* ``src``    — the source's
+  :func:`~repro.structures.canonical.canonical_key` byte string: a
+  *complete* isomorphism invariant, identical in every process for
+  every member of the iso class;
+* ``target`` — the target's hash.
 
-A lookup fetches the (tiny) ``(inv, target)`` bucket and identifies the
-source against each stored representative, first by JSON equality, then
-up to isomorphism — so answers are shared across processes even when
-different processes canonicalized the iso class differently.  (Hom
-counts and hom existence into a fixed target are both invariant under
-source isomorphism, which is what makes the shared mechanism sound.)
+A lookup is one primary-key probe.  The pre-canonical format keyed
+rows by a WL-invariant digest and scanned the bucket with pairwise
+``find_isomorphism`` calls; the canonical key removed both the scan
+and the need to store source payloads at all — which also means
+sources whose constants fall outside the JSON wire format persist fine
+now (only the *target* still needs a JSON form).  Old-format store
+files are detected through ``user_version`` and refused with
+:class:`StoreFormatError` instead of silently missing every key.
 
 Counts are stored as decimal text: hom counts routinely exceed 64-bit
 range and SQLite integers would silently lose them.
@@ -34,9 +36,7 @@ range and SQLite integers would silently lose them.
 Concurrency: writes are buffered and flushed with ``INSERT OR IGNORE``
 under WAL journaling, so concurrent batch workers sharing one store
 file never corrupt it and at worst recompute an answer another worker
-was about to publish.  Structures whose constants fall outside the JSON
-wire format are simply not persisted (the in-memory memo still serves
-them).
+was about to publish.
 """
 
 from __future__ import annotations
@@ -47,7 +47,8 @@ import os
 import sqlite3
 from typing import Dict, List, Optional, Tuple
 
-from repro.structures.isomorphism import find_isomorphism, invariant_key
+from repro.errors import ReproError
+from repro.structures.canonical import canonical_key
 from repro.structures.serialization import (
     SerializationError,
     structure_from_dict,
@@ -55,6 +56,8 @@ from repro.structures.serialization import (
 )
 from repro.structures.structure import Structure
 from repro.batch.tasks import canonical_json
+
+SCHEMA_VERSION = 2
 
 _COUNTS = "hom_counts"
 _EXISTS = "hom_exists"
@@ -68,23 +71,25 @@ _SCHEMA = (
     """,
     f"""
     CREATE TABLE IF NOT EXISTS {_COUNTS} (
-        inv    TEXT NOT NULL,
+        src    BLOB NOT NULL,
         target TEXT NOT NULL,
-        source TEXT NOT NULL,
         value  TEXT NOT NULL,
-        PRIMARY KEY (inv, target, source)
+        PRIMARY KEY (src, target)
     )
     """,
     f"""
     CREATE TABLE IF NOT EXISTS {_EXISTS} (
-        inv    TEXT NOT NULL,
+        src    BLOB NOT NULL,
         target TEXT NOT NULL,
-        source TEXT NOT NULL,
         value  TEXT NOT NULL,
-        PRIMARY KEY (inv, target, source)
+        PRIMARY KEY (src, target)
     )
     """,
 )
+
+
+class StoreFormatError(ReproError):
+    """A store file whose on-disk schema this version cannot serve."""
 
 
 def _digest(text: str) -> str:
@@ -99,9 +104,11 @@ class SQLiteHomStore:
     ``lookup_exists``/``record_exists`` for Chandra–Merlin probes,
     plus ``flush()``/``close()``.
 
-    The connection is opened lazily *per process* (keyed on ``os.getpid``)
-    so a store object created before a ``fork`` never shares an SQLite
-    handle with its children — sharing one is undefined behaviour.
+    The schema is validated eagerly at construction (fail fast on
+    old-format files), then the connection is re-opened lazily *per
+    process* (keyed on ``os.getpid``) so a store object created before
+    a ``fork`` never shares an SQLite handle with its children —
+    sharing one is undefined behaviour.
     """
 
     def __init__(self, path: str, flush_every: int = 64):
@@ -110,13 +117,20 @@ class SQLiteHomStore:
         self.lookups = 0
         self.lookup_hits = 0
         self.inserts = 0
-        self._pending: Dict[str, List[Tuple[str, str, str, str]]] = {
+        self._pending: Dict[str, List[Tuple[bytes, str, str]]] = {
             _COUNTS: [], _EXISTS: [],
         }
         self._pending_targets: List[Tuple[str, str]] = []
         self._json_cache: Dict[Structure, Optional[str]] = {}
         self._connection: Optional[sqlite3.Connection] = None
         self._owner_pid: Optional[int] = None
+        # Migration guard runs before any lookup (fail fast on legacy
+        # files) — on a short-lived connection, so a store constructed
+        # before a fork still holds no SQLite handle (children must
+        # never inherit one; see _connect).
+        self._connect().close()
+        self._connection = None
+        self._owner_pid = None
 
     # ------------------------------------------------------------------
     # Connection lifecycle
@@ -133,14 +147,48 @@ class SQLiteHomStore:
                                          check_same_thread=False)
             connection.execute("PRAGMA journal_mode=WAL")
             connection.execute("PRAGMA synchronous=NORMAL")
+            self._check_version(connection)
             with connection:
                 for statement in _SCHEMA:
                     connection.execute(statement)
+                connection.execute(f"PRAGMA user_version={SCHEMA_VERSION}")
             self._connection = connection
             self._owner_pid = pid
             self._pending = {_COUNTS: [], _EXISTS: []}
             self._pending_targets = []
         return self._connection
+
+    @staticmethod
+    def _check_version(connection: sqlite3.Connection) -> None:
+        """Refuse store files this schema version cannot serve.
+
+        ``user_version`` 0 is ambiguous: both a brand-new file and a
+        pre-versioning (PR 2 era) store report it, so the presence of
+        the old tables is what distinguishes a legacy store — its rows
+        are keyed by WL-digest buckets that canonical-key lookups would
+        silently never hit.
+        """
+        version = connection.execute("PRAGMA user_version").fetchone()[0]
+        if version == SCHEMA_VERSION:
+            return
+        if version == 0:
+            legacy = connection.execute(
+                "SELECT name FROM pragma_table_info(?) WHERE name='inv'",
+                (_COUNTS,),
+            ).fetchone()
+            if legacy is None:
+                return  # fresh (or at least inv-free) file: adopt it
+            connection.close()
+            raise StoreFormatError(
+                "hom store uses the pre-canonical-key layout (rows keyed "
+                "by invariant digests); its keys cannot be served by this "
+                "version — delete the file and let the store rebuild, or "
+                "re-run the batch that produced it")
+        connection.close()
+        raise StoreFormatError(
+            f"hom store has schema version {version}, this build expects "
+            f"{SCHEMA_VERSION}; refusing to read keys that would silently "
+            f"never match")
 
     def close(self) -> None:
         self.flush()
@@ -194,41 +242,30 @@ class SQLiteHomStore:
 
     def _lookup(self, table: str, source: Structure,
                 target: Structure) -> Optional[str]:
-        source_json = self._structure_json(source)
         target_json = self._structure_json(target)
-        if source_json is None or target_json is None:
+        if target_json is None:
             return None
         self.lookups += 1
-        inv = _digest(repr(invariant_key(source)))
-        target_hash = _digest(target_json)
         try:
-            rows = self._connect().execute(
-                f"SELECT source, value FROM {table} WHERE inv=? AND target=?",
-                (inv, target_hash),
-            ).fetchall()
+            row = self._connect().execute(
+                f"SELECT value FROM {table} WHERE src=? AND target=?",
+                (canonical_key(source), _digest(target_json)),
+            ).fetchone()
         except sqlite3.OperationalError:
             return None
-        for stored_json, value in rows:
-            if stored_json == source_json:
-                self.lookup_hits += 1
-                return value
-        for stored_json, value in rows:
-            stored = self._decode(stored_json)
-            if stored is not None and find_isomorphism(source, stored) is not None:
-                self.lookup_hits += 1
-                return value
-        return None
+        if row is None:
+            return None
+        self.lookup_hits += 1
+        return row[0]
 
     def _record(self, table: str, source: Structure, target: Structure,
                 value: str) -> None:
-        source_json = self._structure_json(source)
         target_json = self._structure_json(target)
-        if source_json is None or target_json is None:
+        if target_json is None:
             return
-        inv = _digest(repr(invariant_key(source)))
         target_hash = _digest(target_json)
         self._pending_targets.append((target_hash, target_json))
-        self._pending[table].append((inv, target_hash, source_json, value))
+        self._pending[table].append((canonical_key(source), target_hash, value))
         if sum(len(rows) for rows in self._pending.values()) >= self.flush_every:
             self.flush()
 
@@ -248,7 +285,7 @@ class SQLiteHomStore:
                 for table, rows in pending.items():
                     if rows:
                         connection.executemany(
-                            f"INSERT OR IGNORE INTO {table} VALUES (?, ?, ?, ?)",
+                            f"INSERT OR IGNORE INTO {table} VALUES (?, ?, ?)",
                             rows,
                         )
             self.inserts += sum(len(rows) for rows in pending.values())
@@ -264,16 +301,16 @@ class SQLiteHomStore:
     def preload(self, engine, limit: int = 2048) -> int:
         """Seed an engine's in-memory memo from the store.
 
-        Decodes up to ``limit`` stored ``(component, target, count)``
-        rows and pushes them through
-        :meth:`~repro.hom.engine.HomEngine.seed_count`, so a fresh batch
-        worker starts with the machine's accumulated counts already in
-        memory.  Returns the number of counts seeded; undecodable rows
-        are skipped.
+        Reads up to ``limit`` stored ``(src_key, target, count)`` rows
+        and pushes them through
+        :meth:`~repro.hom.engine.HomEngine.seed_count_key` — the
+        canonical key *is* the memo key, so no source structure is
+        decoded (or stored) at all.  Returns the number of counts
+        seeded; rows whose target no longer decodes are skipped.
         """
         try:
             rows = self._connect().execute(
-                f"SELECT h.source, t.json, h.value"
+                f"SELECT h.src, t.json, h.value"
                 f" FROM {_COUNTS} h JOIN targets t ON t.hash = h.target"
                 f" LIMIT ?",
                 (limit,),
@@ -282,16 +319,13 @@ class SQLiteHomStore:
             return 0
         targets: Dict[str, Optional[Structure]] = {}
         seeded = 0
-        for source_json, target_json, value in rows:
-            component = self._decode(source_json)
-            if component is None:
-                continue
+        for src_key, target_json, value in rows:
             if target_json not in targets:
                 targets[target_json] = self._decode(target_json)
             leaf = targets[target_json]
             if leaf is None:
                 continue
-            engine.seed_count(component, leaf, int(value))
+            engine.seed_count_key(bytes(src_key), leaf, int(value))
             seeded += 1
         return seeded
 

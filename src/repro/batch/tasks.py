@@ -22,6 +22,15 @@ construction is seeded from :func:`task_seed`, a content hash of the
 task, so results are reproducible across runs, worker counts and
 machines.
 
+Structure payloads (``hom-count`` sources/targets, witness pairs in
+result records) use the interned wire format of
+:mod:`repro.structures.serialization`: the constant table is shipped
+once per structure and fact terms are indices into it, so a task whose
+source repeats bulky tagged-tuple constants across many facts pays for
+each constant once per line, not once per occurrence.  Decoding still
+accepts the pre-interning inline-constant form, so scenario files
+written by older builds keep loading.
+
 Everything round-trips: ``decode_task(encode_task(t))`` recovers the
 query objects exactly, and ``encode_task``/``encode_record`` emit
 *canonical* JSON (sorted keys, minimal separators) so batch outputs can

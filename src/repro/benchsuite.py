@@ -12,6 +12,11 @@ E-series benchmarks in ``benchmarks/``:
   the decision procedure actually exercises (memo hits);
 * ``hom_isomorphic_components`` — canonical-component memoization over
   sources assembled from renamed copies of a small component pool;
+* ``hom_interning``          — E18: the interned core in isolation —
+  canonical-key dedup of mass-produced isomorphic components vs the
+  seed-era pairwise ``find_isomorphism`` bucket scan, and cold
+  large-target counting through the interned engine vs the naive
+  constant-based counter;
 * ``decision``               — E4: the full Theorem 3 pipeline on a
   synthetic 16-view catalog;
 * ``hom_treewidth``          — E16: tree-decomposition DP vs
@@ -191,6 +196,82 @@ def run_benchmarks(repeat: int = 3) -> Dict[str, object]:
         "exact_key_dict_s": iso_dict,
         "canonical_engine_s": iso_engine,
         "speedup": iso_dict / iso_engine if iso_engine else float("inf"),
+    }
+
+    # -------------------------------------------------- hom_interning
+    # E18: the interned-core layers in isolation.  (a) Identifying the
+    # iso classes of mass-produced isomorphic components by canonical
+    # byte key vs the seed-era invariant-bucket + pairwise
+    # find_isomorphism scan.  The corpus is the bucket-degenerate
+    # shape the pairwise design is weakest on: disjoint unions of
+    # directed cycles partitioning 14 vertices are 1-WL-uniform, so
+    # *every* copy of *every* class lands in one invariant bucket and
+    # each probe scans failing iso-tests before its match, while the
+    # canonical labeling factors per component and stays near-linear.
+    # (b) A cold large-target count through the interned engine vs the
+    # naive constant-based counter.  Caches are cleared inside each
+    # timed run so both paths are measured cold.
+    from repro.structures.canonical import canonical_key
+    from repro.structures.interned import interned
+    from repro.structures.isomorphism import (
+        dedupe_up_to_isomorphism,
+        invariant_key,
+    )
+
+    def cycle_union(lengths, tag) -> Structure:
+        union = Structure()
+        for position, length in enumerate(lengths):
+            union = union.union(
+                cycle_structure(length).tagged((tag, position)))
+        return union
+
+    partitions = [(14,), (3, 11), (4, 10), (5, 9), (6, 8), (7, 7),
+                  (3, 3, 8), (3, 4, 7), (4, 4, 6), (4, 5, 5), (3, 5, 6),
+                  (3, 3, 4, 4)]
+    corpus: List[Structure] = [
+        cycle_union(partitions[i % len(partitions)], i) for i in range(36)]
+    classes = len(partitions)
+    assert len({invariant_key(s) for s in corpus}) == 1  # one bucket
+    assert len(dedupe_up_to_isomorphism(corpus)) == classes
+
+    def dedup_canonical():
+        interned.cache_clear()
+        canonical_key.cache_clear()
+        keys = {canonical_key(s) for s in corpus}
+        assert len(keys) == classes
+
+    def dedup_pairwise():
+        interned.cache_clear()
+        invariant_key.cache_clear()
+        assert len(dedupe_up_to_isomorphism(corpus)) == classes
+
+    canonical_dedup = _timeit(dedup_canonical, repeat)
+    pairwise_dedup = _timeit(dedup_pairwise, repeat)
+
+    path4 = path_structure(["R", "R", "R", "R"])
+    big_target = clique_structure(10)
+    truth_large = 10 * 9 ** 4
+    assert count_homs(path4, big_target) == truth_large
+
+    def interned_large():
+        session = bench_session()
+        for _ in range(3):
+            session.clear()
+            assert session.count(path4, big_target) == truth_large
+
+    large_interned = _timeit(interned_large, repeat)
+    large_direct = _timeit(
+        lambda: [count_homomorphisms_direct(path4, big_target)
+                 for _ in range(3)], repeat)
+    workloads["hom_interning"] = {
+        "pairwise_iso_dedup_s": pairwise_dedup,
+        "canonical_dedup_s": canonical_dedup,
+        "speedup_dedup": pairwise_dedup / canonical_dedup
+        if canonical_dedup else float("inf"),
+        "large_target_direct_s": large_direct,
+        "large_target_interned_s": large_interned,
+        "speedup_large_target": large_direct / large_interned
+        if large_interned else float("inf"),
     }
 
     # -------------------------------------------------- decision

@@ -3,14 +3,18 @@
 Counting architecture (DESIGN.md §6.5)
 --------------------------------------
 Hot-path counting runs on the **compiled engine** in
-:mod:`repro.hom.engine`: a :class:`~repro.hom.engine.TargetIndex`
-compiles each counting target once (positional candidate sets,
-per-relation tuple sets, binary projection maps for forward checking),
-a :class:`~repro.hom.engine.SourcePlan` compiles each source once
+:mod:`repro.hom.engine`, over the interned integer form of
+:mod:`repro.structures.interned`: a
+:class:`~repro.hom.engine.TargetIndex` compiles each counting target
+once (positional candidate sets, per-relation int-row sets, binary
+projection maps for forward checking), a
+:class:`~repro.hom.engine.SourcePlan` compiles each source once
 (variable order, incident-fact lists, and a lazy tree-decomposition DP
 schedule), and a :class:`~repro.hom.engine.HomEngine` memoizes counts
-in an LRU cache keyed by canonical representatives of connected
-components — so isomorphic components share one count.  Two counting
+in an LRU cache keyed by the canonical byte key
+(:func:`~repro.structures.canonical.canonical_key`) of each connected
+component — so isomorphic components share one count through a single
+dict probe (DESIGN.md §11).  Two counting
 backends sit behind the engine (DESIGN.md §9): worst-case-exponential
 backtracking with forward checking, and bag-table dynamic programming
 over a nice tree decomposition (:mod:`repro.hom.decompose` /

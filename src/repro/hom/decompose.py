@@ -35,6 +35,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import StructureError
+from repro.structures.interned import InternedStructure
 from repro.structures.structure import Structure
 
 Constant = Hashable
@@ -45,22 +46,38 @@ HEURISTICS = ("min-fill", "min-degree")
 LEAF, INTRODUCE, FORGET, JOIN = 0, 1, 2, 3
 
 
+def _adjacency_from_rows(rows) -> Dict[Constant, Set[Constant]]:
+    """Primal-graph adjacency from an iterable of fact term rows
+    (every row's term set becomes a clique)."""
+    adjacency: Dict[Constant, Set[Constant]] = {}
+    for row in rows:
+        for term in row:
+            adjacency.setdefault(term, set())
+        distinct = set(row)
+        for a in distinct:
+            for b in distinct:
+                if a != b:
+                    adjacency[a].add(b)
+    return adjacency
+
+
 def gaifman_graph(structure: Structure) -> Dict[Constant, Set[Constant]]:
     """The primal (Gaifman) graph over the *active* domain.
 
     Isolated domain elements are excluded on purpose: the counting
     layers handle them by a ``|dom(B)|`` power, never by search.
     """
-    adjacency: Dict[Constant, Set[Constant]] = {}
-    for fact in structure.facts():
-        for term in fact.terms:
-            adjacency.setdefault(term, set())
-        distinct = set(fact.terms)
-        for a in distinct:
-            for b in distinct:
-                if a != b:
-                    adjacency[a].add(b)
-    return adjacency
+    return _adjacency_from_rows(fact.terms for fact in structure.facts())
+
+
+def gaifman_graph_interned(inter: InternedStructure) -> Dict[int, Set[int]]:
+    """The primal graph over the interned *active* domain (dense ints).
+
+    The engine's DP path decomposes this graph instead of the
+    constant-vertex one: the elimination loop is set-algebra over
+    whatever the vertices hash as, and ints hash for free.
+    """
+    return _adjacency_from_rows(row for _, row in inter.iter_facts())
 
 
 class TreeDecomposition:
@@ -90,6 +107,15 @@ class TreeDecomposition:
         * for each constant, the bags containing it induce a connected
           subtree (the running-intersection property).
         """
+        self._validate(structure.active_domain(),
+                       [frozenset(fact.terms) for fact in structure.facts()])
+
+    def validate_interned(self, inter: InternedStructure) -> None:
+        """:meth:`validate` against an interned structure (int bags)."""
+        self._validate(frozenset(range(inter.n_active)),
+                       [frozenset(row) for _, row in inter.iter_facts()])
+
+    def _validate(self, active, term_sets) -> None:
         n = len(self.bags)
         for a, b in self.edges:
             if not (0 <= a < n and 0 <= b < n):
@@ -100,16 +126,15 @@ class TreeDecomposition:
         covered: Set[Constant] = set()
         for bag in self.bags:
             covered |= bag
-        active = structure.active_domain()
         missing = active - covered
         if missing:
             raise StructureError(
                 f"constants in no bag: {sorted(map(repr, missing))}")
 
-        for fact in structure.facts():
-            terms = frozenset(fact.terms)
+        for terms in term_sets:
             if terms and not any(terms <= bag for bag in self.bags):
-                raise StructureError(f"fact {fact} covered by no bag")
+                raise StructureError(
+                    f"fact over {sorted(map(repr, terms))} covered by no bag")
 
         # Running intersection: bags holding v must form one tree
         # component of the subgraph induced on them.
@@ -189,7 +214,23 @@ def decompose(structure: Structure,
     tree (harmless: the chained bags share no constants).  Structures
     with no facts (or only nullary facts) get one empty bag.
     """
-    adjacency = gaifman_graph(structure)
+    return decompose_adjacency(gaifman_graph(structure), heuristic)
+
+
+def decompose_interned(inter: InternedStructure,
+                       heuristic: str = "min-fill") -> TreeDecomposition:
+    """:func:`decompose` over the interned Gaifman graph (int bags).
+
+    This is what the engine's DP plans are built on: the bags, the
+    nice-node orders and therefore every DP table key downstream are
+    tuples of dense ints.
+    """
+    return decompose_adjacency(gaifman_graph_interned(inter), heuristic)
+
+
+def decompose_adjacency(adjacency: Dict[Constant, Set[Constant]],
+                        heuristic: str = "min-fill") -> TreeDecomposition:
+    """The greedy elimination-order decomposition of a primal graph."""
     if not adjacency:
         return TreeDecomposition([frozenset()], [])
     order = _elimination_order(adjacency, heuristic)

@@ -48,7 +48,7 @@ from repro.hom.decompose import (
     JOIN,
     LEAF,
     NiceDecomposition,
-    decompose,
+    decompose_interned,
     make_nice,
 )
 
@@ -90,14 +90,16 @@ def build_dp_plan(source: Structure, plan,
     """Compile the DP schedule for ``source``.
 
     ``plan`` is the source's :class:`~repro.hom.engine.SourcePlan`
-    (duck-typed: only ``plan.facts`` is read).  The decomposition is
+    (duck-typed: only ``plan.inter`` and ``plan.facts`` are read).
+    The decomposition runs over the *interned* Gaifman graph — bags,
+    nice-node orders and DP table keys are all dense ints — and is
     validated before use (once per source, cheap next to the DP it
-    enables) and every fact must find an anchor — so a heuristic bug
+    enables); every fact must find an anchor, so a heuristic bug
     raises :class:`~repro.errors.StructureError` instead of silently
     corrupting counts.
     """
-    decomposition = decompose(source, heuristic=heuristic)
-    decomposition.validate(source)
+    decomposition = decompose_interned(plan.inter, heuristic=heuristic)
+    decomposition.validate_interned(plan.inter)
     nice = make_nice(decomposition)
     remaining = list(enumerate(plan.facts))
     checks: List[Tuple[Tuple[str, Tuple[int, ...]], ...]] = []

@@ -7,28 +7,35 @@ rebuilds all target-side indexes on every call and re-enumerates
 isomorphic source components from scratch.  This module separates the
 work into three layers that are each computed **once** and reused:
 
+Both compilations start from the **interned form**
+(:mod:`repro.structures.interned`): constants are replaced by dense
+small integers, so every candidate-set probe, projection-map lookup
+and DP table key below manipulates ints instead of arbitrary tuples
+and strings.
+
 ``TargetIndex``
     Per-target compilation: positional candidate sets
-    (``(relation, position) -> allowed constants``), per-relation tuple
-    sets, and lazily-built binary projection maps
+    (``(relation, position) -> allowed int values``), per-relation
+    int-row sets, and lazily-built binary projection maps
     (``(relation, i, j) -> {value_at_i: values_at_j}``) used for
     forward checking.  Built once per target structure, cached in the
     engine with LRU eviction.
 
 ``SourcePlan``
     Per-source compilation: static variable order (decreasing
-    constraint degree), per-variable incident-fact lists, nullary-fact
-    preconditions, the ``tail_simple`` flag that lets the counter
-    close the last level combinatorially, and a lazily-built
-    tree-decomposition DP schedule (:meth:`SourcePlan.dp_plan`).
-    Cached per source structure.
+    constraint degree) over interned variables, per-variable
+    incident-fact lists, nullary-fact preconditions, the
+    ``tail_simple`` flag that lets the counter close the last level
+    combinatorially, and a lazily-built tree-decomposition DP schedule
+    (:meth:`SourcePlan.dp_plan`).  Cached per source structure.
 
 ``HomEngine``
     The façade.  Counts are memoized in an LRU-bounded cache keyed by
-    **canonical representatives** of connected components: components
-    are bucketed by :func:`repro.structures.isomorphism.invariant_key`
-    and identified up to isomorphism, so the rampant isomorphic
-    components of synthetic workloads share a single count.
+    the **canonical byte key** of each connected component
+    (:func:`repro.structures.canonical.canonical_key`): the key is a
+    pure function of the isomorphism class, so the rampant isomorphic
+    components of synthetic workloads share a single count — with no
+    bucket scan and no pairwise isomorphism test on the probe path.
 
 Two counting backends sit behind one dispatch (:func:`count_plan`):
 
@@ -60,7 +67,8 @@ from functools import lru_cache
 from typing import Dict, FrozenSet, Hashable, List, Tuple
 
 from repro.errors import ReproError
-from repro.structures.isomorphism import find_isomorphism, invariant_key
+from repro.structures.canonical import canonical_key, canonical_stats
+from repro.structures.interned import intern_stats, interned
 from repro.structures.structure import Structure
 
 Constant = Hashable
@@ -81,45 +89,45 @@ _DP_COST_BIAS = 4.0
 
 
 class TargetIndex:
-    """One-time compilation of a counting target.
+    """One-time compilation of a counting target, onto interned ints.
 
     Precomputes everything :func:`repro.hom.search._prepare` used to
-    rebuild on every call: the domain, the positional candidate sets
-    and the per-relation tuple sets.  Binary projection maps (the
-    adjacency lists driving forward checking) are built lazily per
-    ``(relation, i, j)`` and kept for the lifetime of the index.
+    rebuild on every call: the domain size, the positional candidate
+    sets and the per-relation tuple sets — all over the dense integer
+    domain of the target's interned form, so the counter's inner loops
+    hash ints only.  Binary projection maps (the adjacency lists
+    driving forward checking) are built lazily per ``(relation, i, j)``
+    and kept for the lifetime of the index.
     """
 
-    __slots__ = ("structure", "domain", "domain_size", "positions",
+    __slots__ = ("structure", "inter", "domain_size", "positions",
                  "tuples", "arities", "_pair_maps")
 
     def __init__(self, structure: Structure):
         self.structure = structure
-        self.domain: FrozenSet[Constant] = structure.domain()
-        self.domain_size = len(self.domain)
-        positions: Dict[Tuple[str, int], FrozenSet[Constant]] = {}
-        tuples: Dict[str, FrozenSet[Tuple[Constant, ...]]] = {}
-        arities: Dict[str, int] = {}
-        for relation in structure.relations_used():
-            tups = structure.tuples(relation)
-            tuples[relation] = tups
-            arity = len(next(iter(tups)))
-            arities[relation] = arity
+        inter = interned(structure)
+        self.inter = inter
+        self.domain_size = inter.n
+        positions: Dict[Tuple[str, int], FrozenSet[int]] = {}
+        tuples: Dict[str, FrozenSet[Tuple[int, ...]]] = {}
+        for relation, rows in inter.relations.items():
+            tuples[relation] = frozenset(rows)
+            arity = inter.arities[relation]
             if arity:
                 columns: List[set] = [set() for _ in range(arity)]
-                for tup in tups:
-                    for i, value in enumerate(tup):
+                for row in rows:
+                    for i, value in enumerate(row):
                         columns[i].add(value)
                 for i, column in enumerate(columns):
                     positions[(relation, i)] = frozenset(column)
         self.positions = positions
         self.tuples = tuples
-        self.arities = arities
+        self.arities = inter.arities
         self._pair_maps: Dict[Tuple[str, int, int],
-                              Dict[Constant, FrozenSet[Constant]]] = {}
+                              Dict[int, FrozenSet[int]]] = {}
 
     def pair_map(self, relation: str, i: int, j: int
-                 ) -> Dict[Constant, FrozenSet[Constant]]:
+                 ) -> Dict[int, FrozenSet[int]]:
         """Projection ``{v: {w | some R-tuple has v at i and w at j}}``."""
         key = (relation, i, j)
         cached = self._pair_maps.get(key)
@@ -138,51 +146,55 @@ class TargetIndex:
 
 
 class SourcePlan:
-    """One-time compilation of a counting source.
+    """One-time compilation of a counting source, onto interned ints.
 
     Only depends on the source structure, so it is shared across all
-    targets (module-level LRU via :func:`source_plan`).
+    targets (module-level LRU via :func:`source_plan`).  Variables are
+    the dense integers of the source's interned form; the counter maps
+    them onto the target's interned values.
     """
 
-    __slots__ = ("source", "order", "incident", "facts", "fact_arities",
-                 "nullary_relations", "isolated_count", "tail_simple",
-                 "_dp_plan")
+    __slots__ = ("source", "inter", "order", "incident", "facts",
+                 "fact_arities", "nullary_relations", "isolated_count",
+                 "tail_simple", "_dp_plan")
 
     def __init__(self, source: Structure):
         self.source = source
+        inter = interned(source)
+        self.inter = inter
         self._dp_plan = None
-        facts: List[Tuple[str, Tuple[Constant, ...]]] = []
+        facts: List[Tuple[str, Tuple[int, ...]]] = []
         nullary: List[str] = []
-        for fact in source.facts():
-            if fact.terms:
-                facts.append((fact.relation, fact.terms))
+        for relation, row in inter.iter_facts():
+            if row:
+                facts.append((relation, row))
             else:
-                nullary.append(fact.relation)
+                nullary.append(relation)
         self.facts = tuple(facts)
-        self.fact_arities = tuple({rel: len(terms)
-                                   for rel, terms in facts}.items())
+        self.fact_arities = tuple({rel: len(row)
+                                   for rel, row in facts}.items())
         self.nullary_relations = tuple(sorted(set(nullary)))
 
-        degree: Dict[Constant, int] = {}
-        for _, terms in facts:
-            for term in terms:
+        degree: Dict[int, int] = {}
+        for _, row in facts:
+            for term in row:
                 degree[term] = degree.get(term, 0) + 1
-        self.order: Tuple[Constant, ...] = tuple(sorted(
-            degree, key=lambda c: (-degree[c], repr(c))
+        self.order: Tuple[int, ...] = tuple(sorted(
+            degree, key=lambda v: (-degree[v], v)
         ))
-        self.isolated_count = len(source.domain()) - len(self.order)
+        self.isolated_count = inter.n - inter.n_active
 
-        incident: Dict[Constant, List] = {c: [] for c in self.order}
-        for relation, terms in facts:
-            at: Dict[Constant, List[int]] = {}
-            for position, term in enumerate(terms):
+        incident: Dict[int, List] = {v: [] for v in self.order}
+        for relation, row in facts:
+            at: Dict[int, List[int]] = {}
+            for position, term in enumerate(row):
                 at.setdefault(term, []).append(position)
-            entry_needs_check = len(terms) != 2 or terms[0] == terms[1]
+            entry_needs_check = len(row) != 2 or row[0] == row[1]
             for term, positions in at.items():
                 incident[term].append(
-                    (relation, terms, tuple(positions), entry_needs_check)
+                    (relation, row, tuple(positions), entry_needs_check)
                 )
-        self.incident = {c: tuple(entries) for c, entries in incident.items()}
+        self.incident = {v: tuple(entries) for v, entries in incident.items()}
 
         # The last variable in the static order can be closed
         # combinatorially when every fact incident to it is either
@@ -494,12 +506,14 @@ class HomEngine:
     One engine object replaces the ad-hoc ``CountCache`` dictionaries
     that used to be threaded through the decision procedure, the
     witness verifier, the good-basis search and the refuter.  The memo
-    is keyed by canonical representatives of source components, so
-    isomorphic components (rampant in workloads assembled from a small
-    component pool) share one count.  Both caches are LRU-bounded.
+    is keyed by the canonical byte key of each source component
+    (:func:`repro.structures.canonical.canonical_key`), so isomorphic
+    components (rampant in workloads assembled from a small component
+    pool) share one count — one dict probe, no bucket scan, no
+    pairwise isomorphism test.  Both caches are LRU-bounded.
     """
 
-    __slots__ = ("_counts", "_targets", "_exists", "_reps", "_rep_count",
+    __slots__ = ("_counts", "_targets", "_exists",
                  "max_counts", "max_targets", "hits", "misses",
                  "exists_hits", "exists_misses",
                  "store", "store_hits", "store_misses", "strategy",
@@ -522,11 +536,9 @@ class HomEngine:
         # Decomposition widths of DP-executed counts — the observable
         # that tells an operator *why* the DP path was worth taking.
         self.width_histogram: Dict[int, int] = {}
-        self._counts: "OrderedDict[Tuple[Structure, Structure], int]" = OrderedDict()
+        self._counts: "OrderedDict[Tuple[bytes, Structure], int]" = OrderedDict()
         self._targets: "OrderedDict[Structure, TargetIndex]" = OrderedDict()
         self._exists: "OrderedDict[Tuple[Structure, Structure], bool]" = OrderedDict()
-        self._reps: Dict[tuple, List[Structure]] = {}
-        self._rep_count = 0
         self.hits = 0
         self.misses = 0
         self.exists_hits = 0
@@ -559,35 +571,16 @@ class HomEngine:
         return index
 
     # ------------------------------------------------------------------
-    # Canonical component representatives
-    # ------------------------------------------------------------------
-    def canonical(self, component: Structure) -> Structure:
-        """The engine's representative of ``component``'s iso class."""
-        if self._rep_count > self.max_counts:
-            # Bound the representative table alongside the memo: reset
-            # it wholesale (orphaned memo entries age out of the LRU).
-            self._reps.clear()
-            self._rep_count = 0
-        bucket = self._reps.setdefault(invariant_key(component), [])
-        for representative in bucket:
-            if (representative == component
-                    or find_isomorphism(component, representative) is not None):
-                return representative
-        bucket.append(component)
-        self._rep_count += 1
-        return component
-
-    # ------------------------------------------------------------------
     # Counting
     # ------------------------------------------------------------------
     def count_connected_leaf(self, component: Structure,
                              leaf: Structure) -> int:
         """``|hom(component, leaf)|`` for a single component, memoized
-        up to isomorphism of the component."""
+        up to isomorphism of the component (canonical byte key)."""
         if not component.facts():
             # Isolated vertices only: pure domain-size power.
             return len(leaf.domain()) ** len(component.domain())
-        key = (self.canonical(component), leaf)
+        key = (canonical_key(component), leaf)
         cached = self._counts.get(key)
         if cached is not None:
             self._counts.move_to_end(key)
@@ -596,16 +589,16 @@ class HomEngine:
         self.misses += 1
         result = None
         if self.store is not None:
-            result = self.store.lookup(key[0], leaf)
+            result = self.store.lookup(component, leaf)
             if result is None:
                 self.store_misses += 1
             else:
                 self.store_hits += 1
         if result is None:
-            result = self._dispatch(source_plan(key[0]),
+            result = self._dispatch(source_plan(component),
                                     self.target_index(leaf), False)
             if self.store is not None:
-                self.store.record(key[0], leaf, result)
+                self.store.record(component, leaf, result)
         self._counts[key] = result
         if len(self._counts) > self.max_counts:
             self._counts.popitem(last=False)
@@ -636,10 +629,21 @@ class HomEngine:
 
         Used by persistent stores to warm-start a fresh engine (e.g. a
         new batch worker) without re-running the counter.  The entry is
-        keyed through :meth:`canonical` exactly like computed counts.
+        keyed through :func:`canonical_key` exactly like computed
+        counts.
         """
-        key = (self.canonical(component), leaf)
-        self._counts[key] = value
+        self.seed_count_key(canonical_key(component), leaf, value)
+
+    def seed_count_key(self, key: bytes, leaf: Structure,
+                       value: int) -> None:
+        """Pre-populate the memo by canonical key directly.
+
+        The persistent store records canonical keys, not source
+        structures, so a warm start never needs to decode (or even
+        possess) a source — the key *is* the identity.
+        """
+        entry = (key, leaf)
+        self._counts[entry] = value
         if len(self._counts) > self.max_counts:
             self._counts.popitem(last=False)
 
@@ -711,7 +715,11 @@ class HomEngine:
             "store_misses": self.store_misses,
             "cached_counts": len(self._counts),
             "compiled_targets": len(self._targets),
-            "canonical_classes": sum(len(b) for b in self._reps.values()),
+            # The intern and canonical-label layers are module-wide
+            # (shared by every engine in the process); their counters
+            # are surfaced here because the engine is what drives them.
+            "interning": intern_stats(),
+            "canonical": canonical_stats(),
             "dp_counts": self.dp_counts,
             "backtrack_counts": self.backtrack_counts,
             "width_histogram": dict(self.width_histogram),
@@ -722,8 +730,6 @@ class HomEngine:
         self._counts.clear()
         self._targets.clear()
         self._exists.clear()
-        self._reps.clear()
-        self._rep_count = 0
         self.hits = 0
         self.misses = 0
         self.exists_hits = 0

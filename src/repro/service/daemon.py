@@ -214,7 +214,16 @@ class SolverService:
         self._shutdown.set()
 
     def stats(self) -> Dict[str, object]:
-        """Service counters + the resident session's aggregated stats."""
+        """Service counters + the resident session's aggregated stats.
+
+        The session block includes the intern/canonical-label counters
+        (``session.engine.interning`` / ``session.engine.canonical``):
+        on a healthy production stream the canonical ``hits`` grow
+        much faster than ``keys`` — renamed
+        request payloads collapsing onto already-labeled iso classes —
+        which is exactly the effect residency is deployed for, observable
+        live through ``{"op": "stats"}``.
+        """
         with self._state_lock:
             service = self.stats_counters.snapshot()
         service["uptime_s"] = round(time.monotonic() - self.started_at, 3)

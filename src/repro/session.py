@@ -151,7 +151,14 @@ class SolverSession:
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
         """Aggregated session statistics: engine memo counters, store
-        counters when a store is attached, and request accounting."""
+        counters when a store is attached, and request accounting.
+
+        The engine block carries the shared intern/canonical-label
+        counters (``engine.interning`` / ``engine.canonical``:
+        structures compiled to ints, canonical keys labeled, cache
+        hits on both) — what an operator watches to confirm the
+        canonical memo is actually deduplicating a request stream.
+        """
         report: Dict[str, object] = {
             "engine": self.engine.stats(),
             "tasks_evaluated": self.tasks_evaluated,

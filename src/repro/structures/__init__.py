@@ -18,6 +18,12 @@ from repro.structures.components import (
     connected_components,
     is_connected,
 )
+from repro.structures.interned import (
+    InternTable,
+    InternedStructure,
+    interned,
+)
+from repro.structures.canonical import canonical_key
 from repro.structures.isomorphism import (
     are_isomorphic,
     dedupe_up_to_isomorphism,
@@ -74,6 +80,10 @@ __all__ = [
     "component_count",
     "connected_components",
     "is_connected",
+    "InternTable",
+    "InternedStructure",
+    "interned",
+    "canonical_key",
     "are_isomorphic",
     "dedupe_up_to_isomorphism",
     "find_isomorphism",

@@ -1,0 +1,188 @@
+"""Canonical labeling of structures — stable byte keys per iso class.
+
+The engine memo, the persistent SQLite store and the dedup loops all
+need to answer "which isomorphism class is this component in?".  The
+pre-interning answer bucketed structures by
+:func:`~repro.structures.isomorphism.invariant_key` and ran *pairwise*
+``find_isomorphism`` inside each bucket — per-probe cost grows with
+bucket population, and a bucket's chosen representative differs between
+processes, so cross-process sharing needed an iso-scan on every store
+lookup.  This module computes a **canonical form** instead:
+
+:func:`canonical_key` returns a byte string such that two structures
+get the same key *iff* they are isomorphic.  The key is a pure
+function of the isomorphism class — stable across constant renames,
+component orderings, processes and service restarts — so it can serve
+directly as a memo key, an SQLite primary key, or (later) a shard key.
+
+Algorithm (classic individualization–refinement over the interned
+form of :mod:`repro.structures.interned`):
+
+1. **1-WL refinement** — iteratively refine a coloring of the active
+   vertices by the sorted multiset of ``(relation, position,
+   colors-of-row)`` incidence signatures; color ids are ranks of the
+   sorted signatures, hence themselves isomorphism-invariant.
+2. **Ordered-partition backtracking** — while some color class holds
+   more than one vertex, individualize each member of the first such
+   class in turn, re-refine, and recurse; every discrete leaf coloring
+   is a candidate labeling, and the lexicographically smallest relabeled
+   fact table is the canonical certificate.
+
+Isolated elements are interchangeable, so they never enter the search;
+the certificate records their count (the ``|dom|`` factor of frozen
+bodies survives canonicalization).  Worst-case the search visits
+``|Aut|``-many equivalent leaves (e.g. ``k!`` for a ``k``-clique) —
+fine for the small connected components the library canonicalizes, and
+property-tested against ``find_isomorphism`` as ground truth.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from repro.structures.interned import InternedStructure, interned
+from repro.structures.structure import Structure
+
+# incidences[v] = ((relation, position, row), ...) for every occurrence
+# of vertex v in a fact row.
+_Incidences = Tuple[Tuple[Tuple[str, int, Tuple[int, ...]], ...], ...]
+
+
+def _incidences(inter: InternedStructure, n: int) -> _Incidences:
+    collected: List[List[Tuple[str, int, Tuple[int, ...]]]] = [
+        [] for _ in range(n)
+    ]
+    for relation, row in inter.iter_facts():
+        for position, term in enumerate(row):
+            collected[term].append((relation, position, row))
+    return tuple(tuple(entries) for entries in collected)
+
+
+def _refine(n: int, incidences: _Incidences,
+            colors: List[int]) -> List[int]:
+    """1-WL refinement to a stable coloring; ids are signature ranks."""
+    for _ in range(max(1, n)):
+        signatures = []
+        for vertex in range(n):
+            local = sorted(
+                (relation, position, tuple(colors[t] for t in row))
+                for relation, position, row in incidences[vertex]
+            )
+            signatures.append((colors[vertex], tuple(local)))
+        palette = {signature: rank for rank, signature
+                   in enumerate(sorted(set(signatures)))}
+        refined = [palette[signature] for signature in signatures]
+        if refined == colors:
+            break
+        colors = refined
+    return colors
+
+
+def wl_colors(inter: InternedStructure) -> Tuple[int, ...]:
+    """Stable 1-WL coloring over the *full* interned domain.
+
+    Isolated elements participate (with empty signatures), matching
+    the historical :func:`~repro.structures.isomorphism.refine_colors`
+    contract; color ids are isomorphism-invariant ranks.  Cached on
+    the interned object (iso tests and invariant keys re-probe it).
+    """
+    cached = inter.wl_cache
+    if cached is not None:
+        return cached
+    n = inter.n
+    colors: Tuple[int, ...] = () if n == 0 else tuple(
+        _refine(n, _incidences(inter, n), [0] * n))
+    inter.wl_cache = colors
+    return colors
+
+
+def _certificate(inter: InternedStructure,
+                 position_of: List[int]) -> Tuple:
+    """The relabeled fact table under a discrete labeling."""
+    body = []
+    for relation in sorted(inter.relations):
+        rows = inter.relations[relation]
+        mapped = tuple(sorted(
+            tuple(position_of[t] for t in row) for row in rows))
+        body.append((relation, inter.arities[relation], mapped))
+    return (inter.n, inter.n - inter.n_active, tuple(body))
+
+
+def _canonical_certificate(inter: InternedStructure) -> Tuple:
+    n = inter.n_active
+    if n == 0:
+        return _certificate(inter, [])
+    incidences = _incidences(inter, n)
+    colors = _refine(n, incidences, [0] * n)
+    best: List[Tuple] = []
+
+    def search(colors: List[int]) -> None:
+        cells: Dict[int, List[int]] = {}
+        for vertex, color in enumerate(colors):
+            cells.setdefault(color, []).append(vertex)
+        target = None
+        for color in sorted(cells):
+            if len(cells[color]) > 1:
+                target = cells[color]
+                break
+        if target is None:
+            candidate = _certificate(inter, colors)
+            if not best or candidate < best[0]:
+                best[:] = [candidate]
+            return
+        for vertex in target:
+            individualized = list(colors)
+            individualized[vertex] = n  # outranks every existing color
+            search(_refine(n, incidences, individualized))
+
+    search(colors)
+    return best[0]
+
+
+@lru_cache(maxsize=8192)
+def canonical_key(structure: Structure) -> bytes:
+    """The canonical byte key of ``structure``'s isomorphism class.
+
+    Equal keys ⟺ isomorphic structures (schema is not part of the
+    key, mirroring structure equality and ``find_isomorphism``, which
+    compare facts and domains only).  The encoding is ``repr`` of the
+    canonical certificate — deterministic across processes, hash seeds
+    and Python minor versions, and directly usable as an SQLite key.
+
+    Disconnected structures are canonicalized **per connected
+    component** and combined as the sorted multiset of component
+    certificates (two structures are isomorphic iff their component
+    iso-class multisets agree).  Besides matching how the engine memo
+    consumes keys, this keeps the labeling search from multiplying its
+    branches across components — a union of color-uniform cycles costs
+    the *sum* of its components' searches, not the product.
+    """
+    from repro.structures.components import connected_components
+
+    components = connected_components(structure)
+    if len(components) <= 1:
+        certificate = _canonical_certificate(interned(structure))
+    else:
+        inter = interned(structure)
+        certificate = (
+            inter.n, inter.n - inter.n_active,
+            ("components", tuple(sorted(
+                _canonical_certificate(interned(component))
+                for component in components))),
+        )
+    return repr(certificate).encode("utf-8")
+
+
+def canonical_stats() -> Dict[str, int]:
+    """Cache counters of the canonical-key layer (for ``stats()``).
+
+    ``keys`` is the number of canonical labelings computed (cache
+    misses); ``hits`` the number served from the memo.
+    """
+    info = canonical_key.cache_info()
+    return {
+        "keys": info.misses,
+        "hits": info.hits,
+        "cached": info.currsize,
+    }

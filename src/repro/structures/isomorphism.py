@@ -15,6 +15,13 @@ test.  We use the classic two-stage approach:
 
 :func:`invariant_key` is a cheap hashable invariant used to bucket
 structures before the quadratic pairwise tests (DESIGN.md §6.4).
+
+The stable coloring itself is computed once, on the interned integer
+form, by :mod:`repro.structures.canonical` — the same refinement that
+seeds the canonical labeling — and mapped back to constants here.  The
+pairwise backtracking test below is deliberately *independent* of the
+canonical-labeling search: it is the ground truth the canonical keys
+are property-tested against (``tests/test_canonical.py``).
 """
 
 from __future__ import annotations
@@ -22,6 +29,8 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Dict, Hashable, List, Optional, Tuple
 
+from repro.structures.canonical import wl_colors
+from repro.structures.interned import interned
 from repro.structures.structure import Structure
 
 Constant = Hashable
@@ -32,39 +41,15 @@ def refine_colors(structure: Structure) -> Dict[Constant, int]:
 
     Colors are small integers; equal colors mean "not yet
     distinguished".  Isolated elements all receive the same color.
-
-    The stable coloring is memoized per structure (structures are
-    immutable); callers get a fresh dict each time.
+    Color ids are isomorphism-invariant ranks (derived from sorted
+    signatures on the interned form), so two isomorphic structures
+    color corresponding constants identically.  Callers get a fresh
+    dict each time; the underlying coloring is memoized per structure.
     """
-    return dict(_stable_coloring(structure))
-
-
-@lru_cache(maxsize=8192)
-def _stable_coloring(structure: Structure) -> Tuple[Tuple[Constant, int], ...]:
-    domain = sorted(structure.domain(), key=repr)
-    colors: Dict[Constant, int] = {c: 0 for c in domain}
-
-    facts_by_constant: Dict[Constant, List] = {c: [] for c in domain}
-    for fact in structure.facts():
-        for position, term in enumerate(fact.terms):
-            facts_by_constant[term].append((fact, position))
-
-    for _ in range(max(1, len(domain))):
-        signatures: Dict[Constant, Tuple] = {}
-        for constant in domain:
-            local = []
-            for fact, position in facts_by_constant[constant]:
-                local.append(
-                    (fact.relation, position,
-                     tuple(colors[t] for t in fact.terms))
-                )
-            signatures[constant] = (colors[constant], tuple(sorted(local)))
-        palette = {sig: i for i, sig in enumerate(sorted(set(signatures.values())))}
-        new_colors = {c: palette[signatures[c]] for c in domain}
-        if new_colors == colors:
-            break
-        colors = new_colors
-    return tuple(colors.items())
+    inter = interned(structure)
+    colors = wl_colors(inter)
+    return {inter.table.constant(i): color
+            for i, color in enumerate(colors)}
 
 
 @lru_cache(maxsize=8192)
@@ -74,8 +59,11 @@ def invariant_key(structure: Structure) -> Tuple:
     Equal structures always get equal keys; different keys certify
     non-isomorphism.  Combines domain size, per-relation fact counts and
     the color histogram of the stable refinement.  Memoized per
-    structure — the component basis, the engine's canonicalization and
-    the dedup buckets all probe the same components repeatedly.
+    structure — the component basis and the dedup buckets probe the
+    same components repeatedly.  (The engine memo and the SQLite store
+    moved on to the *complete* invariant,
+    :func:`repro.structures.canonical.canonical_key`; this cheap key
+    remains the bucketing front of the pairwise oracle.)
     """
     colors = refine_colors(structure)
     histogram = tuple(sorted(

@@ -2,19 +2,29 @@
 
 A determinacy checker that other tools can adopt needs a wire format:
 witness pairs must be exportable, view catalogs importable.  The format
-is deliberately dumb JSON:
+is deliberately dumb JSON.
 
-Structure::
+Structure (interned wire format, v2)::
 
     {"kind": "structure",
      "schema": {"R": 2, "H": 0},
-     "facts": [["R", ["a", "b"]], ["H", []]],
-     "isolated": ["c"]}
+     "constants": ["a", "b", "c"],
+     "facts": [["R", [0, 1]], ["H", []]],
+     "isolated": [2]}
 
-Constants are serialized through :func:`encode_constant`, which keeps
-strings/ints verbatim and renders tuples (products, tagged copies,
-frozen variables) as nested lists with a type tag — lossless for every
-constant shape the library itself produces.
+Each constant is encoded **once**, in the deterministic intern order of
+:mod:`repro.structures.interned`; fact terms and the ``isolated`` list
+are indices into ``constants``.  Tagged copies and product structures
+repeat large tuple constants across many facts, so shipping the intern
+table once shrinks those payloads substantially.  Constants are encoded
+through :func:`encode_constant`, which keeps strings/ints verbatim and
+renders tuples (products, tagged copies, frozen variables) as nested
+lists with a type tag — lossless for every constant shape the library
+itself produces.
+
+The pre-interning format (terms as inline encoded constants, no
+``constants`` key) is still **decoded** for compatibility with
+payloads written by older versions; it is no longer emitted.
 
 Queries::
 
@@ -72,22 +82,28 @@ def decode_constant(payload) -> Any:
 # Structures
 # ----------------------------------------------------------------------
 def structure_to_dict(structure: Structure) -> Dict[str, Any]:
-    facts: List[List[Any]] = []
-    for fact in sorted(structure.facts(), key=str):
-        facts.append([fact.relation, [encode_constant(t) for t in fact.terms]])
-    isolated = [encode_constant(c)
-                for c in sorted(structure.isolated_elements(), key=repr)]
+    """Interned wire payload: the constant table once, facts as indices."""
+    from repro.structures.interned import interned
+
+    inter = interned(structure)
+    constants = [encode_constant(c) for c in inter.table.constants()]
+    facts: List[List[Any]] = [[relation, list(row)]
+                              for relation, row in inter.iter_facts()]
     return {
         "kind": "structure",
         "schema": {s.name: s.arity for s in structure.schema},
+        "constants": constants,
         "facts": facts,
-        "isolated": isolated,
+        "isolated": list(inter.isolated_indices()),
     }
 
 
 def structure_from_dict(payload: Dict[str, Any]) -> Structure:
     if payload.get("kind") != "structure":
         raise SerializationError(f"expected kind 'structure', got {payload.get('kind')!r}")
+    if "constants" in payload:
+        return _structure_from_interned_dict(payload)
+    # Legacy (pre-v2) payload: terms are inline encoded constants.
     try:
         schema = Schema(dict(payload.get("schema", {})))
         facts = [
@@ -95,6 +111,29 @@ def structure_from_dict(payload: Dict[str, Any]) -> Structure:
             for relation, terms in payload.get("facts", [])
         ]
         isolated = [decode_constant(c) for c in payload.get("isolated", [])]
+    except (TypeError, ValueError, KeyError) as exc:
+        raise SerializationError(f"malformed structure payload: {exc}") from exc
+    active = {t for fact in facts for t in fact.terms}
+    return Structure(facts, schema=schema, domain=list(active) + isolated)
+
+
+def _structure_from_interned_dict(payload: Dict[str, Any]) -> Structure:
+    def at(index: Any):
+        if not isinstance(index, int) or isinstance(index, bool) \
+                or not 0 <= index < len(constants):
+            raise SerializationError(
+                f"term {index!r} is not a valid index into the "
+                f"{len(constants)}-entry constant table")
+        return constants[index]
+
+    try:
+        schema = Schema(dict(payload.get("schema", {})))
+        constants = [decode_constant(c) for c in payload["constants"]]
+        facts = [
+            Fact(relation, tuple(at(i) for i in terms))
+            for relation, terms in payload.get("facts", [])
+        ]
+        isolated = [at(i) for i in payload.get("isolated", [])]
     except (TypeError, ValueError, KeyError) as exc:
         raise SerializationError(f"malformed structure payload: {exc}") from exc
     active = {t for fact in facts for t in fact.terms}

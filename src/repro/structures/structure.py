@@ -57,8 +57,21 @@ class Fact:
         self.relation = relation
         self.terms = tuple(terms)
         # Facts live in frozensets that are themselves hashed on every
-        # cache probe; caching here keeps those probes cheap.
-        self._hash = hash((relation, self.terms))
+        # cache probe; caching here keeps those probes cheap — and
+        # rejects unhashable terms (lists, dicts, sets) at the
+        # construction site instead of at some far-away first hash.
+        try:
+            self._hash = hash((relation, self.terms))
+        except TypeError as exc:
+            bad = []
+            for term in self.terms:
+                try:
+                    hash(term)
+                except TypeError:
+                    bad.append(repr(term))
+            raise StructureError(
+                f"fact terms must be hashable constants; "
+                f"{relation!r} got {', '.join(bad)}") from exc
 
     @property
     def arity(self) -> int:

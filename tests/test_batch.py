@@ -218,6 +218,63 @@ class TestSQLiteHomStore:
         assert set(stats) == {"counts", "exists", "lookups", "lookup_hits",
                               "inserts"}
 
+    def test_unserializable_source_still_persists(self, tmp_path):
+        """Canonical keys freed the source side from the JSON wire
+        format: only the *target* must serialize."""
+        store = SQLiteHomStore(str(tmp_path / "cache.sqlite"), flush_every=1)
+        weird = path_structure(["R"]).rename(
+            {c: frozenset({c}) for c in path_structure(["R"]).domain()})
+        target = clique_structure(3)
+        store.record(weird, target, 6)
+        assert store.lookup(weird, target) == 6
+        # and an ordinary rename of the same class hits the same row
+        assert store.lookup(path_structure(["R"]), target) == 6
+
+
+class TestStoreSchemaVersioning:
+    def test_fresh_store_is_stamped(self, tmp_path):
+        import sqlite3
+
+        path = str(tmp_path / "cache.sqlite")
+        with SQLiteHomStore(path) as store:
+            store.record(path_structure(["R"]), clique_structure(3), 6)
+        version = sqlite3.connect(path).execute(
+            "PRAGMA user_version").fetchone()[0]
+        from repro.batch.cache import SCHEMA_VERSION
+
+        assert version == SCHEMA_VERSION
+
+    def test_legacy_store_refused_with_clear_error(self, tmp_path):
+        import sqlite3
+
+        from repro.batch.cache import StoreFormatError
+
+        path = str(tmp_path / "legacy.sqlite")
+        connection = sqlite3.connect(path)
+        with connection:
+            # The PR 2-era layout: WL-digest buckets, user_version 0.
+            connection.execute(
+                "CREATE TABLE hom_counts (inv TEXT, target TEXT, "
+                "source TEXT, value TEXT, PRIMARY KEY (inv, target, source))")
+            connection.execute(
+                "CREATE TABLE targets (hash TEXT PRIMARY KEY, json TEXT)")
+        connection.close()
+        with pytest.raises(StoreFormatError, match="pre-canonical-key"):
+            SQLiteHomStore(path)
+
+    def test_future_schema_version_refused(self, tmp_path):
+        import sqlite3
+
+        from repro.batch.cache import StoreFormatError
+
+        path = str(tmp_path / "future.sqlite")
+        connection = sqlite3.connect(path)
+        connection.execute("PRAGMA user_version=99")
+        connection.commit()
+        connection.close()
+        with pytest.raises(StoreFormatError, match="schema version 99"):
+            SQLiteHomStore(path)
+
 
 # ----------------------------------------------------------------------
 # Runner

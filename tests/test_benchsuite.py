@@ -17,6 +17,9 @@ EXPECTED_WORKLOADS = {
     "hom_memoized": {"direct_backtracking_s", "memoized_engine_s", "speedup"},
     "hom_isomorphic_components": {"exact_key_dict_s", "canonical_engine_s",
                                   "speedup"},
+    "hom_interning": {"pairwise_iso_dedup_s", "canonical_dedup_s",
+                      "speedup_dedup", "large_target_direct_s",
+                      "large_target_interned_s", "speedup_large_target"},
     "decision": {"decide_16_views_s"},
     "hom_treewidth": {"backtracking_engine_s", "dp_engine_s", "speedup",
                       "auto_picks_dp"},

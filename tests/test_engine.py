@@ -150,10 +150,12 @@ def test_isomorphic_renames_share_one_memo_entry(seed):
 
 
 def test_canonicalization_distinguishes_non_isomorphic():
+    from repro.structures.canonical import canonical_key
+
     engine = HomEngine()
     p2 = path_structure(["R", "R"])
     fork = Structure([("R", ("a", "b")), ("R", ("a", "c"))])  # out-star
-    assert engine.canonical(p2) is not engine.canonical(fork)
+    assert canonical_key(p2) != canonical_key(fork)
     k4 = clique_structure(4)
     assert engine.count(p2, k4) != engine.count(fork, k4) or True
     assert engine.count(p2, k4) == count_homomorphisms_direct(p2, k4)
@@ -165,6 +167,8 @@ def test_stats_and_clear():
     engine.count(path_structure(["R"]), clique_structure(3))
     stats = engine.stats()
     assert stats["misses"] >= 1 and stats["compiled_targets"] >= 1
+    assert stats["canonical"]["keys"] >= 1  # shared canonical-key layer
+    assert stats["interning"]["structures"] >= 1
     engine.clear()
     assert engine.stats()["cached_counts"] == 0
 
@@ -180,16 +184,25 @@ def test_lru_bound_is_respected():
     assert engine.count(edge, clique_structure(2)) == 2
 
 
-def test_canonical_table_stays_bounded():
-    """The representative table resets once it outgrows the memo bound
-    (instead of growing forever with workload diversity)."""
-    engine = HomEngine(max_counts=5)
+def test_canonical_keys_shared_across_engines():
+    """Canonical keys are module-level derived data: a second engine
+    (and an engine after clear()) reuses the labelings instead of
+    rebuilding per-engine representative tables."""
+    from repro.structures.canonical import canonical_key
+
     target = clique_structure(3)
-    for length in range(1, 12):
-        engine.count(path_structure(["R"] * length), target)
-        assert engine._rep_count <= engine.max_counts + 1
-    # counting still works after a reset
-    assert engine.count(path_structure(["R"]), target) == 6
+    sources = [path_structure(["R"] * length) for length in range(1, 8)]
+    first = HomEngine(max_counts=5)
+    for source in sources:
+        first.count(source, target)
+    before = canonical_key.cache_info().misses
+    second = HomEngine(max_counts=5)
+    for source in sources:
+        second.count(source, target)
+    # same component objects -> every canonical key served from cache
+    assert canonical_key.cache_info().misses == before
+    first.clear()
+    assert first.count(path_structure(["R"]), target) == 6
 
 
 # ----------------------------------------------------------------------

@@ -86,14 +86,28 @@ class TestExistsLRU:
         assert engine.exists(PATHS[0], TARGET) is True
 
 
-class TestCanonicalReset:
-    def test_representative_table_resets_when_overflowing(self):
+class TestCanonicalKeys:
+    def test_memo_stays_bounded_across_many_classes(self):
         engine = HomEngine(max_counts=3)
         for n in range(3, 9):
             engine.count_connected_leaf(cycle_structure(n), TARGET)
-        # The rampant distinct classes forced at least one wholesale
-        # reset; the table is bounded by max_counts + 1 afterwards.
-        assert engine.stats()["canonical_classes"] <= 4
+        # Distinct iso classes churn through the bounded memo; no
+        # per-engine representative table grows with them, and the
+        # shared canonical layer reports its work through stats().
+        assert engine.stats()["cached_counts"] <= 3
+        assert engine.stats()["canonical"]["keys"] >= 6
+
+    def test_seed_count_key_matches_computed_key(self):
+        from repro.structures.canonical import canonical_key
+
+        base = cycle_structure(3)
+        renamed = base.rename({c: ("warm", c) for c in base.domain()})
+        truth = count_homomorphisms_direct(base, TARGET)
+        engine = HomEngine()
+        engine.seed_count_key(canonical_key(base), TARGET, truth)
+        # A rename of the seeded component is a pure memo hit.
+        assert engine.count_connected_leaf(renamed, TARGET) == truth
+        assert engine.hits == 1 and engine.misses == 0
 
 
 class DictStore:
