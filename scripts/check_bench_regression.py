@@ -39,6 +39,8 @@ ABLATION_KEYS = frozenset({
     "cold_dispatch_per_task_s",
     "pairwise_iso_dedup_s",
     "large_target_direct_s",
+    "backtrack_set_s",
+    "dp_set_s",
 })
 
 

@@ -323,6 +323,57 @@ def run_benchmarks(repeat: int = 3) -> Dict[str, object]:
         "auto_picks_dp": auto_picks_dp,
     }
 
+    # -------------------------------------------------- hom_bitset
+    # E19: the bit-parallel kernels against their set-domain ablation
+    # twins — same compiled plans, same target, so the measured gap is
+    # purely the representation (int bitmask domains + packed int DP
+    # keys vs frozenset domains + tuple keys).  Sources are cheap
+    # bounded-treewidth shapes (a 2×3 grid, a 5-edge chain, two
+    # triangles glued at a vertex) into a dense 6-element target; all
+    # four kernels are cross-checked against the direct counter before
+    # timing.
+    from repro.hom.dpcount import _count_plan_dp_sets, count_plan_dp
+    from repro.hom.engine import _count_bitset, _count_sets
+
+    dense6 = Structure(
+        [("R", (i, j)) for i in range(6) for j in range(6) if i != j],
+        domain=range(6))
+    bowtie = Structure([
+        ("R", ("a", "b")), ("R", ("b", "c")), ("R", ("c", "a")),
+        ("R", ("a", "d")), ("R", ("d", "e")), ("R", ("e", "a")),
+    ])
+    bitset_sources = [
+        grid_structure(2, 3, horizontal="R", vertical="R"),
+        path_structure(["R"] * 5),
+        bowtie,
+    ]
+    bitset_index = TargetIndex(dense6)
+    bitset_plans = [source_plan(s) for s in bitset_sources]
+    for bitset_plan, bitset_source in zip(bitset_plans, bitset_sources):
+        truth_bits = count_homomorphisms_direct(bitset_source, dense6)
+        assert _count_bitset(bitset_plan, bitset_index, False) == truth_bits
+        assert _count_sets(bitset_plan, bitset_index, False) == truth_bits
+        assert count_plan_dp(bitset_plan, bitset_index) == truth_bits
+        assert _count_plan_dp_sets(bitset_plan, bitset_index) == truth_bits
+
+    bt_bitset = _timeit(lambda: [_count_bitset(p, bitset_index, False)
+                                 for p in bitset_plans], repeat)
+    bt_sets = _timeit(lambda: [_count_sets(p, bitset_index, False)
+                               for p in bitset_plans], repeat)
+    dp_bitset = _timeit(lambda: [count_plan_dp(p, bitset_index)
+                                 for p in bitset_plans], repeat)
+    dp_sets = _timeit(lambda: [_count_plan_dp_sets(p, bitset_index)
+                               for p in bitset_plans], repeat)
+    workloads["hom_bitset"] = {
+        "backtrack_set_s": bt_sets,
+        "backtrack_bitset_s": bt_bitset,
+        "speedup_backtrack": bt_sets / bt_bitset
+        if bt_bitset else float("inf"),
+        "dp_set_s": dp_sets,
+        "dp_bitset_s": dp_bitset,
+        "speedup_dp": dp_sets / dp_bitset if dp_bitset else float("inf"),
+    }
+
     # -------------------------------------------------- service_throughput
     # E17: what the resident service buys over one-shot dispatch.  The
     # same mixed request stream is answered (a) by a warm SolverService

@@ -45,6 +45,8 @@ HEURISTICS = ("min-fill", "min-degree")
 # Nice-node kinds (ints: the DP inner loop switches on them).
 LEAF, INTRODUCE, FORGET, JOIN = 0, 1, 2, 3
 
+_NO_NEIGHBOURS: FrozenSet = frozenset()
+
 
 def _adjacency_from_rows(rows) -> Dict[Constant, Set[Constant]]:
     """Primal-graph adjacency from an iterable of fact term rows
@@ -259,7 +261,54 @@ def decompose_adjacency(adjacency: Dict[Constant, Set[Constant]],
     fixed_edges = [(index, bag_of[parent]) for index, parent in edges]
     for previous, current in zip(roots, roots[1:]):
         fixed_edges.append((previous, current))
+    bags, fixed_edges = _contract_subset_bags(bags, fixed_edges)
     return TreeDecomposition(bags, fixed_edges)
+
+
+def _contract_subset_bags(
+        bags: List[FrozenSet[Constant]],
+        edges: List[Tuple[int, int]],
+) -> Tuple[List[FrozenSet[Constant]], List[Tuple[int, int]]]:
+    """Contract tree edges whose child bag is contained in its
+    neighbour's bag.
+
+    Elimination-order decompositions are full of such redundant bags
+    (the drain toward the last-eliminated vertices, and early small
+    bags swallowed by later cliques).  Contracting them preserves all
+    three decomposition invariants — the merged bag is the larger of
+    the two, so coverage and running intersection are untouched — and
+    every contracted bag removes a forget/introduce (or a whole leaf
+    ramp, or a join) from the nice decomposition the DP sweeps.
+    Deterministic: candidates are scanned in index order.
+    """
+    adjacency: Dict[int, Set[int]] = {i: set() for i in range(len(bags))}
+    for a, b in edges:
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    alive = sorted(adjacency)
+    changed = True
+    while changed:
+        changed = False
+        for a in alive:
+            into = next((b for b in sorted(adjacency[a])
+                         if bags[a] <= bags[b]), None)
+            if into is None:
+                continue
+            adjacency[into].discard(a)
+            for other in adjacency[a]:
+                if other != into:
+                    adjacency[other].discard(a)
+                    adjacency[other].add(into)
+                    adjacency[into].add(other)
+            adjacency[a] = set()
+            alive.remove(a)
+            changed = True
+            break
+    remap = {old: new for new, old in enumerate(alive)}
+    kept_bags = [bags[old] for old in alive]
+    kept_edges = [(remap[a], remap[b]) for a in alive
+                  for b in adjacency[a] if a < b]
+    return kept_bags, kept_edges
 
 
 class NiceNode:
@@ -305,11 +354,26 @@ class NiceDecomposition:
 
 
 def _sorted_bag(bag: FrozenSet[Constant]) -> Tuple[Constant, ...]:
-    return tuple(sorted(bag, key=repr))
+    """Deterministic bag order: natural for homogeneous comparable
+    bags, ``repr`` otherwise.
+
+    The engine's DP path decomposes *interned* Gaifman graphs, so its
+    bags are dense ints and sort numerically — which is what the
+    packed bag-table keys of :mod:`repro.hom.dpcount` slot by, and
+    matches the ascending bit-scan order of the bitset kernels.  Bags
+    of raw constants (mixed types, tuples, strings) keep the legacy
+    ``repr`` tie-break.
+    """
+    try:
+        return tuple(sorted(bag))
+    except TypeError:
+        return tuple(sorted(bag, key=repr))
 
 
 def make_nice(decomposition: TreeDecomposition,
-              root: int = 0) -> NiceDecomposition:
+              root: int = 0,
+              adjacency: Optional[Dict[Constant, Set[Constant]]] = None,
+              ) -> NiceDecomposition:
     """Convert to a nice decomposition rooted (with an empty bag) at
     ``root``.
 
@@ -320,12 +384,19 @@ def make_nice(decomposition: TreeDecomposition,
     :mod:`repro.hom.dpcount` relies on).  Multi-child bags become
     left-folded binary joins; leaves grow from empty bags one
     introduce at a time.
+
+    ``adjacency`` (the primal graph, when the caller has it) steers
+    the order multiple fresh constants are introduced in: a constant
+    with a neighbour already in the bag goes first, so the DP filters
+    it immediately instead of building an unconstrained product table
+    that the next introduce prunes anyway.  Purely an ordering hint —
+    any order is correct — and deterministic (ties keep bag order).
     """
     n = len(decomposition.bags)
-    adjacency: Dict[int, List[int]] = {i: [] for i in range(n)}
+    bag_neighbours: Dict[int, List[int]] = {i: [] for i in range(n)}
     for a, b in decomposition.edges:
-        adjacency[a].append(b)
-        adjacency[b].append(a)
+        bag_neighbours[a].append(b)
+        bag_neighbours[b].append(a)
 
     nodes: List[NiceNode] = []
 
@@ -342,7 +413,17 @@ def make_nice(decomposition: TreeDecomposition,
             var_pos = current.index(gone)
             current.pop(var_pos)
             top = emit(NiceNode(FORGET, tuple(current), gone, var_pos, (top,)))
-        for fresh in _sorted_bag(target - bag):
+        pending = list(_sorted_bag(target - bag))
+        while pending:
+            fresh = pending[0]
+            if adjacency is not None and len(pending) > 1:
+                present = set(current)
+                fresh = next(
+                    (v for v in pending
+                     if not adjacency.get(v, _NO_NEIGHBOURS)
+                        .isdisjoint(present)),
+                    fresh)
+            pending.remove(fresh)
             new_order = _sorted_bag(frozenset(current) | {fresh})
             var_pos = new_order.index(fresh)
             current = list(new_order)
@@ -357,13 +438,13 @@ def make_nice(decomposition: TreeDecomposition,
         node, parent, expanded = stack.pop()
         if not expanded:
             stack.append((node, parent, True))
-            for neighbour in adjacency[node]:
+            for neighbour in bag_neighbours[node]:
                 if neighbour != parent:
                     stack.append((neighbour, node, False))
             continue
         target = decomposition.bags[node]
         tops: List[int] = []
-        for neighbour in adjacency[node]:
+        for neighbour in bag_neighbours[node]:
             if neighbour == parent:
                 continue
             child_top = done[neighbour]

@@ -39,12 +39,17 @@ and strings.
 
 Two counting backends sit behind one dispatch (:func:`count_plan`):
 
-* **backtracking** — iterative search with forward checking: assigning
-  a variable prunes the candidate sets of its unassigned neighbours
-  through the projection maps, and wiped-out domains cut the subtree
-  immediately.  Candidate sets are never mutated in place — they are
-  rebound and restored through an undo trail, so value iterators stay
-  valid.  Worst-case exponential in the number of source variables.
+* **backtracking** — iterative search with forward checking over
+  *bitset domains*: every candidate set is one Python int (bit ``v``
+  ⇔ value ``v`` allowed), so assigning a variable prunes its
+  unassigned neighbours with a single ``&`` per projection, a wiped
+  domain is ``== 0``, and the undo trail is a flat list of
+  ``(variable, old_mask)`` int pairs.  Candidates are visited by
+  scanning set bits from the least-significant end — deterministic
+  ascending value order.  Targets beyond ``_BITSET_MAX_DOMAIN`` fall
+  back to the original set-domain kernel (``_count_sets``), which is
+  kept verbatim as fallback and ablation reference.  Worst-case
+  exponential in the number of source variables.
 * **tree-decomposition DP** (:mod:`repro.hom.dpcount`) — bag-table
   dynamic programming over a nice decomposition of the source's
   Gaifman graph, ``O(poly · |B|^{w+1})`` for treewidth ``w``.
@@ -68,7 +73,7 @@ from typing import Dict, FrozenSet, Hashable, List, Tuple
 
 from repro.errors import ReproError
 from repro.structures.canonical import canonical_key, canonical_stats
-from repro.structures.interned import intern_stats, interned
+from repro.structures.interned import intern_stats, interned, mask_of
 from repro.structures.structure import Structure
 
 Constant = Hashable
@@ -77,15 +82,49 @@ _EMPTY: FrozenSet = frozenset()
 
 STRATEGIES = ("auto", "backtrack", "dp")
 
-# Plan-selection tuning.  Sources with fewer variables than this never
+# Domains are packed into Python-int bitsets (bit v ⇔ value v allowed)
+# as long as the target domain fits this many bits.  Beyond the cap a
+# mostly-empty multi-kiloword mask costs more to AND than a sparse set
+# costs to intersect, so the counter falls back to the set-domain
+# kernels (and counts the event in ``bitset_stats``).
+_BITSET_MAX_DOMAIN = 1 << 16
+
+# Module-wide observability of the bit-parallel kernels (same scoping
+# as the intern/canonical counters: the representation layer is shared
+# by every engine in the process).  ``propagations`` counts
+# domain-narrowing events of the bitset forward checker;
+# ``fallbacks`` counts counts that ran on the set-domain kernels
+# because the target domain exceeded the cap.
+_BITSET_COUNTERS = {"propagations": 0, "fallbacks": 0}
+
+
+def bitset_stats() -> Dict[str, int]:
+    """Counters of the bit-parallel kernels (for ``stats()``).
+
+    Includes the packed-DP table peak from :mod:`repro.hom.dpcount`
+    so one block answers "are the bitset kernels on, and how big do
+    the packed tables get".
+    """
+    from repro.hom.dpcount import dp_packed_stats
+
+    report = dict(_BITSET_COUNTERS)
+    report.update(dp_packed_stats())
+    return report
+
+# Plan-selection tuning, fitted against the bit-parallel kernels
+# (EXPERIMENTS.md E19).  Sources with fewer variables than this never
 # pay for a decomposition (backtracking wins on trivia outright); a
 # backtracking estimate below the floor is already so cheap that the
-# DP's fixed per-table overhead cannot pay off; and one DP table entry
-# costs roughly this many backtracking node visits (dict churn vs the
-# trail-based search step), so the DP must win by that factor.
-_DP_MIN_VARS = 5
-_BACKTRACK_CHEAP_FLOOR = 512.0
-_DP_COST_BIAS = 4.0
+# DP's fixed per-table overhead cannot pay off; and one packed DP
+# table entry costs roughly this many backtracking node visits, so
+# the DP must win by that factor.  The packed kernels moved all three:
+# a 4-variable path into a dense target already runs ~3× faster on
+# the packed DP than on bitset backtracking, and the measured cost of
+# one packed table entry is near one search node (the bias keeps a 2×
+# safety margin toward backtracking, whose memory is O(n)).
+_DP_MIN_VARS = 4
+_BACKTRACK_CHEAP_FLOOR = 256.0
+_DP_COST_BIAS = 2.0
 
 
 class TargetIndex:
@@ -100,14 +139,17 @@ class TargetIndex:
     and kept for the lifetime of the index.
     """
 
-    __slots__ = ("structure", "inter", "domain_size", "positions",
-                 "tuples", "arities", "_pair_maps")
+    __slots__ = ("structure", "inter", "domain_size", "key_bits",
+                 "positions", "tuples", "arities", "_pair_maps",
+                 "_position_masks", "_pair_bits", "_packed_rows",
+                 "_loop_masks")
 
     def __init__(self, structure: Structure):
         self.structure = structure
         inter = interned(structure)
         self.inter = inter
         self.domain_size = inter.n
+        self.key_bits = inter.key_bits
         positions: Dict[Tuple[str, int], FrozenSet[int]] = {}
         tuples: Dict[str, FrozenSet[Tuple[int, ...]]] = {}
         for relation, rows in inter.relations.items():
@@ -125,6 +167,14 @@ class TargetIndex:
         self.arities = inter.arities
         self._pair_maps: Dict[Tuple[str, int, int],
                               Dict[int, FrozenSet[int]]] = {}
+        # Bitmask twins of the candidate machinery, built lazily and
+        # cached alongside the set forms: non-hot callers (and the
+        # set-domain fallback kernels) keep the sets, while the
+        # bit-parallel kernels probe these.
+        self._position_masks: Dict[Tuple[str, int], int] = {}
+        self._pair_bits: Dict[Tuple[str, int, int], Dict[int, int]] = {}
+        self._packed_rows: Dict[str, FrozenSet[int]] = {}
+        self._loop_masks: Dict[str, int] = {}
 
     def pair_map(self, relation: str, i: int, j: int
                  ) -> Dict[int, FrozenSet[int]]:
@@ -138,6 +188,56 @@ class TargetIndex:
             cached = {value: frozenset(seen)
                       for value, seen in collected.items()}
             self._pair_maps[key] = cached
+        return cached
+
+    def position_mask(self, relation: str, i: int):
+        """The positional candidate set as a bitset (``None`` when the
+        ``(relation, position)`` pair has no target facts at all)."""
+        key = (relation, i)
+        cached = self._position_masks.get(key)
+        if cached is None:
+            allowed = self.positions.get(key)
+            if allowed is None:
+                return None
+            cached = mask_of(allowed)
+            self._position_masks[key] = cached
+        return cached
+
+    def pair_bits(self, relation: str, i: int, j: int) -> Dict[int, int]:
+        """:meth:`pair_map` with bitset values: ``{v: mask of w}``."""
+        key = (relation, i, j)
+        cached = self._pair_bits.get(key)
+        if cached is None:
+            cached = {value: mask_of(seen)
+                      for value, seen in self.pair_map(relation, i, j).items()}
+            self._pair_bits[key] = cached
+        return cached
+
+    def loop_mask(self, relation: str) -> int:
+        """Bitset of values ``v`` with a binary fact ``R(v, v)``."""
+        cached = self._loop_masks.get(relation)
+        if cached is None:
+            cached = 0
+            for row in self.tuples.get(relation, ()):
+                if len(row) == 2 and row[0] == row[1]:
+                    cached |= 1 << row[0]
+            self._loop_masks[relation] = cached
+        return cached
+
+    def packed_rows(self, relation: str) -> FrozenSet[int]:
+        """The relation's rows packed into single ints
+        (``Σ row[t] << (t·key_bits)`` — the DP's key layout)."""
+        cached = self._packed_rows.get(relation)
+        if cached is None:
+            kb = self.key_bits
+            packed = set()
+            for row in self.tuples.get(relation, ()):
+                key = 0
+                for t, value in enumerate(row):
+                    key |= value << (t * kb)
+                packed.add(key)
+            cached = frozenset(packed)
+            self._packed_rows[relation] = cached
         return cached
 
     def __repr__(self) -> str:
@@ -156,13 +256,25 @@ class SourcePlan:
 
     __slots__ = ("source", "inter", "order", "incident", "facts",
                  "fact_arities", "nullary_relations", "isolated_count",
-                 "tail_simple", "_dp_plan")
+                 "tail_simple", "level_props", "level_checks",
+                 "_dp_plan", "_base_domains", "_dp_resolved",
+                 "_strategy_cache")
 
     def __init__(self, source: Structure):
         self.source = source
         inter = interned(source)
         self.inter = inter
         self._dp_plan = None
+        # Per-target base bitmask domains (see base_domain_masks):
+        # target structure -> (feasible, tuple of masks per variable).
+        self._base_domains: "OrderedDict[Structure, Tuple[bool, Tuple[int, ...]]]" \
+            = OrderedDict()
+        # Per-target resolved DP introduce programs (see
+        # repro.hom.dpcount._resolved_intro): target structure ->
+        # per-node op tuples with projections, spreads and key
+        # geometry pre-bound — pure functions of (plan, target), so
+        # repeat DP counts skip all per-node setup.
+        self._dp_resolved: "OrderedDict[Structure, tuple]" = OrderedDict()
         facts: List[Tuple[str, Tuple[int, ...]]] = []
         nullary: List[str] = []
         for relation, row in inter.iter_facts():
@@ -196,6 +308,41 @@ class SourcePlan:
                 )
         self.incident = {v: tuple(entries) for v, entries in incident.items()}
 
+        # Level-compiled forward-checking schedules for the bitset
+        # kernel.  The search assigns variables strictly in the static
+        # order, so "currently assigned" when ``order[L]`` is placed is
+        # exactly the prefix ``order[:L+1]`` — which neighbour
+        # positions still need pruning and which facts become fully
+        # decided is known at compile time, not per search node.
+        # ``level_props[L]`` holds ``(relation, i, j, other_var)``
+        # propagation edges fired when ``order[L]`` is assigned;
+        # ``level_checks[L]`` holds ``(relation, terms)`` facts that
+        # close at level ``L`` and are not already enforced by
+        # propagation (arity ≠ 2 or self-loops).
+        order_pos = {v: L for L, v in enumerate(self.order)}
+        props: List[List[Tuple[str, int, int, int]]] = \
+            [[] for _ in self.order]
+        checks: List[List[Tuple[str, Tuple[int, ...]]]] = \
+            [[] for _ in self.order]
+        for relation, row in facts:
+            if len(row) != 2 or row[0] == row[1]:
+                checks[max(order_pos[t] for t in row)].append((relation, row))
+            for level in sorted({order_pos[t] for t in row}):
+                variable = self.order[level]
+                for i, t in enumerate(row):
+                    if t != variable:
+                        continue
+                    for j, other in enumerate(row):
+                        if order_pos[other] > level:
+                            props[level].append((relation, i, j, other))
+        self.level_props = tuple(tuple(entries) for entries in props)
+        self.level_checks = tuple(tuple(entries) for entries in checks)
+
+        # Per-target strategy choices (see choose_strategy): the
+        # cost-model verdict is a pure function of (plan, target
+        # structure), so repeat counts skip both estimate loops.
+        self._strategy_cache: "OrderedDict[Structure, str]" = OrderedDict()
+
         # The last variable in the static order can be closed
         # combinatorially when every fact incident to it is either
         # unary (already folded into the positional candidate sets) or
@@ -225,11 +372,77 @@ class SourcePlan:
             self._dp_plan = plan
         return plan
 
+    # Per-plan, a handful of distinct targets covers every realistic
+    # request stream (the engine's own target LRU is the big cache);
+    # the bound only stops a pathological many-target caller from
+    # pinning arbitrarily many structures through their plans.
+    _BASE_DOMAIN_CACHE = 8
+
+    def base_domain_masks(self, index: "TargetIndex"):
+        """Base bitmask domains of this plan against one target.
+
+        ``(feasible, masks)`` where ``masks[var]`` is the intersection
+        of the target's positional candidate bitsets over every
+        occurrence of ``var`` in this plan's facts — the domains every
+        count against that target starts from.  A pure function of
+        ``(self, index.structure)``, so it is cached per target
+        structure (LRU-bounded on the plan, evicted with the plan
+        itself): repeat counts against the same target skip the whole
+        intersection loop.  ``feasible`` is ``False`` when some domain
+        came up empty (the count is 0 regardless of ``first_only``).
+        Callers must not mutate the returned tuple's masks in place —
+        they are ints, so ordinary rebinding is always safe.
+        """
+        key = index.structure
+        cache = self._base_domains
+        entry = cache.get(key)
+        if entry is not None:
+            cache.move_to_end(key)
+            return entry
+        position_mask = index.position_mask
+        masks: List = [None] * self.inter.n_active
+        feasible = True
+        for relation, terms in self.facts:
+            for i, term in enumerate(terms):
+                allowed = position_mask(relation, i)
+                if allowed is None:
+                    feasible = False
+                    break
+                current = masks[term]
+                masks[term] = allowed if current is None \
+                    else current & allowed
+            if not feasible:
+                break
+        if feasible:
+            feasible = all(masks)
+        entry = (feasible, tuple(masks) if feasible else ())
+        cache[key] = entry
+        if len(cache) > self._BASE_DOMAIN_CACHE:
+            cache.popitem(last=False)
+        return entry
+
 
 @lru_cache(maxsize=4096)
 def source_plan(source: Structure) -> SourcePlan:
     """The (cached) compiled plan of a source structure."""
     return SourcePlan(source)
+
+
+@lru_cache(maxsize=1024)
+def target_index(target: Structure) -> TargetIndex:
+    """The (cached) compiled index of a target structure.
+
+    Like :func:`~repro.structures.interned.interned`,
+    :func:`~repro.structures.canonical.canonical_key` and
+    :func:`source_plan`, the compiled target is a pure function of the
+    (immutable, hashable) structure, so one build is shared
+    process-wide: engines and sessions that come and go — batch
+    workers, per-request service sessions, ``clear()``-ed benches —
+    reuse the index *and* its lazily grown projection maps and bitmask
+    twins instead of recompiling the same target.  Engines keep their
+    own LRU view on top (``max_targets``) for per-engine accounting.
+    """
+    return TargetIndex(target)
 
 
 def count_with_index(source: Structure, index: TargetIndex,
@@ -301,20 +514,33 @@ def choose_strategy(plan: SourcePlan, index: TargetIndex,
     homomorphism; the DP cannot).  Tiny sources and cheap searches
     backtrack without ever paying for a decomposition; otherwise the
     decomposition is built once (cached on the plan) and the two cost
-    estimates are compared.
+    estimates are compared.  The verdict is a pure function of
+    ``(plan, index.structure)``, so it is cached on the plan (same
+    LRU bound as the base-domain masks): hot request streams pay the
+    estimate loops once per (source, target) pair.
     """
     if first_only or len(plan.order) < _DP_MIN_VARS:
         return "backtrack"
+    cache = plan._strategy_cache
+    key = index.structure
+    cached = cache.get(key)
+    if cached is not None:
+        cache.move_to_end(key)
+        return cached
+    choice = "backtrack"
     backtrack_cost = _estimate_backtrack_cost(plan, index)
-    if backtrack_cost <= _BACKTRACK_CHEAP_FLOOR:
-        return "backtrack"
-    try:
-        dp = plan.dp_plan()
-    except ReproError:  # decomposition failed: never block counting
-        return "backtrack"
-    if _estimate_dp_cost(dp, index) * _DP_COST_BIAS < backtrack_cost:
-        return "dp"
-    return "backtrack"
+    if backtrack_cost > _BACKTRACK_CHEAP_FLOOR:
+        try:
+            dp = plan.dp_plan()
+        except ReproError:  # decomposition failed: never block counting
+            dp = None
+        if dp is not None and \
+                _estimate_dp_cost(dp, index) * _DP_COST_BIAS < backtrack_cost:
+            choice = "dp"
+    cache[key] = choice
+    if len(cache) > SourcePlan._BASE_DOMAIN_CACHE:
+        cache.popitem(last=False)
+    return choice
 
 
 def count_plan(plan: SourcePlan, index: TargetIndex,
@@ -339,15 +565,13 @@ def count_plan(plan: SourcePlan, index: TargetIndex,
     return _count(plan, index, first_only)
 
 
-def _plan_preamble(plan: SourcePlan, index: TargetIndex, first_only: bool):
-    """The shared pre-search phase of both counting backends.
+def _preamble_guards(plan: SourcePlan, index: TargetIndex, first_only: bool):
+    """The search-free decisions shared by both preambles.
 
-    Returns ``(decided, domains, free_factor)``: when ``decided`` is
-    not ``None`` the count is fully determined before any search (0-ary
-    fact missing, arity mismatch, empty candidate set, variable-free
-    source); otherwise ``domains`` maps each ordered variable to its
-    positional candidate set and ``free_factor`` is the isolated-element
-    multiplier the caller applies to the search result.
+    ``(decided, free_factor)``: ``decided`` is the final count when the
+    question settles before any candidate machinery (0-ary fact
+    missing, arity mismatch, variable-free source), otherwise ``None``
+    with the isolated-element multiplier the caller applies.
     """
     tuples = index.tuples
     # 0-ary facts of the source must literally be present in the target;
@@ -355,7 +579,7 @@ def _plan_preamble(plan: SourcePlan, index: TargetIndex, first_only: bool):
     for relation in plan.nullary_relations:
         present = tuples.get(relation)
         if not present or () not in present:
-            return 0, None, 1
+            return 0, 1
 
     # Arity guard: a fact R(t̄) can only map onto same-arity R-facts.
     # The positional filters below assume matching arities (a wider
@@ -364,18 +588,49 @@ def _plan_preamble(plan: SourcePlan, index: TargetIndex, first_only: bool):
     target_arities = index.arities
     for relation, arity in plan.fact_arities:
         if target_arities.get(relation) != arity:
-            return 0, None, 1
+            return 0, 1
 
     if plan.isolated_count and not first_only:
         if index.domain_size == 0:
-            return 0, None, 1
+            return 0, 1
         free_factor = index.domain_size ** plan.isolated_count
     elif plan.isolated_count and index.domain_size == 0:
-        return 0, None, 1
+        return 0, 1
     else:
         free_factor = 1
     if not plan.order:
-        return (1 if first_only else free_factor), None, free_factor
+        return (1 if first_only else free_factor), free_factor
+    return None, free_factor
+
+
+def _plan_preamble(plan: SourcePlan, index: TargetIndex, first_only: bool):
+    """The shared pre-search phase of both bit-parallel backends.
+
+    Returns ``(decided, domains, free_factor)``: when ``decided`` is
+    not ``None`` the count is fully determined before any search;
+    otherwise ``domains`` is a mutable list mapping each source
+    variable (a dense int) to its candidate *bitset*.  The base masks
+    come from the per-target cache on the plan
+    (:meth:`SourcePlan.base_domain_masks`), so only the first count
+    against a target pays the intersection loop.
+    """
+    decided, free_factor = _preamble_guards(plan, index, first_only)
+    if decided is not None or not plan.order:
+        return decided, None, free_factor
+    feasible, base = plan.base_domain_masks(index)
+    if not feasible:
+        return 0, None, free_factor
+    return None, list(base), free_factor
+
+
+def _plan_preamble_sets(plan: SourcePlan, index: TargetIndex,
+                        first_only: bool):
+    """:func:`_plan_preamble` over set domains — the fallback kernels'
+    preamble (domains as ``{variable: set of values}``), also the
+    ablation reference the bench suite times the bitsets against."""
+    decided, free_factor = _preamble_guards(plan, index, first_only)
+    if decided is not None or not plan.order:
+        return decided, None, free_factor
 
     # Positional candidate sets (intersection over every occurrence).
     positions = index.positions
@@ -397,7 +652,134 @@ def _plan_preamble(plan: SourcePlan, index: TargetIndex, first_only: bool):
 
 
 def _count(plan: SourcePlan, index: TargetIndex, first_only: bool) -> int:
+    """Backtracking count: bitset kernel, set kernel past the cap."""
+    if index.domain_size > _BITSET_MAX_DOMAIN:
+        _BITSET_COUNTERS["fallbacks"] += 1
+        return _count_sets(plan, index, first_only)
+    return _count_bitset(plan, index, first_only)
+
+
+def _count_bitset(plan: SourcePlan, index: TargetIndex,
+                  first_only: bool) -> int:
+    """Forward-checking backtracking over bitset domains.
+
+    Semantically identical to :func:`_count_sets` — the candidate sets
+    are the same sets, just packed — with three representation wins:
+    propagation is ``old & allowed`` on two ints, the undo trail is a
+    flat list of ``(variable, old_mask)`` int pairs (no set copies),
+    and level iteration scans set bits from the least-significant end,
+    so candidates are visited in deterministic ascending value order.
+    """
     decided, domains, free_factor = _plan_preamble(plan, index, first_only)
+    if decided is not None:
+        return decided
+    order = plan.order
+    n = len(order)
+
+    if n == 1 and plan.tail_simple:
+        size = domains[order[0]].bit_count()
+        return (1 if size else 0) if first_only else size * free_factor
+
+    # Resolve the plan's level-compiled schedules against this target
+    # once per count: propagation edges become (projection-dict, var)
+    # pairs, closing checks become (row-set, terms) pairs.  The search
+    # loop below then runs with zero per-node membership probes — no
+    # "which neighbours are unassigned" recomputation, no assignment
+    # dict; the assignment is a flat list indexed by variable (stale
+    # slots above the current level are never read, because a level's
+    # checks only touch variables at or below it).
+    pair_bits = index.pair_bits
+    tuples = index.tuples
+    prop_ops = [tuple((pair_bits(rel, i, j), other)
+                      for rel, i, j, other in entries)
+                for entries in plan.level_props]
+    check_ops = [tuple((tuples.get(rel, _EMPTY), terms)
+                       for rel, terms in entries)
+                 for entries in plan.level_checks]
+    assign: List[int] = [0] * plan.inter.n_active
+    propagations = 0
+
+    total = 0
+    last = n - 1
+    tail_simple = plan.tail_simple
+    remaining: List[int] = [0] * n
+    trails: List = [None] * n
+    remaining[0] = domains[order[0]]
+    level = 0
+    while level >= 0:
+        variable = order[level]
+        checks = check_ops[level]
+        props = prop_ops[level]
+        mask = remaining[level]
+        trail = None
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            value = low.bit_length() - 1
+            assign[variable] = value
+            if checks:
+                ok = True
+                for rows, terms in checks:
+                    if tuple(assign[t] for t in terms) not in rows:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+            trail = []
+            for projection, other in props:
+                allowed = projection.get(value, 0)
+                old = domains[other]
+                new = old & allowed
+                if new == old:
+                    continue
+                trail.append((other, old))
+                domains[other] = new
+                if not new:
+                    propagations += len(trail)
+                    for o, m in reversed(trail):
+                        domains[o] = m
+                    trail = None
+                    break
+            if trail is not None:
+                propagations += len(trail)
+                break
+        remaining[level] = mask
+        if trail is None:
+            # level exhausted: backtrack
+            level -= 1
+            if level >= 0:
+                for other, old in reversed(trails[level]):
+                    domains[other] = old
+            continue
+        if level == last:
+            total += 1
+            for other, old in reversed(trail):
+                domains[other] = old
+            if first_only:
+                _BITSET_COUNTERS["propagations"] += propagations
+                return 1
+            continue
+        trails[level] = trail
+        if level + 1 == last and tail_simple:
+            # Every remaining constraint on the last variable has been
+            # folded into its pruned candidate set: close combinatorially.
+            total += domains[order[last]].bit_count()
+            for other, old in reversed(trail):
+                domains[other] = old
+            if first_only and total:
+                _BITSET_COUNTERS["propagations"] += propagations
+                return 1
+            continue
+        level += 1
+        remaining[level] = domains[order[level]]
+    _BITSET_COUNTERS["propagations"] += propagations
+    return (1 if total else 0) if first_only else total * free_factor
+
+
+def _count_sets(plan: SourcePlan, index: TargetIndex,
+                first_only: bool) -> int:
+    decided, domains, free_factor = _plan_preamble_sets(plan, index,
+                                                       first_only)
     if decided is not None:
         return decided
     tuples = index.tuples
@@ -562,7 +944,7 @@ class HomEngine:
     def target_index(self, target: Structure) -> TargetIndex:
         index = self._targets.get(target)
         if index is None:
-            index = TargetIndex(target)
+            index = target_index(target)
             self._targets[target] = index
             if len(self._targets) > self.max_targets:
                 self._targets.popitem(last=False)
@@ -720,6 +1102,7 @@ class HomEngine:
             # are surfaced here because the engine is what drives them.
             "interning": intern_stats(),
             "canonical": canonical_stats(),
+            "bitset": bitset_stats(),
             "dp_counts": self.dp_counts,
             "backtrack_counts": self.backtrack_counts,
             "width_histogram": dict(self.width_histogram),

@@ -30,6 +30,17 @@ Determinism: the intern order is first-seen over facts sorted by
 ``repr`` — independent of ``PYTHONHASHSEED`` and of the insertion
 order of the original fact set, which the batch subsystem's
 byte-for-byte output comparisons rely on.
+
+Because every interned domain is the contiguous range ``0..n-1``, a
+*set of values* has a second natural representation: one Python int
+used as a machine-word bitset, bit ``v`` set iff value ``v`` is in the
+set.  Intersection is ``&``, emptiness is ``== 0``, cardinality is
+``int.bit_count`` — each a single C-level operation instead of a hash
+walk.  The helpers below (:func:`mask_of`, :func:`iter_bits`,
+:func:`bit_indices`) are the shared vocabulary of the bit-parallel
+counting kernels (:mod:`repro.hom.engine`, :mod:`repro.hom.dpcount`);
+:attr:`InternedStructure.key_bits` is the per-value field width those
+kernels use to pack whole assignments into single int keys.
 """
 
 from __future__ import annotations
@@ -40,6 +51,31 @@ from typing import Dict, Hashable, List, Tuple
 from repro.structures.structure import Structure
 
 Constant = Hashable
+
+
+def mask_of(values) -> int:
+    """The bitset of an iterable of dense ints (bit ``v`` ⇔ ``v`` in)."""
+    mask = 0
+    for value in values:
+        mask |= 1 << value
+    return mask
+
+
+def iter_bits(mask: int):
+    """Yield the set bit indices of ``mask`` in ascending order.
+
+    The deterministic candidate-iteration order of the bit-parallel
+    kernels: independent of hash seeds and of how the mask was built.
+    """
+    while mask:
+        low = mask & -mask
+        mask ^= low
+        yield low.bit_length() - 1
+
+
+def bit_indices(mask: int) -> List[int]:
+    """:func:`iter_bits` materialized (ascending list of set bits)."""
+    return list(iter_bits(mask))
 
 
 class InternTable:
@@ -108,10 +144,17 @@ class InternedStructure:
         Total domain size.  Indices ``n_active..n-1`` are the isolated
         elements, preserved so frozen bodies keep their ``|dom|``
         factors.
+    key_bits:
+        Field width for packing one value of this domain into an int
+        key (``max(1, n.bit_length())``): ``Σ value_i << (i·key_bits)``
+        is injective over tuples of values, the packed-key layout of
+        the columnar DP tables.
+    active_mask:
+        The bitset of the active indices, ``(1 << n_active) - 1``.
     """
 
     __slots__ = ("table", "relations", "arities", "n_active", "n",
-                 "wl_cache")
+                 "key_bits", "active_mask", "wl_cache")
 
     def __init__(self, structure: Structure):
         # Lazily filled by canonical.wl_colors: the stable full-domain
@@ -134,6 +177,8 @@ class InternedStructure:
             table.intern(constant)
         self.table = table
         self.n = len(table)
+        self.key_bits = max(1, self.n.bit_length())
+        self.active_mask = (1 << self.n_active) - 1
         self.relations: Dict[str, Tuple[Tuple[int, ...], ...]] = {
             name: tuple(sorted(rows)) for name, rows in grouped.items()
         }

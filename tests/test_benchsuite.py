@@ -23,6 +23,9 @@ EXPECTED_WORKLOADS = {
     "decision": {"decide_16_views_s"},
     "hom_treewidth": {"backtracking_engine_s", "dp_engine_s", "speedup",
                       "auto_picks_dp"},
+    "hom_bitset": {"backtrack_set_s", "backtrack_bitset_s",
+                   "speedup_backtrack", "dp_set_s", "dp_bitset_s",
+                   "speedup_dp"},
     "service_throughput": {"cold_dispatch_per_task_s",
                            "warm_service_per_task_s", "speedup", "tasks"},
     "linalg_det": {"gaussian_fraction_s", "bareiss_s", "speedup"},
