@@ -1,97 +1,54 @@
 #!/usr/bin/env python
 """CI gate: fail when engine benchmark timings regress vs the baseline.
 
+Thin wrapper over the regression gate in :mod:`repro.benchsuite` — the
+same comparison behind ``repro bench check`` — kept as a standalone
+script so CI can invoke it with a bare ``python`` regardless of how the
+package is (not) installed.
+
 Usage::
 
     python -m repro.cli bench --json --output bench_ci.json --repeat 5
     python scripts/check_bench_regression.py \
         --baseline BENCH_engine.json --current bench_ci.json --factor 2.0
 
-Every engine-side ``*_s`` timing present in both reports is compared
-(ablation/reference timings like ``direct_backtracking_s`` are skipped
-— they only exist to compute speedups); a timing regresses when
-``current > factor * baseline + slack``.  The factor is
-deliberately tolerant (CI runners are noisy, shared, and differently
-clocked than the machine that wrote the baseline) and the additive
-slack keeps microsecond-scale timings from tripping on clock
-resolution.  The gate is for *architecture-level* regressions — losing
-a 10x speedup — not for 20% jitter.
+See :func:`repro.benchsuite.compare_reports` for the gate semantics
+(tolerant factor + additive slack; ablation timings skipped; missing
+workloads fail loudly).
 """
 
 from __future__ import annotations
 
 import argparse
-import json
+import os
 import sys
-from typing import Dict, List, Tuple
 
-DEFAULT_FACTOR = 2.0
-DEFAULT_SLACK_S = 0.005
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, "src"))
 
-# Timings of the deliberately-naive ablation/reference implementations.
-# They exist only to compute speedups; their absolute cost on a noisy
-# runner carries no product signal, so the gate ignores them.
-ABLATION_KEYS = frozenset({
-    "direct_backtracking_s",
-    "exact_key_dict_s",
-    "gaussian_fraction_s",
-    "backtracking_engine_s",
-    "cold_dispatch_per_task_s",
-    "pairwise_iso_dedup_s",
-    "large_target_direct_s",
-    "backtrack_set_s",
-    "dp_set_s",
-})
+from repro.benchsuite import (  # noqa: E402
+    ABLATION_KEYS,
+    DEFAULT_FACTOR,
+    DEFAULT_SLACK_S,
+    compare_reports,
+    render_gate,
+)
+from repro.benchsuite import load_report as _load_report  # noqa: E402
+from repro.errors import ReproError  # noqa: E402
 
+# Historical module surface (tests and older tooling import these).
+compare = compare_reports
 
-def load_report(path: str) -> Dict:
-    with open(path, "r", encoding="utf-8") as handle:
-        report = json.load(handle)
-    if "workloads" not in report:
-        raise SystemExit(f"{path}: not a bench report (no 'workloads' key)")
-    return report
+__all__ = ["ABLATION_KEYS", "DEFAULT_FACTOR", "DEFAULT_SLACK_S",
+           "compare", "load_report", "main"]
 
 
-def compare(
-    baseline: Dict,
-    current: Dict,
-    factor: float = DEFAULT_FACTOR,
-    slack: float = DEFAULT_SLACK_S,
-) -> Tuple[List[str], List[str]]:
-    """``(lines, failures)``: a human-readable table and the regressions."""
-    lines: List[str] = []
-    failures: List[str] = []
-    base_workloads = baseline.get("workloads", {})
-    current_workloads = current.get("workloads", {})
-    compared = 0
-    for name in sorted(base_workloads):
-        if name not in current_workloads:
-            # A workload that exists in the baseline but not in the
-            # current run is a silently dropped benchmark — exactly the
-            # kind of coverage loss this gate exists to catch.
-            lines.append(f"  {name}: MISSING from current report")
-            failures.append(f"{name} (missing workload)")
-            continue
-        for key in sorted(base_workloads[name]):
-            if not key.endswith("_s") or key in ABLATION_KEYS:
-                continue
-            if key not in current_workloads[name]:
-                lines.append(f"  {name}.{key}: MISSING from current report")
-                failures.append(f"{name}.{key} (missing timing)")
-                continue
-            base_value = float(base_workloads[name][key])
-            current_value = float(current_workloads[name][key])
-            limit = factor * base_value + slack
-            verdict = "ok" if current_value <= limit else "REGRESSED"
-            lines.append(
-                f"  {name}.{key}: {current_value:.6f}s vs baseline "
-                f"{base_value:.6f}s (limit {limit:.6f}s) {verdict}")
-            compared += 1
-            if current_value > limit:
-                failures.append(f"{name}.{key}")
-    if compared == 0:
-        failures.append("nothing compared: reports share no *_s timings")
-    return lines, failures
+def load_report(path: str):
+    try:
+        return _load_report(path)
+    except ReproError as error:
+        raise SystemExit(str(error))
 
 
 def main(argv=None) -> int:
@@ -109,16 +66,10 @@ def main(argv=None) -> int:
 
     baseline = load_report(args.baseline)
     current = load_report(args.current)
-    lines, failures = compare(baseline, current, args.factor, args.slack)
-    print(f"bench regression gate (factor {args.factor}x, "
-          f"slack {args.slack}s):")
-    for line in lines:
-        print(line)
-    if failures:
-        print(f"FAIL: {len(failures)} regression(s): {', '.join(failures)}")
-        return 1
-    print("PASS: no timing regressed past the gate")
-    return 0
+    lines, failures = compare_reports(baseline, current,
+                                      args.factor, args.slack)
+    print(render_gate(lines, failures, args.factor, args.slack))
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

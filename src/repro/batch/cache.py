@@ -336,6 +336,22 @@ class SQLiteHomStore:
         except (SerializationError, ValueError):
             return None
 
+    def clear(self) -> int:
+        """Delete every persisted answer (``repro cache flush``).
+
+        Drops pending (unflushed) rows too — flushing them after a
+        clear would resurrect part of the cache the operator just
+        asked to empty.  Returns the number of deleted rows.
+        """
+        self._pending = {_COUNTS: [], _EXISTS: []}
+        self._pending_targets = []
+        removed = len(self)
+        connection = self._connect()
+        with connection:
+            for table in (_COUNTS, _EXISTS, "targets"):
+                connection.execute(f"DELETE FROM {table}")
+        return removed
+
     def counts_len(self) -> int:
         return self._table_len(_COUNTS)
 

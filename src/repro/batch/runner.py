@@ -42,6 +42,8 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.errors import ReproError
+from repro.obs.metrics import merge_counter_snapshots
+from repro.obs.trace import span
 from repro.batch.tasks import DecodedTask, canonical_json, decode_task
 from repro.core.decision import decide_bag_determinacy
 from repro.core.pathdet import decide_path_determinacy
@@ -119,9 +121,11 @@ def evaluate_envelope(line: str, context: Context) -> Dict:
     session = _as_session(context)
     task_id, kind = None, None
     try:
-        task = decode_task(line)
+        with span("parse"):
+            task = decode_task(line)
         task_id, kind = task.id, task.kind
-        record = evaluate_task(task, session)
+        with span("count"):
+            record = evaluate_task(task, session)
     except ReproError as exc:
         session.record_task(ok=False)
         return {
@@ -147,20 +151,35 @@ def evaluate_line(line: str, context: Context) -> str:
 # Worker pool plumbing
 # ----------------------------------------------------------------------
 _WORKER_SESSION: Optional[SolverSession] = None
+_WORKER_LAST_METRICS: Dict[str, float] = {}
 
 
 def _init_worker(cache_path: Optional[str], preload: int) -> None:
-    global _WORKER_SESSION
+    global _WORKER_SESSION, _WORKER_LAST_METRICS
     _WORKER_SESSION = SolverSession(store_path=cache_path, preload=preload)
+    _WORKER_LAST_METRICS = {}
 
 
-def _evaluate_chunk(lines: List[str]) -> List[str]:
+def _evaluate_chunk(lines: List[str]) -> tuple:
+    """``(result lines, metrics delta)`` for one chunk.
+
+    The delta is this worker's monotonic counter movement since its
+    previous chunk (cumulative snapshots would double-count when the
+    parent sums them), so the parent can merge per-worker registries
+    into one run summary without any worker-lifetime rendezvous.
+    """
+    global _WORKER_LAST_METRICS
     session = _WORKER_SESSION
     if session is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("batch worker used before initialization")
     results = [evaluate_line(line, session) for line in lines]
     session.flush()
-    return results
+    current = session.metrics.counters_snapshot()
+    delta = {name: value - _WORKER_LAST_METRICS.get(name, 0)
+             for name, value in current.items()
+             if value != _WORKER_LAST_METRICS.get(name, 0)}
+    _WORKER_LAST_METRICS = current
+    return results, delta
 
 
 def _chunks(lines: Iterable[str], size: int) -> Iterator[List[str]]:
@@ -192,6 +211,7 @@ def iter_results(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     preload: int = DEFAULT_PRELOAD,
     session: Optional[SolverSession] = None,
+    metrics_sink: Optional[Dict[str, float]] = None,
 ) -> Iterator[str]:
     """Evaluate task lines, yielding result lines in task order.
 
@@ -203,25 +223,36 @@ def iter_results(
     mode only — worker processes own their sessions) evaluates the
     stream under caller-owned state: the request service passes its
     resident session here so memo and store stay warm across streams.
+    ``metrics_sink`` (a dict) receives the merged monotonic metric
+    movement of the run — per-worker registry deltas summed under the
+    namespaced schema (:mod:`repro.obs`).
     """
     chunk_size = max(1, chunk_size)
     if workers <= 1:
+        scoped = session
         if session is not None:
             if cache_path is not None:
                 raise ReproError(
                     "iter_results: pass either session= or cache_path=, "
                     "not both (the session already owns its store)")
-            for chunk in _chunks(lines, chunk_size):
-                for line in chunk:
-                    yield evaluate_line(line, session)
-                session.flush()
-            return
-        scoped = SolverSession(store_path=cache_path, preload=preload)
-        with scoped:
+        else:
+            scoped = SolverSession(store_path=cache_path, preload=preload)
+        before = (scoped.metrics.counters_snapshot()
+                  if metrics_sink is not None else {})
+        try:
             for chunk in _chunks(lines, chunk_size):
                 for line in chunk:
                     yield evaluate_line(line, scoped)
                 scoped.flush()
+        finally:
+            if metrics_sink is not None:
+                after = scoped.metrics.counters_snapshot()
+                merge_counter_snapshots(metrics_sink, {
+                    name: value - before.get(name, 0)
+                    for name, value in after.items()
+                    if value != before.get(name, 0)})
+            if scoped is not session:
+                scoped.close()
         return
     if session is not None:
         raise ReproError(
@@ -244,12 +275,19 @@ def iter_results(
         # task order while at most `max_inflight` chunks are queued.
         max_inflight = max(2, workers * 4)
         inflight: "deque" = deque()
+
+        def drain_oldest() -> Iterator[str]:
+            results, delta = inflight.popleft().result()
+            if metrics_sink is not None:
+                merge_counter_snapshots(metrics_sink, delta)
+            return results
+
         for chunk in _chunks(lines, chunk_size):
             inflight.append(executor.submit(_evaluate_chunk, chunk))
             if len(inflight) >= max_inflight:
-                yield from inflight.popleft().result()
+                yield from drain_oldest()
         while inflight:
-            yield from inflight.popleft().result()
+            yield from drain_oldest()
     finally:
         executor.shutdown(wait=True, cancel_futures=True)
 
@@ -269,7 +307,9 @@ def run_batch(
     (``-`` = stdout).  With ``resume``, task ids already present in the
     output file are skipped and fresh results are appended — so an
     interrupted batch continues where it stopped.  Returns a summary:
-    ``{"tasks", "skipped", "written", "errors"}``.
+    ``{"tasks", "skipped", "written", "errors", "metrics"}`` — the
+    ``metrics`` block is the merged per-worker registry movement
+    (namespaced counter deltas summed across the pool).
     """
     done = set()
     if resume and output_path != "-":
@@ -281,7 +321,9 @@ def run_batch(
     else:
         raw_lines = open(input_path, "r", encoding="utf-8")
 
-    summary = {"tasks": 0, "skipped": 0, "written": 0, "errors": 0}
+    summary: Dict[str, object] = {"tasks": 0, "skipped": 0,
+                                  "written": 0, "errors": 0}
+    metrics: Dict[str, float] = {}
 
     def pending() -> Iterator[str]:
         for line in raw_lines:
@@ -300,7 +342,8 @@ def run_batch(
     try:
         for result in iter_results(pending(), workers=workers,
                                    cache_path=cache_path,
-                                   chunk_size=chunk_size, preload=preload):
+                                   chunk_size=chunk_size, preload=preload,
+                                   metrics_sink=metrics):
             sink.write(result + "\n")
             summary["written"] += 1
             if '"ok":false' in result:
@@ -310,6 +353,7 @@ def run_batch(
             sink.close()
         if raw_lines is not sys.stdin:
             raw_lines.close()
+    summary["metrics"] = metrics
     return summary
 
 

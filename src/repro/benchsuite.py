@@ -472,3 +472,102 @@ def format_report(report: Dict[str, object]) -> str:
         )
         lines.append(f"  {name}: {parts}")
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Regression gate (``repro bench check`` / scripts/check_bench_regression)
+# ----------------------------------------------------------------------
+DEFAULT_FACTOR = 2.0
+DEFAULT_SLACK_S = 0.005
+
+# Timings of the deliberately-naive ablation/reference implementations.
+# They exist only to compute speedups; their absolute cost on a noisy
+# runner carries no product signal, so the gate ignores them.
+ABLATION_KEYS = frozenset({
+    "direct_backtracking_s",
+    "exact_key_dict_s",
+    "gaussian_fraction_s",
+    "backtracking_engine_s",
+    "cold_dispatch_per_task_s",
+    "pairwise_iso_dedup_s",
+    "large_target_direct_s",
+    "backtrack_set_s",
+    "dp_set_s",
+})
+
+
+def load_report(path: str) -> Dict[str, object]:
+    """A bench report from disk, validated to actually be one."""
+    from repro.errors import ReproError
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except OSError as exc:
+        raise ReproError(f"cannot read bench report {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{path}: not JSON: {exc}")
+    if "workloads" not in report:
+        raise ReproError(f"{path}: not a bench report (no 'workloads' key)")
+    return report
+
+
+def compare_reports(baseline: Dict[str, object], current: Dict[str, object],
+                    factor: float = DEFAULT_FACTOR,
+                    slack: float = DEFAULT_SLACK_S):
+    """``(lines, failures)``: a human-readable table and the regressions.
+
+    Every engine-side ``*_s`` timing present in the baseline is compared
+    (ablation/reference timings are skipped — they only exist to compute
+    speedups); a timing regresses when ``current > factor * baseline +
+    slack``.  The factor is deliberately tolerant (CI runners are noisy,
+    shared, and differently clocked than the machine that wrote the
+    baseline) and the additive slack keeps microsecond-scale timings
+    from tripping on clock resolution.  The gate is for
+    *architecture-level* regressions — losing a 10x speedup — not for
+    20% jitter.  A workload or timing missing from ``current`` is a
+    silently dropped benchmark and fails the gate.
+    """
+    lines: List[str] = []
+    failures: List[str] = []
+    base_workloads = baseline.get("workloads", {})
+    current_workloads = current.get("workloads", {})
+    compared = 0
+    for name in sorted(base_workloads):
+        if name not in current_workloads:
+            lines.append(f"  {name}: MISSING from current report")
+            failures.append(f"{name} (missing workload)")
+            continue
+        for key in sorted(base_workloads[name]):
+            if not key.endswith("_s") or key in ABLATION_KEYS:
+                continue
+            if key not in current_workloads[name]:
+                lines.append(f"  {name}.{key}: MISSING from current report")
+                failures.append(f"{name}.{key} (missing timing)")
+                continue
+            base_value = float(base_workloads[name][key])
+            current_value = float(current_workloads[name][key])
+            limit = factor * base_value + slack
+            verdict = "ok" if current_value <= limit else "REGRESSED"
+            lines.append(
+                f"  {name}.{key}: {current_value:.6f}s vs baseline "
+                f"{base_value:.6f}s (limit {limit:.6f}s) {verdict}")
+            compared += 1
+            if current_value > limit:
+                failures.append(f"{name}.{key}")
+    if compared == 0:
+        failures.append("nothing compared: reports share no *_s timings")
+    return lines, failures
+
+
+def render_gate(lines: List[str], failures: List[str],
+                factor: float, slack: float) -> str:
+    """The gate verdict as the text both CLI entry points print."""
+    out = [f"bench regression gate (factor {factor}x, slack {slack}s):"]
+    out.extend(lines)
+    if failures:
+        out.append(f"FAIL: {len(failures)} regression(s): "
+                   f"{', '.join(failures)}")
+    else:
+        out.append("PASS: no timing regressed past the gate")
+    return "\n".join(out)

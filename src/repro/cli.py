@@ -1,37 +1,64 @@
 """Command-line front end: ``repro-determinacy`` / ``python -m repro``.
 
-Subcommands
------------
-``decide-cq``     decide boolean-CQ bag-determinacy, print verdict,
+Command tree
+------------
+Commands are grouped by what they operate on — decision procedures,
+benchmarks, batch streams, the persistent cache, and the resident
+daemon — with verbs underneath (the ``kubectl``-style noun/verb idiom):
+
+``decide cq``     decide boolean-CQ bag-determinacy, print verdict,
                   rewriting or witness summary.
-``decide-path``   decide path-query determinacy (both semantics),
+``decide path``   decide path-query determinacy (both semantics),
                   print the certificate path or the reachable set.
-``certify-ucq``   try the linear certificate for boolean UCQs.
+``decide ucq``    try the linear certificate for boolean UCQs.
+``report``        full markdown report for a CQ instance.
 ``hilbert``       build the Appendix-A reduction for a polynomial and
                   search for a bounded counterexample.
-``bench``         run the engine micro-benchmarks; ``--json`` writes
+``bench run``     run the engine micro-benchmarks; ``--json`` writes
                   machine-readable timings to ``BENCH_engine.json`` so
                   successive PRs can track the perf trajectory.
-``batch``         throughput mode: ``batch gen`` synthesizes JSONL
-                  scenario files, ``batch run`` evaluates them across
-                  worker processes with a persistent hom-count cache,
-                  ``batch cache`` inspects that cache.
-``serve``         resident mode: a long-running daemon answering the
+``bench check``   compare a fresh bench report against a baseline and
+                  fail on architecture-level regressions (the same
+                  gate CI runs).
+``batch gen``     synthesize JSONL scenario files.
+``batch run``     evaluate a JSONL task stream across worker processes
+                  with a persistent hom-count cache.
+``cache info``    row counts of a persistent hom-count store.
+``cache flush``   delete every persisted answer from a store.
+``serve start``   resident mode: a long-running daemon answering the
                   batch task codec over stdio (default) or TCP, one
-                  warm solver session shared across every request
-                  (``{"op": "stats"}`` lines report it live).
+                  warm solver session shared across every request.
+``serve ping``    liveness probe against a running TCP daemon.
+``serve stats``   legacy nested statistics from a running daemon.
+``serve metrics`` full namespaced metrics snapshot (``--prometheus``
+                  for text exposition) from a running daemon.
+``serve drain``   ask a running daemon to stop accepting new requests
+                  and exit after in-flight ones finish.
+
+The management verbs (``ping``/``stats``/``metrics``/``drain``) share
+one client context — ``--host``/``--port``/``--timeout`` — and speak
+the same JSONL control protocol the daemon serves inline
+(``{"op": "stats"}`` request lines).
+
+The pre-grouping flat spellings (``decide-cq``, ``decide-path``,
+``certify-ucq``, bare ``bench``/``serve``, ``batch cache``) keep
+working as hidden deprecated aliases: they are rewritten to the
+grouped form before parsing and print one deprecation notice per
+process on stderr.
 
 Examples
 --------
 ::
 
-    repro-determinacy decide-cq --view "R(x,y)" --view "S(x,y)" \
+    repro-determinacy decide cq --view "R(x,y)" --view "S(x,y)" \
         --query "R(x,y), S(u,v)"
-    repro-determinacy decide-path --view A.B --view B --query A
-    repro-determinacy certify-ucq --view "P(x)" --view "P(x) or R(x)" \
+    repro-determinacy decide path --view A.B --view B --query A
+    repro-determinacy decide ucq --view "P(x)" --view "P(x) or R(x)" \
         --query "R(x)"
     repro-determinacy hilbert --monomial "1:x^2" --monomial="-2:y^2" \
         --bound 10
+    repro-determinacy serve start --port 7777 --workers 4 &
+    repro-determinacy serve metrics --port 7777 --prometheus
 
 (Monomials with negative coefficients need the ``--monomial=...`` form,
 otherwise argparse mistakes ``-2:y^2`` for a flag.)
@@ -40,6 +67,7 @@ otherwise argparse mistakes ``-2:y^2`` for a flag.)
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -53,6 +81,65 @@ from repro.ucq.hilbert import DiophantineInstance, Monomial
 from repro.ucq.reduction import build_reduction
 
 
+# ----------------------------------------------------------------------
+# Legacy flat spellings (hidden deprecated aliases)
+# ----------------------------------------------------------------------
+# Old flat command -> grouped replacement.  Handled before argparse ever
+# sees the argv, so the aliases stay out of --help while every existing
+# script, CI job and doc example keeps working.
+_LEGACY_COMMANDS = {
+    "decide-cq": ["decide", "cq"],
+    "decide-path": ["decide", "path"],
+    "certify-ucq": ["decide", "ucq"],
+}
+
+# Groups whose bare legacy spelling (``repro serve --port N``) now needs
+# a verb: anything that is not one of the group's verbs gets the default
+# verb spliced in.
+_GROUP_VERBS = {
+    "serve": ("start", "ping", "stats", "metrics", "drain"),
+    "bench": ("run", "check"),
+}
+_GROUP_DEFAULTS = {"serve": "start", "bench": "run"}
+
+_DEPRECATION_WARNED = False
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    """One deprecation notice per process, on stderr (never stdout —
+    the serve/batch protocol streams own stdout byte-for-byte)."""
+    global _DEPRECATION_WARNED
+    if _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED = True
+    print(f"repro: '{old}' is deprecated; use '{new}'", file=sys.stderr)
+
+
+def _rewrite_legacy(argv: List[str]) -> List[str]:
+    """Map pre-grouping flat spellings onto the grouped command tree."""
+    if not argv:
+        return argv
+    head, rest = argv[0], argv[1:]
+    if head in _LEGACY_COMMANDS:
+        replacement = _LEGACY_COMMANDS[head]
+        _warn_deprecated(head, " ".join(["repro"] + replacement))
+        return replacement + rest
+    if head == "batch" and rest[:1] == ["cache"]:
+        _warn_deprecated("batch cache", "repro cache info")
+        return ["cache", "info"] + rest[1:]
+    if head in _GROUP_VERBS:
+        nxt = rest[0] if rest else None
+        if nxt in _GROUP_VERBS[head] or nxt in ("-h", "--help"):
+            return argv
+        default = _GROUP_DEFAULTS[head]
+        _warn_deprecated(head, f"repro {head} {default}")
+        return [head, default] + rest
+    return argv
+
+
+# ----------------------------------------------------------------------
+# decide / report / hilbert
+# ----------------------------------------------------------------------
 def _cmd_decide_cq(args: argparse.Namespace) -> int:
     views = [parse_boolean_cq(text) for text in args.view]
     query = parse_boolean_cq(args.query)
@@ -85,7 +172,7 @@ def _cmd_decide_path(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_certify_ucq(args: argparse.Namespace) -> int:
+def _cmd_decide_ucq(args: argparse.Namespace) -> int:
     views = [parse_ucq(text) for text in args.view]
     query = parse_ucq(args.query)
     certificate = linear_certificate(views, query)
@@ -125,7 +212,10 @@ def _cmd_hilbert(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_bench(args: argparse.Namespace) -> int:
+# ----------------------------------------------------------------------
+# bench
+# ----------------------------------------------------------------------
+def _cmd_bench_run(args: argparse.Namespace) -> int:
     from repro.benchsuite import format_report, run_benchmarks, write_report
 
     if args.json or args.output is not None:
@@ -138,6 +228,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    from repro.benchsuite import compare_reports, load_report, render_gate
+
+    baseline = load_report(args.baseline)
+    current = load_report(args.current)
+    lines, failures = compare_reports(baseline, current,
+                                      args.factor, args.slack)
+    print(render_gate(lines, failures, args.factor, args.slack))
+    return 1 if failures else 0
+
+
+# ----------------------------------------------------------------------
+# batch
+# ----------------------------------------------------------------------
 def _cmd_batch_gen(args: argparse.Namespace) -> int:
     from repro.batch.scenarios import generate_scenario, write_scenario
 
@@ -171,13 +275,49 @@ def _cmd_batch_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
+# ----------------------------------------------------------------------
+# cache
+# ----------------------------------------------------------------------
+def _open_cache(path: str):
+    import os
+
+    from repro.batch.cache import SQLiteHomStore
+
+    if not os.path.exists(path):
+        # Opening would silently create an empty database — a typo'd
+        # path must not be indistinguishable from an empty cache.
+        raise ReproError(f"no such cache file: {path}")
+    return SQLiteHomStore(path)
+
+
+def _cmd_cache_info(args: argparse.Namespace) -> int:
+    with _open_cache(args.cache) as store:
+        print(f"{args.cache}: {store.counts_len()} persisted hom counts, "
+              f"{store.exists_len()} existence verdicts")
+    return 0
+
+
+def _cmd_cache_flush(args: argparse.Namespace) -> int:
+    with _open_cache(args.cache) as store:
+        removed = store.clear()
+    print(f"{args.cache}: flushed {removed} persisted answers")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# serve (daemon + management client)
+# ----------------------------------------------------------------------
+def _cmd_serve_start(args: argparse.Namespace) -> int:
     import signal
 
+    from repro.obs import StructuredLogger
     from repro.service import SolverService, serve_socket, serve_stdio
 
+    logger = None if args.no_request_log else \
+        StructuredLogger(component="repro.serve")
     service = SolverService(workers=args.workers, store_path=args.cache,
-                            strategy=args.strategy, preload=args.preload)
+                            strategy=args.strategy, preload=args.preload,
+                            logger=logger)
 
     def _graceful(signum, frame):  # noqa: ARG001 — signal signature
         service.request_shutdown()
@@ -207,21 +347,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_batch_cache(args: argparse.Namespace) -> int:
-    import os
+def _client(args: argparse.Namespace):
+    from repro.service import DaemonClient
 
-    from repro.batch.cache import SQLiteHomStore
+    return DaemonClient(host=args.host, port=args.port, timeout=args.timeout)
 
-    if not os.path.exists(args.cache):
-        # Opening would silently create an empty database — a typo'd
-        # path must not be indistinguishable from an empty cache.
-        raise ReproError(f"no such cache file: {args.cache}")
-    with SQLiteHomStore(args.cache) as store:
-        print(f"{args.cache}: {store.counts_len()} persisted hom counts, "
-              f"{store.exists_len()} existence verdicts")
+
+def _print_json(payload) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _cmd_serve_ping(args: argparse.Namespace) -> int:
+    _print_json(_client(args).ping())
     return 0
 
 
+def _cmd_serve_stats(args: argparse.Namespace) -> int:
+    _print_json(_client(args).stats())
+    return 0
+
+
+def _cmd_serve_metrics(args: argparse.Namespace) -> int:
+    client = _client(args)
+    if args.prometheus:
+        response = client.metrics(format="prometheus")
+        exposition = response.get("exposition")
+        if not isinstance(exposition, str):
+            raise ReproError(
+                f"daemon did not return an exposition: {response!r}")
+        sys.stdout.write(exposition)
+        return 0
+    _print_json(client.metrics())
+    return 0
+
+
+def _cmd_serve_drain(args: argparse.Namespace) -> int:
+    _print_json(_client(args).drain())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-determinacy",
@@ -229,27 +396,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    cq = sub.add_parser("decide-cq", help="boolean CQ determinacy (Theorem 3)")
+    # ---------------------------------------------------------- decide
+    decide = sub.add_parser(
+        "decide", help="determinacy decision procedures")
+    decide_sub = decide.add_subparsers(dest="decide_command", required=True)
+
+    cq = decide_sub.add_parser(
+        "cq", help="boolean CQ determinacy (Theorem 3)")
     cq.add_argument("--view", action="append", default=[], metavar="CQ")
     cq.add_argument("--query", required=True, metavar="CQ")
     cq.add_argument("--witness", action="store_true",
                     help="construct and verify a counterexample when not determined")
     cq.set_defaults(handler=_cmd_decide_cq)
 
-    report = sub.add_parser("report", help="full markdown report for a CQ instance")
-    report.add_argument("--view", action="append", default=[], metavar="CQ")
-    report.add_argument("--query", required=True, metavar="CQ")
-    report.set_defaults(handler=_cmd_report)
-
-    path = sub.add_parser("decide-path", help="path query determinacy (Theorem 1)")
+    path = decide_sub.add_parser(
+        "path", help="path query determinacy (Theorem 1)")
     path.add_argument("--view", action="append", default=[], metavar="WORD")
     path.add_argument("--query", required=True, metavar="WORD")
     path.set_defaults(handler=_cmd_decide_path)
 
-    ucq = sub.add_parser("certify-ucq", help="linear certificate for boolean UCQs")
+    ucq = decide_sub.add_parser(
+        "ucq", help="linear certificate for boolean UCQs")
     ucq.add_argument("--view", action="append", default=[], metavar="UCQ")
     ucq.add_argument("--query", required=True, metavar="UCQ")
-    ucq.set_defaults(handler=_cmd_certify_ucq)
+    ucq.set_defaults(handler=_cmd_decide_ucq)
+
+    report = sub.add_parser("report", help="full markdown report for a CQ instance")
+    report.add_argument("--view", action="append", default=[], metavar="CQ")
+    report.add_argument("--query", required=True, metavar="CQ")
+    report.set_defaults(handler=_cmd_report)
 
     hilbert = sub.add_parser("hilbert", help="Appendix-A reduction explorer")
     hilbert.add_argument("--monomial", action="append", required=True,
@@ -257,16 +432,37 @@ def build_parser() -> argparse.ArgumentParser:
     hilbert.add_argument("--bound", type=int, default=10)
     hilbert.set_defaults(handler=_cmd_hilbert)
 
+    # ----------------------------------------------------------- bench
     bench = sub.add_parser("bench", help="engine micro-benchmarks")
-    bench.add_argument("--json", action="store_true",
-                       help="write machine-readable timings to "
-                            "BENCH_engine.json (or --output PATH)")
-    bench.add_argument("--output", default=None, metavar="PATH",
-                       help="write the JSON report to PATH (implies --json)")
-    bench.add_argument("--repeat", type=int, default=3,
-                       help="timing repetitions (best-of)")
-    bench.set_defaults(handler=_cmd_bench)
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
 
+    bench_run = bench_sub.add_parser(
+        "run", help="run the micro-benchmark suite")
+    bench_run.add_argument("--json", action="store_true",
+                           help="write machine-readable timings to "
+                                "BENCH_engine.json (or --output PATH)")
+    bench_run.add_argument("--output", default=None, metavar="PATH",
+                           help="write the JSON report to PATH (implies --json)")
+    bench_run.add_argument("--repeat", type=int, default=3,
+                           help="timing repetitions (best-of)")
+    bench_run.set_defaults(handler=_cmd_bench_run)
+
+    bench_check = bench_sub.add_parser(
+        "check", help="compare a bench report against a baseline "
+                      "(the CI regression gate)")
+    bench_check.add_argument("--baseline", default="BENCH_engine.json",
+                             metavar="PATH",
+                             help="checked-in report "
+                                  "(default: BENCH_engine.json)")
+    bench_check.add_argument("--current", required=True, metavar="PATH",
+                             help="freshly produced report to judge")
+    bench_check.add_argument("--factor", type=float, default=2.0,
+                             help="allowed slowdown factor (default: 2.0)")
+    bench_check.add_argument("--slack", type=float, default=0.005,
+                             help="additive slack in seconds (default: 0.005)")
+    bench_check.set_defaults(handler=_cmd_bench_check)
+
+    # ----------------------------------------------------------- batch
     batch = sub.add_parser(
         "batch", help="throughput mode: evaluate JSONL task streams")
     batch_sub = batch.add_subparsers(dest="batch_command", required=True)
@@ -303,42 +499,106 @@ def build_parser() -> argparse.ArgumentParser:
                           "and append the rest")
     run.set_defaults(handler=_cmd_batch_run)
 
-    cache = batch_sub.add_parser(
-        "cache", help="inspect a persistent hom-count store")
-    cache.add_argument("--cache", required=True, metavar="PATH")
-    cache.set_defaults(handler=_cmd_batch_cache)
+    # ----------------------------------------------------------- cache
+    cache = sub.add_parser(
+        "cache", help="manage the persistent hom-count store")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
 
+    info = cache_sub.add_parser(
+        "info", help="row counts of a store file")
+    info.add_argument("--cache", required=True, metavar="PATH")
+    info.set_defaults(handler=_cmd_cache_info)
+
+    flush = cache_sub.add_parser(
+        "flush", help="delete every persisted answer from a store file")
+    flush.add_argument("--cache", required=True, metavar="PATH")
+    flush.set_defaults(handler=_cmd_cache_flush)
+
+    # ----------------------------------------------------------- serve
     serve = sub.add_parser(
-        "serve", help="resident solver daemon for JSONL request streams")
-    serve.add_argument("--host", default="127.0.0.1",
+        "serve", help="resident solver daemon and its management client")
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+
+    start = serve_sub.add_parser(
+        "start", help="run the daemon (stdio by default, TCP with --port)")
+    start.add_argument("--host", default="127.0.0.1",
                        help="bind address for TCP mode (default: 127.0.0.1)")
-    serve.add_argument("--port", type=int, default=None, metavar="N",
+    start.add_argument("--port", type=int, default=None, metavar="N",
                        help="listen on TCP port N; omitted = stdio mode "
                             "(read requests from stdin, answer on stdout)")
-    serve.add_argument("--workers", type=int, default=4, metavar="N",
+    start.add_argument("--workers", type=int, default=4, metavar="N",
                        help="bounded request-dispatch pool size (default: 4)")
-    serve.add_argument("--cache", default=None, metavar="PATH",
+    start.add_argument("--cache", default=None, metavar="PATH",
                        help="persistent hom-count store (SQLite) owned by "
                             "the service session")
-    serve.add_argument("--preload", type=int, default=2048, metavar="K",
+    start.add_argument("--preload", type=int, default=2048, metavar="K",
                        help="stored counts seeded into the warm memo at "
                             "startup when --cache is given (default: 2048)")
-    serve.add_argument("--strategy", default="auto",
+    start.add_argument("--strategy", default="auto",
                        choices=["auto", "backtrack", "dp"],
                        help="counting-backend override for the session")
-    serve.set_defaults(handler=_cmd_serve)
+    start.add_argument("--no-request-log", action="store_true",
+                       help="disable the per-request structured JSON log "
+                            "lines on stderr")
+    start.set_defaults(handler=_cmd_serve_start)
+
+    # Shared client context for the management verbs: every one of them
+    # dials the same daemon address, so the connection options live in
+    # one parent parser instead of four copies.
+    client_opts = argparse.ArgumentParser(add_help=False)
+    client_opts.add_argument("--host", default="127.0.0.1",
+                             help="daemon address (default: 127.0.0.1)")
+    client_opts.add_argument("--port", type=int, required=True, metavar="N",
+                             help="daemon TCP port")
+    client_opts.add_argument("--timeout", type=float, default=10.0,
+                             metavar="S",
+                             help="connection timeout in seconds "
+                                  "(default: 10)")
+
+    ping = serve_sub.add_parser(
+        "ping", parents=[client_opts],
+        help="liveness probe against a running daemon")
+    ping.set_defaults(handler=_cmd_serve_ping)
+
+    stats = serve_sub.add_parser(
+        "stats", parents=[client_opts],
+        help="legacy nested statistics from a running daemon")
+    stats.set_defaults(handler=_cmd_serve_stats)
+
+    metrics = serve_sub.add_parser(
+        "metrics", parents=[client_opts],
+        help="namespaced metrics snapshot from a running daemon")
+    metrics.add_argument("--prometheus", action="store_true",
+                         help="print Prometheus text exposition instead "
+                              "of JSON")
+    metrics.set_defaults(handler=_cmd_serve_metrics)
+
+    drain = serve_sub.add_parser(
+        "drain", parents=[client_opts],
+        help="stop a running daemon after in-flight requests finish")
+    drain.set_defaults(handler=_cmd_serve_drain)
 
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
+    if argv is None:
+        argv = sys.argv[1:]
+    args = parser.parse_args(_rewrite_legacy(list(argv)))
     try:
         return args.handler(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream closed the pipe (``repro serve metrics ... | head``)
+        # — not an error.  Point stdout at devnull so the interpreter's
+        # shutdown flush does not raise a second time.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -49,6 +49,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import StructureError
+from repro.obs.trace import span
 from repro.structures.interned import bit_indices
 from repro.structures.structure import Structure
 from repro.hom.decompose import (
@@ -168,10 +169,11 @@ def build_dp_plan(source: Structure, plan,
     raises :class:`~repro.errors.StructureError` instead of silently
     corrupting counts.
     """
-    decomposition = decompose_interned(plan.inter, heuristic=heuristic)
-    decomposition.validate_interned(plan.inter)
-    nice = make_nice(decomposition,
-                     adjacency=gaifman_graph_interned(plan.inter))
+    with span("plan.dp"):
+        decomposition = decompose_interned(plan.inter, heuristic=heuristic)
+        decomposition.validate_interned(plan.inter)
+        nice = make_nice(decomposition,
+                         adjacency=gaifman_graph_interned(plan.inter))
     remaining = list(enumerate(plan.facts))
     binary = [(relation, terms) for relation, terms in plan.facts
               if len(terms) == 2]

@@ -72,6 +72,8 @@ from functools import lru_cache
 from typing import Dict, FrozenSet, Hashable, List, Tuple
 
 from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import span
 from repro.structures.canonical import canonical_key, canonical_stats
 from repro.structures.interned import intern_stats, interned, mask_of
 from repro.structures.structure import Structure
@@ -896,10 +898,11 @@ class HomEngine:
     """
 
     __slots__ = ("_counts", "_targets", "_exists",
-                 "max_counts", "max_targets", "hits", "misses",
-                 "exists_hits", "exists_misses",
-                 "store", "store_hits", "store_misses", "strategy",
-                 "dp_counts", "backtrack_counts", "width_histogram")
+                 "max_counts", "max_targets",
+                 "store", "strategy", "width_histogram", "metrics",
+                 "_m_hits", "_m_misses", "_m_exists_hits",
+                 "_m_exists_misses", "_m_store_hits", "_m_store_misses",
+                 "_m_dp", "_m_backtrack")
 
     def __init__(self, max_counts: int = 16384, max_targets: int = 512,
                  store=None, strategy: str = "auto"):
@@ -913,18 +916,35 @@ class HomEngine:
         # estimated cost; "backtrack"/"dp" force one backend for every
         # count this engine performs (ablations, debugging).
         self.strategy = strategy
-        self.dp_counts = 0
-        self.backtrack_counts = 0
         # Decomposition widths of DP-executed counts — the observable
         # that tells an operator *why* the DP path was worth taking.
+        # Kept as an exact dict (widths are tiny ints; log2 buckets
+        # would destroy the signal) and exported into the registry as
+        # per-width counters.
         self.width_histogram: Dict[int, int] = {}
         self._counts: "OrderedDict[Tuple[bytes, Structure], int]" = OrderedDict()
         self._targets: "OrderedDict[Structure, TargetIndex]" = OrderedDict()
         self._exists: "OrderedDict[Tuple[Structure, Structure], bool]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.exists_hits = 0
-        self.exists_misses = 0
+        # Every counter lives in the metrics registry under the
+        # namespaced schema (repro.obs); the hot loops increment the
+        # Counter objects directly (one attribute store, same cost as
+        # the plain ints they replaced) and the legacy attribute names
+        # (``engine.hits`` …) survive as read-only properties.
+        metrics = MetricsRegistry()
+        self.metrics = metrics
+        self._m_hits = metrics.counter("engine.memo.hits")
+        self._m_misses = metrics.counter("engine.memo.misses")
+        self._m_exists_hits = metrics.counter("engine.exists.hits")
+        self._m_exists_misses = metrics.counter("engine.exists.misses")
+        self._m_store_hits = metrics.counter("engine.store.hits")
+        self._m_store_misses = metrics.counter("engine.store.misses")
+        self._m_dp = metrics.counter("engine.count.dp")
+        self._m_backtrack = metrics.counter("engine.count.backtrack")
+        metrics.gauge("engine.memo.entries", lambda: len(self._counts))
+        metrics.gauge("engine.exists.entries", lambda: len(self._exists))
+        metrics.gauge("engine.targets.compiled", lambda: len(self._targets))
+        metrics.register_collector(self._collect_counters, monotonic=True)
+        metrics.register_collector(self._collect_gauges, monotonic=False)
         # Optional persistent second-level cache (duck-typed: anything
         # with ``lookup(component, leaf) -> Optional[int]`` and
         # ``record(component, leaf, count)``; implementations may also
@@ -935,8 +955,67 @@ class HomEngine:
         # warm store survives the process and is shared across worker
         # processes of a batch run.
         self.store = store
-        self.store_hits = 0
-        self.store_misses = 0
+
+    # Legacy attribute surface over the registry-homed counters.
+    @property
+    def hits(self) -> int:
+        return self._m_hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._m_misses.value
+
+    @property
+    def exists_hits(self) -> int:
+        return self._m_exists_hits.value
+
+    @property
+    def exists_misses(self) -> int:
+        return self._m_exists_misses.value
+
+    @property
+    def store_hits(self) -> int:
+        return self._m_store_hits.value
+
+    @property
+    def store_misses(self) -> int:
+        return self._m_store_misses.value
+
+    @property
+    def dp_counts(self) -> int:
+        return self._m_dp.value
+
+    @property
+    def backtrack_counts(self) -> int:
+        return self._m_backtrack.value
+
+    def _collect_counters(self) -> Dict[str, int]:
+        """Monotonic registry entries sourced from shared module-wide
+        layers (intern / canonical / bitset) plus the exact per-width
+        DP counters — all under the namespaced schema."""
+        interning = intern_stats()
+        canonical = canonical_stats()
+        bitset = bitset_stats()
+        report = {
+            "intern.structures": interning["structures"],
+            "intern.hits": interning["hits"],
+            "canonical.keys": canonical["keys"],
+            "canonical.hits": canonical["hits"],
+            "bitset.propagations": bitset["propagations"],
+            "bitset.fallbacks": bitset["fallbacks"],
+            "dp.packed.fallbacks": bitset["dp_fallbacks"],
+        }
+        for width, count in self.width_histogram.items():
+            report[f"engine.dp.width.{width}"] = count
+        return report
+
+    def _collect_gauges(self) -> Dict[str, int]:
+        bitset = bitset_stats()
+        return {
+            "intern.cached": intern_stats()["cached"],
+            "canonical.cached": canonical_stats()["cached"],
+            "dp.packed.peak_entries": bitset["dp_peak_entries"],
+        }
 
     # ------------------------------------------------------------------
     # Compiled targets
@@ -944,7 +1023,8 @@ class HomEngine:
     def target_index(self, target: Structure) -> TargetIndex:
         index = self._targets.get(target)
         if index is None:
-            index = target_index(target)
+            with span("plan"):
+                index = target_index(target)
             self._targets[target] = index
             if len(self._targets) > self.max_targets:
                 self._targets.popitem(last=False)
@@ -966,21 +1046,23 @@ class HomEngine:
         cached = self._counts.get(key)
         if cached is not None:
             self._counts.move_to_end(key)
-            self.hits += 1
+            self._m_hits.value += 1
             return cached
-        self.misses += 1
+        self._m_misses.value += 1
         result = None
         if self.store is not None:
-            result = self.store.lookup(component, leaf)
+            with span("store"):
+                result = self.store.lookup(component, leaf)
             if result is None:
-                self.store_misses += 1
+                self._m_store_misses.value += 1
             else:
-                self.store_hits += 1
+                self._m_store_hits.value += 1
         if result is None:
             result = self._dispatch(source_plan(component),
                                     self.target_index(leaf), False)
             if self.store is not None:
-                self.store.record(component, leaf, result)
+                with span("store"):
+                    self.store.record(component, leaf, result)
         self._counts[key] = result
         if len(self._counts) > self.max_counts:
             self._counts.popitem(last=False)
@@ -996,14 +1078,16 @@ class HomEngine:
         if strategy == "dp":
             from repro.hom.dpcount import count_plan_dp
 
-            self.dp_counts += 1
+            self._m_dp.value += 1
             width = plan.dp_plan().width
             self.width_histogram[width] = \
                 self.width_histogram.get(width, 0) + 1
-            result = count_plan_dp(plan, index)
+            with span("count.dp"):
+                result = count_plan_dp(plan, index)
             return (1 if result else 0) if first_only else result
-        self.backtrack_counts += 1
-        return _count(plan, index, first_only)
+        self._m_backtrack.value += 1
+        with span("count.backtrack"):
+            return _count(plan, index, first_only)
 
     def seed_count(self, component: Structure, leaf: Structure,
                    value: int) -> None:
@@ -1043,18 +1127,19 @@ class HomEngine:
         cached = self._exists.get(key)
         if cached is not None:
             self._exists.move_to_end(key)
-            self.exists_hits += 1
+            self._m_exists_hits.value += 1
             return cached
-        self.exists_misses += 1
+        self._m_exists_misses.value += 1
         result = None
         if self.store is not None:
             lookup = getattr(self.store, "lookup_exists", None)
             if lookup is not None:
-                result = lookup(source, target)
+                with span("store"):
+                    result = lookup(source, target)
                 if result is None:
-                    self.store_misses += 1
+                    self._m_store_misses.value += 1
                 else:
-                    self.store_hits += 1
+                    self._m_store_hits.value += 1
         if result is None:
             result = self._dispatch(source_plan(source),
                                     self.target_index(target), True) > 0
@@ -1087,7 +1172,16 @@ class HomEngine:
     # ------------------------------------------------------------------
     # Introspection / lifecycle
     # ------------------------------------------------------------------
-    def stats(self) -> Dict[str, object]:
+    def stats(self, flat: bool = False) -> Dict[str, object]:
+        """Engine statistics.
+
+        ``flat=True`` returns the namespaced registry snapshot (the
+        documented metric schema, :mod:`repro.obs`); the default is
+        the legacy nested shape every pre-observability caller reads.
+        Both are sourced from the same registry-homed counters.
+        """
+        if flat:
+            return self.metrics.snapshot()
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -1113,14 +1207,11 @@ class HomEngine:
         self._counts.clear()
         self._targets.clear()
         self._exists.clear()
-        self.hits = 0
-        self.misses = 0
-        self.exists_hits = 0
-        self.exists_misses = 0
-        self.store_hits = 0
-        self.store_misses = 0
-        self.dp_counts = 0
-        self.backtrack_counts = 0
+        for counter in (self._m_hits, self._m_misses, self._m_exists_hits,
+                        self._m_exists_misses, self._m_store_hits,
+                        self._m_store_misses, self._m_dp,
+                        self._m_backtrack):
+            counter.reset()
         self.width_histogram.clear()
 
     def __repr__(self) -> str:

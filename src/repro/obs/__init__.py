@@ -1,0 +1,86 @@
+"""Operator-grade observability core (metrics, logs, traces).
+
+This package is the one place the system's runtime telemetry lives.
+Three zero-dependency layers, all safe to leave enabled in production:
+
+* :mod:`repro.obs.metrics` — a metrics registry holding monotonic
+  counters, gauges and log2-bucketed histograms under **namespaced
+  metric names**.  Registries compose (`attach`), so the service
+  registry exposes the session's and the engine's metrics in one
+  snapshot, and snapshots from batch worker processes merge into the
+  run summary.
+* :mod:`repro.obs.logs` — structured JSON log lines with generated
+  request ids, written to stderr (never stdout: the JSONL protocol
+  stream stays byte-identical).
+* :mod:`repro.obs.trace` — lightweight phase spans
+  (``parse → plan → count → store``) collected per request; strict
+  no-ops when no collection context is active.
+
+The metric-name schema
+----------------------
+Every metric name is dot-namespaced by the layer that owns it.  This
+is the documented schema that ``SolverSession.stats(flat=True)``,
+``SolverService.stats(flat=True)`` and the daemon's ``{"op":
+"metrics"}`` control op all return, and that future subsystems
+(sharded store, async front end) emit into:
+
+====================================  =========  ========================
+name                                  kind       meaning
+====================================  =========  ========================
+``engine.memo.hits`` / ``.misses``    counter    canonical count memo
+``engine.exists.hits`` / ``.misses``  counter    existence-probe memo
+``engine.store.hits`` / ``.misses``   counter    persistent store probes
+``engine.count.dp`` / ``.backtrack``  counter    counts per backend
+``engine.dp.width.<w>``               counter    DP widths (exact buckets)
+``engine.memo.entries``               gauge      live memo size
+``engine.exists.entries``             gauge      live exists-memo size
+``engine.targets.compiled``           gauge      compiled target indexes
+``intern.structures`` / ``.hits``     counter    shared intern layer
+``canonical.keys`` / ``.hits``        counter    canonical labelings
+``intern.cached`` / ``canonical.cached``  gauge  live lru sizes
+``bitset.propagations``               counter    bitset domain narrowings
+``bitset.fallbacks``                  counter    set-kernel fallbacks
+``dp.packed.fallbacks``               counter    packed-DP fallbacks
+``dp.packed.peak_entries``            gauge      largest packed table
+``session.tasks.evaluated``           counter    requests answered
+``session.tasks.errors``              counter    requests failed
+``store.lookups`` / ``.lookup_hits``  counter    SQLite store traffic
+``store.inserts``                     counter    SQLite store writes
+``store.counts`` / ``store.exists``   gauge      persisted rows
+``service.requests`` / ``.errors``    counter    service request stream
+``service.control_requests``          counter    control-op lines
+``service.requests.kind.<kind>``      counter    per-task-kind requests
+``service.request.latency_us``        histogram  request latency (log2)
+``service.uptime_s``                  gauge      daemon uptime
+``service.workers``                   gauge      dispatch pool size
+====================================  =========  ========================
+
+Histograms bucket by powers of two: a value ``v`` lands in the bucket
+labeled ``2**v.bit_length()`` — the least power of two strictly greater
+than ``v`` (so bucket ``1`` holds ``v == 0``, bucket ``8`` holds
+``4 <= v <= 7``).  Snapshots render a histogram as
+``{"count": n, "sum": s, "buckets": {"<le>": c, ...}}``; the
+Prometheus exposition renders cumulative ``_bucket{le="..."}`` series.
+"""
+
+from repro.obs.logs import StructuredLogger, new_request_id
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_counter_snapshots,
+)
+from repro.obs.trace import collect_phases, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "StructuredLogger",
+    "collect_phases",
+    "merge_counter_snapshots",
+    "new_request_id",
+    "span",
+]

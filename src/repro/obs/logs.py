@@ -1,0 +1,74 @@
+"""Structured JSON logs with generated request ids (see :mod:`repro.obs`).
+
+One log record per line, canonical JSON, written to **stderr** (or any
+stream the caller hands over) — never stdout, which carries the JSONL
+response protocol byte-for-byte.  Request ids are unique per process
+lifetime (``<hex prefix>-<sequence>``): the prefix is drawn once per
+process from ``os.urandom`` so interleaved logs from several daemons
+remain distinguishable, and the sequence makes ids greppable in order.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import sys
+import time
+from typing import IO, Optional
+
+_PREFIX = os.urandom(4).hex()
+_SEQUENCE = itertools.count(1)
+
+
+def new_request_id() -> str:
+    """A fresh process-unique request id, e.g. ``req-1f2e3d4c-000017``."""
+    return f"req-{_PREFIX}-{next(_SEQUENCE):06d}"
+
+
+class StructuredLogger:
+    """Writes one JSON object per line to a text stream.
+
+    Every record carries ``ts`` (unix seconds, millisecond precision),
+    ``event``, and the caller's fields.  ``None``-valued fields are
+    dropped, so optional context never pollutes the record.  A logger
+    constructed with ``stream=None`` resolves ``sys.stderr`` at each
+    write (so pytest's capture and daemon re-execs both see the lines).
+    """
+
+    __slots__ = ("_stream", "component")
+
+    def __init__(self, stream: Optional[IO[str]] = None,
+                 component: str = "repro"):
+        self._stream = stream
+        self.component = component
+
+    @property
+    def stream(self) -> IO[str]:
+        return self._stream if self._stream is not None else sys.stderr
+
+    def log(self, event: str, **fields: object) -> None:
+        record = {"ts": round(time.time(), 3),
+                  "component": self.component,
+                  "event": event}
+        record.update((key, value) for key, value in fields.items()
+                      if value is not None)
+        stream = self.stream
+        stream.write(json.dumps(record, sort_keys=True,
+                                separators=(",", ":"), default=str) + "\n")
+        stream.flush()
+
+    def request(self, request_id: str, *, kind: Optional[str], ok: bool,
+                elapsed_s: float, task_id: Optional[str] = None,
+                phases: Optional[dict] = None) -> None:
+        """The per-request record the daemon emits (phases in ms)."""
+        phase_ms = None
+        if phases:
+            phase_ms = {name: round(seconds * 1000.0, 3)
+                        for name, seconds in sorted(phases.items())}
+        self.log("request", request_id=request_id, id=task_id, kind=kind,
+                 ok=ok, elapsed_ms=round(elapsed_s * 1000.0, 3),
+                 phases=phase_ms)
+
+    def __repr__(self) -> str:
+        return f"StructuredLogger(component={self.component!r})"

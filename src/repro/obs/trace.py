@@ -1,0 +1,85 @@
+"""Lightweight per-request phase spans (see :mod:`repro.obs`).
+
+A *span* times one named phase (``parse``, ``plan``, ``count``,
+``store``, ``count.dp``, …).  Spans only do work while a collection
+context opened by :func:`collect_phases` is active on the current
+thread — outside one, :func:`span` returns a shared no-op context
+manager, so instrumented hot layers pay a dict probe and nothing else.
+The request daemon opens one context per request (when structured
+logging is on) and attaches the collected phase timings to the
+request's log line; :func:`profile` opens a long-lived context for
+ad-hoc profiling runs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+_TLS = threading.local()
+
+
+class _NullSpan:
+    """Shared do-nothing span for when no collection is active."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL = _NullSpan()
+
+
+class _Span:
+    __slots__ = ("name", "phases", "start")
+
+    def __init__(self, name: str, phases: Dict[str, float]):
+        self.name = name
+        self.phases = phases
+
+    def __enter__(self) -> "_Span":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        elapsed = time.perf_counter() - self.start
+        self.phases[self.name] = self.phases.get(self.name, 0.0) + elapsed
+
+
+def span(name: str):
+    """A context manager timing ``name`` into the active collection.
+
+    No-op (and allocation-free) when the current thread has no active
+    :func:`collect_phases` context.
+    """
+    phases: Optional[Dict[str, float]] = getattr(_TLS, "phases", None)
+    if phases is None:
+        return _NULL
+    return _Span(name, phases)
+
+
+@contextmanager
+def collect_phases() -> Iterator[Dict[str, float]]:
+    """Collect span timings on this thread; yields the phases dict.
+
+    Nested collections stack: the inner context collects, and the
+    outer one resumes when it exits.
+    """
+    previous = getattr(_TLS, "phases", None)
+    phases: Dict[str, float] = {}
+    _TLS.phases = phases
+    try:
+        yield phases
+    finally:
+        _TLS.phases = previous
+
+
+# Spelled separately so profiling call sites read as intent, not as a
+# request-scope leak.
+profile = collect_phases

@@ -7,6 +7,7 @@ and the persistent store amortize over thousands of requests instead
 of being rebuilt per process invocation.  See DESIGN.md §10.
 """
 
+from repro.service.client import DaemonClient
 from repro.service.daemon import (
     ServiceStats,
     SolverService,
@@ -15,6 +16,7 @@ from repro.service.daemon import (
 )
 
 __all__ = [
+    "DaemonClient",
     "ServiceStats",
     "SolverService",
     "serve_socket",

@@ -1,0 +1,92 @@
+"""TCP client for a running ``repro serve`` daemon.
+
+The shared client-context object behind the grouped management
+commands (``repro serve ping|stats|metrics|drain``): one place that
+knows how to dial the daemon, speak the JSONL line protocol, and turn
+connection failures into operator-readable errors.  Every CLI handler
+builds one :class:`DaemonClient` from the shared ``--host``/``--port``
+options and calls a method — the kdctl idiom (command groups over one
+client object) without a third-party CLI framework.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, Optional
+
+from repro.batch.tasks import canonical_json
+from repro.errors import ReproError
+
+
+class DaemonClient:
+    """Line-protocol client for one daemon address.
+
+    Each call dials a fresh connection (control ops are rare and
+    cheap; a persistent connection would hold a daemon handler thread
+    hostage between CLI invocations anyway).  Raises
+    :class:`~repro.errors.ReproError` on connection failure or a
+    malformed response, so CLI handlers surface one clean error line.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout: float = 10.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -------------------------------------------------- line protocol
+    def request_line(self, line: str) -> Dict[str, object]:
+        """Send one protocol line, return the decoded response object."""
+        try:
+            with socket.create_connection((self.host, self.port),
+                                          timeout=self.timeout) as conn:
+                wire = conn.makefile("rw", encoding="utf-8")
+                wire.write(line.rstrip("\n") + "\n")
+                wire.flush()
+                answer = wire.readline()
+        except OSError as exc:
+            raise ReproError(
+                f"cannot reach daemon at {self.host}:{self.port}: {exc}")
+        if not answer.strip():
+            raise ReproError(
+                f"daemon at {self.host}:{self.port} closed the "
+                f"connection without answering")
+        try:
+            payload = json.loads(answer)
+        except json.JSONDecodeError as exc:
+            raise ReproError(
+                f"daemon at {self.host}:{self.port} sent a non-JSON "
+                f"response: {exc}")
+        if not isinstance(payload, dict):
+            raise ReproError(
+                f"daemon at {self.host}:{self.port} sent a non-object "
+                f"response: {payload!r}")
+        return payload
+
+    def control(self, op: str, **extra: object) -> Dict[str, object]:
+        """Send one control op (``{"op": ...}``) and decode the answer."""
+        record: Dict[str, object] = {"op": op}
+        record.update(extra)
+        return self.request_line(canonical_json(record))
+
+    # -------------------------------------------------- operator verbs
+    def ping(self) -> Dict[str, object]:
+        return self.control("ping")
+
+    def stats(self) -> Dict[str, object]:
+        return self.control("stats")
+
+    def metrics(self, format: Optional[str] = None) -> Dict[str, object]:
+        if format is not None:
+            return self.control("metrics", format=format)
+        return self.control("metrics")
+
+    def drain(self) -> Dict[str, object]:
+        return self.control("drain")
+
+    def shutdown(self) -> Dict[str, object]:
+        return self.control("shutdown")
+
+    def __repr__(self) -> str:
+        return f"DaemonClient({self.host}:{self.port})"

@@ -43,44 +43,79 @@ import sys
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass, field
 from typing import Dict, IO, Iterable, Optional
 
 from repro.batch.runner import evaluate_envelope
 from repro.batch.tasks import canonical_json
 from repro.errors import ReproError
+from repro.obs.logs import StructuredLogger, new_request_id
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import collect_phases
 from repro.session import SolverSession
 
 DEFAULT_WORKERS = 4
-CONTROL_OPS = ("ping", "stats", "shutdown")
+CONTROL_OPS = ("ping", "stats", "metrics", "drain", "shutdown")
 
 
-@dataclass
 class ServiceStats:
-    """Mutable request accounting for one service lifetime."""
+    """Request accounting for one service lifetime, registry-homed.
 
-    requests: int = 0
-    errors: int = 0
-    control_requests: int = 0
-    total_latency_s: float = 0.0
-    kinds: Dict[str, int] = field(default_factory=dict)
+    Every number lives in a :class:`~repro.obs.metrics.MetricsRegistry`
+    under the ``service.*`` names of the documented schema
+    (:mod:`repro.obs`); :meth:`snapshot` renders the legacy nested
+    shape from those same metrics.  Request latency goes into a
+    log2-bucketed histogram in microseconds — the buckets the
+    ``metrics`` control op and the Prometheus exposition serve.
+    """
+
+    __slots__ = ("metrics", "_requests", "_errors", "_control",
+                 "_latency", "_kinds")
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._requests = self.metrics.counter("service.requests")
+        self._errors = self.metrics.counter("service.errors")
+        self._control = self.metrics.counter("service.control_requests")
+        self._latency = self.metrics.histogram("service.request.latency_us")
+        self._kinds: Dict[str, object] = {}
+
+    @property
+    def requests(self) -> int:
+        return self._requests.value
+
+    @property
+    def errors(self) -> int:
+        return self._errors.value
+
+    @property
+    def control_requests(self) -> int:
+        return self._control.value
+
+    def record_control(self) -> None:
+        self._control.value += 1
 
     def record(self, kind: Optional[str], ok: bool, elapsed: float) -> None:
-        self.requests += 1
+        self._requests.value += 1
         if not ok:
-            self.errors += 1
-        self.total_latency_s += elapsed
+            self._errors.value += 1
+        self._latency.observe(elapsed * 1e6)
         label = kind or "invalid"
-        self.kinds[label] = self.kinds.get(label, 0) + 1
+        counter = self._kinds.get(label)
+        if counter is None:
+            counter = self.metrics.counter(f"service.requests.kind.{label}")
+            self._kinds[label] = counter
+        counter.value += 1
 
     def snapshot(self) -> Dict[str, object]:
-        mean = (self.total_latency_s / self.requests) if self.requests else 0.0
+        count = self._latency.count
+        mean = (self._latency.sum / 1e6 / count) if count else 0.0
         return {
             "requests": self.requests,
             "errors": self.errors,
             "control_requests": self.control_requests,
             "mean_latency_ms": round(mean * 1000.0, 3),
-            "kinds": dict(sorted(self.kinds.items())),
+            "kinds": {label: counter.value
+                      for label, counter in sorted(self._kinds.items())},
         }
 
 
@@ -96,7 +131,8 @@ class SolverService:
                  workers: int = DEFAULT_WORKERS,
                  store_path: Optional[str] = None,
                  strategy: str = "auto",
-                 preload: int = 0):
+                 preload: int = 0,
+                 logger: Optional[StructuredLogger] = None):
         if session is not None:
             # Same rule as SolverSession's engine adoption: silently
             # dropping the caller's store/strategy configuration would
@@ -113,7 +149,18 @@ class SolverService:
                                          strategy=strategy, preload=preload)
             self._owns_session = True
         self.workers = max(1, workers)
-        self.stats_counters = ServiceStats()
+        # The service registry tops the metrics tree: service counters
+        # and the request-latency histogram here, the session's (and
+        # through it the engine's) registry attached below, so one
+        # snapshot — the `metrics` control op — walks every layer.
+        self.metrics = MetricsRegistry()
+        self.stats_counters = ServiceStats(self.metrics)
+        self.metrics.gauge("service.workers", lambda: self.workers)
+        self.metrics.gauge(
+            "service.uptime_s",
+            lambda: round(time.monotonic() - self.started_at, 3))
+        self.metrics.attach(self.session.metrics)
+        self.logger = logger
         self.started_at = time.monotonic()
         self._engine_lock = threading.Lock()
         self._state_lock = threading.Lock()
@@ -143,12 +190,30 @@ class SolverService:
             return None
         op = payload["op"]
         with self._state_lock:
-            self.stats_counters.control_requests += 1
+            self.stats_counters.record_control()
         if op == "ping":
             return canonical_json({"ok": True, "op": "ping"})
         if op == "stats":
             return canonical_json({"ok": True, "op": "stats",
                                    "stats": self.stats()})
+        if op == "metrics":
+            if payload.get("format") == "prometheus":
+                with self._engine_lock:
+                    text = self.metrics.exposition()
+                return canonical_json({"ok": True, "op": "metrics",
+                                       "format": "prometheus",
+                                       "exposition": text})
+            with self._engine_lock:
+                snapshot = self.metrics.snapshot()
+            return canonical_json({"ok": True, "op": "metrics",
+                                   "metrics": snapshot})
+        if op == "drain":
+            # Same lifecycle as shutdown — stop admitting work, answer
+            # everything in flight — but spelled as the operator
+            # command, so clients can tell a planned drain from a kill.
+            self._shutdown.set()
+            return canonical_json({"ok": True, "op": "drain",
+                                   "draining": True})
         if op == "shutdown":
             self._shutdown.set()
             return canonical_json({"ok": True, "op": "shutdown"})
@@ -158,14 +223,29 @@ class SolverService:
                      f"expected one of {list(CONTROL_OPS)}"})
 
     def evaluate(self, line: str) -> str:
-        """One result line for one task line — locked, error-isolated."""
+        """One result line for one task line — locked, error-isolated.
+
+        Every request gets a generated request id; when a structured
+        logger is attached, the request's phase spans
+        (``parse``/``plan``/``count``/``store``, collected from the
+        instrumented layers below) land on one JSON log line on
+        stderr — the protocol stream on stdout is untouched.
+        """
+        request_id = new_request_id()
         start = time.perf_counter()
         ok = True
         kind = None
+        task_id = None
+        phases: Dict[str, float] = {}
         try:
             with self._engine_lock:
-                envelope = evaluate_envelope(line, self.session)
+                if self.logger is not None:
+                    with collect_phases() as phases:
+                        envelope = evaluate_envelope(line, self.session)
+                else:
+                    envelope = evaluate_envelope(line, self.session)
             kind = envelope.get("kind")
+            task_id = envelope.get("id")
             ok = bool(envelope.get("ok"))
             result = canonical_json(envelope)
         except Exception as exc:  # noqa: BLE001 — the daemon must survive
@@ -185,6 +265,10 @@ class SolverService:
         elapsed = time.perf_counter() - start
         with self._state_lock:
             self.stats_counters.record(kind, ok, elapsed)
+        if self.logger is not None:
+            self.logger.request(request_id, kind=kind, ok=ok,
+                                elapsed_s=elapsed, task_id=task_id,
+                                phases=phases)
         return result
 
     def submit(self, line: str) -> "Future[str]":
@@ -213,8 +297,13 @@ class SolverService:
         """Flip into draining mode (signal handlers call this)."""
         self._shutdown.set()
 
-    def stats(self) -> Dict[str, object]:
+    def stats(self, flat: bool = False) -> Dict[str, object]:
         """Service counters + the resident session's aggregated stats.
+
+        ``flat=True`` returns the namespaced registry snapshot across
+        every layer (service → session → engine) — the same view the
+        ``metrics`` control op serves; the default keeps the legacy
+        nested ``{"service": ..., "session": ...}`` shape.
 
         The session block includes the intern/canonical-label counters
         (``session.engine.interning`` / ``session.engine.canonical``):
@@ -224,6 +313,9 @@ class SolverService:
         which is exactly the effect residency is deployed for, observable
         live through ``{"op": "stats"}``.
         """
+        if flat:
+            with self._engine_lock:
+                return self.metrics.snapshot()
         with self._state_lock:
             service = self.stats_counters.snapshot()
         service["uptime_s"] = round(time.monotonic() - self.started_at, 3)

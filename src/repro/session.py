@@ -42,6 +42,7 @@ from typing import Dict, Optional
 
 from repro.errors import ReproError
 from repro.hom.engine import STRATEGIES, HomEngine
+from repro.obs.metrics import MetricsRegistry
 
 
 class SolverSession:
@@ -72,7 +73,7 @@ class SolverSession:
     """
 
     __slots__ = ("engine", "_store", "_owns_engine", "_owns_store",
-                 "tasks_evaluated", "task_errors", "_closed")
+                 "metrics", "_m_tasks", "_m_task_errors", "_closed")
 
     def __init__(self, *, engine: Optional[HomEngine] = None,
                  store=None, store_path: Optional[str] = None,
@@ -114,9 +115,47 @@ class SolverSession:
                 seeder = getattr(store, "preload", None)
                 if seeder is not None:
                     seeder(self.engine, limit=preload)
-        self.tasks_evaluated = 0
-        self.task_errors = 0
+        # The session's metrics registry: request accounting lives
+        # here, the engine's registry is attached (one snapshot walks
+        # both), and the persistent store's counters are pulled in
+        # through collectors that read whatever store is *currently*
+        # attached to the engine.
+        metrics = MetricsRegistry()
+        self.metrics = metrics
+        self._m_tasks = metrics.counter("session.tasks.evaluated")
+        self._m_task_errors = metrics.counter("session.tasks.errors")
+        metrics.register_collector(self._collect_store_counters,
+                                   monotonic=True)
+        metrics.register_collector(self._collect_store_gauges,
+                                   monotonic=False)
+        metrics.attach(self.engine.metrics)
         self._closed = False
+
+    # Legacy attribute surface over the registry-homed counters.
+    @property
+    def tasks_evaluated(self) -> int:
+        return self._m_tasks.value
+
+    @property
+    def task_errors(self) -> int:
+        return self._m_task_errors.value
+
+    def _store_stats(self) -> Dict[str, int]:
+        store = self.engine.store
+        if store is None:
+            return {}
+        stats = getattr(store, "stats", None)
+        return stats() if stats else {}
+
+    def _collect_store_counters(self) -> Dict[str, int]:
+        stats = self._store_stats()
+        return {f"store.{key}": value for key, value in stats.items()
+                if key in ("lookups", "lookup_hits", "inserts")}
+
+    def _collect_store_gauges(self) -> Dict[str, int]:
+        stats = self._store_stats()
+        return {f"store.{key}": value for key, value in stats.items()
+                if key in ("counts", "exists")}
 
     # ------------------------------------------------------------------
     # Counting facade (the operations consumers actually perform)
@@ -142,16 +181,23 @@ class SolverSession:
     # ------------------------------------------------------------------
     def record_task(self, ok: bool = True) -> None:
         """Count one evaluated request against this session."""
-        self.tasks_evaluated += 1
+        self._m_tasks.value += 1
         if not ok:
-            self.task_errors += 1
+            self._m_task_errors.value += 1
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle
     # ------------------------------------------------------------------
-    def stats(self) -> Dict[str, object]:
+    def stats(self, flat: bool = False) -> Dict[str, object]:
         """Aggregated session statistics: engine memo counters, store
         counters when a store is attached, and request accounting.
+
+        ``flat=True`` returns the namespaced registry snapshot — the
+        one documented metric schema (:mod:`repro.obs`) shared with
+        ``HomEngine.stats(flat=True)`` and the service's ``metrics``
+        control op.  The default (``flat=False``) is the legacy nested
+        shape, kept as the compatibility path; both views are sourced
+        from the same registry-homed counters.
 
         The engine block carries the shared intern/canonical-label
         counters (``engine.interning`` / ``engine.canonical``:
@@ -159,6 +205,8 @@ class SolverSession:
         hits on both) — what an operator watches to confirm the
         canonical memo is actually deduplicating a request stream.
         """
+        if flat:
+            return self.metrics.snapshot()
         report: Dict[str, object] = {
             "engine": self.engine.stats(),
             "tasks_evaluated": self.tasks_evaluated,

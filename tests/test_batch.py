@@ -333,7 +333,10 @@ class TestRunner:
             write_scenario(generate_scenario("mixed", 9, seed=6), sink)
         full = tmp_path / "full.jsonl"
         summary = run_batch(str(tasks), str(full), workers=1)
+        metrics = summary.pop("metrics")
         assert summary == {"tasks": 9, "skipped": 0, "written": 9, "errors": 0}
+        # The merged per-run registry movement rides in the summary.
+        assert metrics["session.tasks.evaluated"] == 9
 
         partial = tmp_path / "partial.jsonl"
         partial.write_text(

@@ -1,0 +1,240 @@
+"""Unit tests for the observability core (:mod:`repro.obs`).
+
+The metric-name schema documented in ``repro/obs/__init__.py`` is a
+compatibility contract consumed by the service's ``metrics`` control
+op, the batch summary and the Prometheus exposition — these tests pin
+the registry semantics underneath it: log2 bucket boundaries, snapshot
+composition over attached registries and collectors, cross-process
+merge rules, structured log record shape, and the no-op guarantee of
+spans outside a collection context.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    StructuredLogger,
+    collect_phases,
+    merge_counter_snapshots,
+    new_request_id,
+    span,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+# ----------------------------------------------------------------------
+# Histogram bucket boundaries
+# ----------------------------------------------------------------------
+class TestHistogram:
+    def test_log2_bucket_boundaries(self):
+        # v lands in the least power of two strictly greater than v:
+        # 0 -> 1, 1 -> 2, 2..3 -> 4, 4..7 -> 8, 8..15 -> 16.
+        h = Histogram("t")
+        for value, expected in [(0, 1), (1, 2), (2, 4), (3, 4), (4, 8),
+                                (7, 8), (8, 16), (15, 16), (16, 32),
+                                (1023, 1024), (1024, 2048)]:
+            before = h.buckets.get(expected, 0)
+            h.observe(value)
+            assert h.buckets[expected] == before + 1, value
+
+    def test_floats_truncate_and_negatives_clip(self):
+        h = Histogram("t")
+        h.observe(3.9)      # int() -> 3 -> bucket 4
+        h.observe(-5)       # clipped to 0 -> bucket 1
+        assert h.buckets == {4: 1, 1: 1}
+        assert h.count == 2
+        assert h.sum == 3.9 - 5
+
+    def test_snapshot_shape(self):
+        h = Histogram("t")
+        for v in (0, 1, 1, 6):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap == {"count": 4, "sum": 8,
+                        "buckets": {"1": 1, "2": 2, "8": 1}}
+
+    def test_reset(self):
+        h = Histogram("t")
+        h.observe(3)
+        h.reset()
+        assert h.count == 0 and h.sum == 0 and h.buckets == {}
+
+
+# ----------------------------------------------------------------------
+# Registry composition
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_create_or_return_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_snapshot_walks_attached_children(self):
+        parent, child = MetricsRegistry(), MetricsRegistry()
+        parent.counter("top.requests").inc(2)
+        child.counter("leaf.hits").inc(5)
+        parent.attach(child)
+        parent.attach(child)  # idempotent
+        snap = parent.snapshot()
+        assert snap["top.requests"] == 2
+        assert snap["leaf.hits"] == 5
+
+    def test_gauge_callback_read_at_snapshot_time(self):
+        reg = MetricsRegistry()
+        backing = {"n": 1}
+        reg.gauge("size", fn=lambda: backing["n"])
+        assert reg.snapshot()["size"] == 1
+        backing["n"] = 7
+        assert reg.snapshot()["size"] == 7
+
+    def test_collectors_feed_snapshots(self):
+        reg = MetricsRegistry()
+        reg.register_collector(lambda: {"layer.events": 3}, monotonic=True)
+        reg.register_collector(lambda: {"layer.cached": 9}, monotonic=False)
+        snap = reg.snapshot()
+        assert snap["layer.events"] == 3 and snap["layer.cached"] == 9
+        # counters_snapshot keeps only the monotonic slice.
+        counters = reg.counters_snapshot()
+        assert counters["layer.events"] == 3
+        assert "layer.cached" not in counters
+
+    def test_counters_snapshot_expands_histograms(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        h.observe(3)
+        h.observe(3)
+        counters = reg.counters_snapshot()
+        assert counters["lat.count"] == 2
+        assert counters["lat.sum"] == 6
+        assert counters["lat.bucket.4"] == 2
+
+    def test_exposition_format(self):
+        reg = MetricsRegistry()
+        reg.counter("engine.memo.hits").inc(4)
+        reg.gauge("service.workers").set(2)
+        h = reg.histogram("service.request.latency_us")
+        for v in (1, 3, 3, 900):
+            h.observe(v)
+        text = reg.exposition()
+        assert "# TYPE engine_memo_hits counter" in text
+        assert "engine_memo_hits 4" in text
+        assert "# TYPE service_workers gauge" in text
+        # Buckets are cumulative and close with +Inf == count.
+        assert 'service_request_latency_us_bucket{le="2"} 1' in text
+        assert 'service_request_latency_us_bucket{le="4"} 3' in text
+        assert 'service_request_latency_us_bucket{le="1024"} 4' in text
+        assert 'service_request_latency_us_bucket{le="+Inf"} 4' in text
+        assert "service_request_latency_us_count 4" in text
+        assert text.endswith("\n")
+
+
+class TestMerge:
+    def test_counters_sum_and_gauges_max(self):
+        into = {"engine.memo.hits": 10, "engine.memo.entries": 40}
+        merge_counter_snapshots(into, {"engine.memo.hits": 5,
+                                       "engine.memo.entries": 25,
+                                       "intern.cached": 7})
+        assert into["engine.memo.hits"] == 15       # counter: sums
+        assert into["engine.memo.entries"] == 40    # gauge suffix: max
+        assert into["intern.cached"] == 7
+
+    def test_merge_returns_target(self):
+        into: dict = {}
+        assert merge_counter_snapshots(into, {"a": 1}) is into
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+class TestSpans:
+    def test_span_is_shared_noop_outside_collection(self):
+        assert span("anything") is span("other")  # the shared _NULL
+
+    def test_collect_phases_accumulates(self):
+        with collect_phases() as phases:
+            with span("parse"):
+                pass
+            with span("parse"):
+                pass
+            with span("count"):
+                pass
+        assert set(phases) == {"parse", "count"}
+        assert phases["parse"] >= 0.0
+        # Outside the context the thread is back to no-op spans.
+        assert span("parse") is span("x")
+
+    def test_nested_collections_stack(self):
+        with collect_phases() as outer:
+            with span("a"):
+                pass
+            with collect_phases() as inner:
+                with span("b"):
+                    pass
+            with span("c"):
+                pass
+        assert set(outer) == {"a", "c"}
+        assert set(inner) == {"b"}
+
+
+# ----------------------------------------------------------------------
+# Structured logs / request ids
+# ----------------------------------------------------------------------
+class TestStructuredLogs:
+    def test_request_ids_unique_and_greppable(self):
+        first, second = new_request_id(), new_request_id()
+        assert first != second
+        assert first.startswith("req-")
+        prefix, seq = first.rsplit("-", 1)
+        assert second.rsplit("-", 1)[0] == prefix  # same process prefix
+        assert int(second.rsplit("-", 1)[1]) == int(seq) + 1
+
+    def test_log_lines_are_json_with_request_id(self):
+        sink = io.StringIO()
+        logger = StructuredLogger(stream=sink, component="repro.test")
+        request_id = new_request_id()
+        logger.request(request_id, kind="hom_count", ok=True,
+                       elapsed_s=0.0123, task_id="t-1",
+                       phases={"parse": 0.001, "count": 0.011})
+        lines = sink.getvalue().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["request_id"] == request_id
+        assert record["event"] == "request"
+        assert record["component"] == "repro.test"
+        assert record["kind"] == "hom_count"
+        assert record["ok"] is True
+        assert record["id"] == "t-1"
+        assert record["elapsed_ms"] == 12.3
+        assert record["phases"] == {"parse": 1.0, "count": 11.0}
+        assert isinstance(record["ts"], float)
+
+    def test_none_fields_are_dropped(self):
+        sink = io.StringIO()
+        StructuredLogger(stream=sink).request(
+            new_request_id(), kind=None, ok=False, elapsed_s=0.0)
+        record = json.loads(sink.getvalue())
+        assert "kind" not in record and "phases" not in record
+        assert record["ok"] is False
+
+
+# ----------------------------------------------------------------------
+# Metric primitives
+# ----------------------------------------------------------------------
+class TestPrimitives:
+    def test_counter(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(3)
+        c.value += 1  # the documented hot-path form
+        assert c.value == 5
+        c.reset()
+        assert c.value == 0
+
+    def test_gauge_set_wins_without_fn(self):
+        g = Gauge("n")
+        g.set(4)
+        assert g.read() == 4

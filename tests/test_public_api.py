@@ -79,7 +79,12 @@ class TestCLIEntryPoints:
         with pytest.raises(SystemExit) as excinfo:
             main(["--help"])
         assert excinfo.value.code == 0
-        assert "decide-cq" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        # The grouped command tree; the deprecated flat aliases
+        # (decide-cq, ...) are rewritten pre-parse and stay hidden.
+        for group in ("decide", "bench", "batch", "cache", "serve"):
+            assert group in out
+        assert "decide-cq" not in out
 
     def test_dunder_main_importable(self):
         import importlib.util

@@ -22,7 +22,9 @@ from repro.batch.tasks import (
     decode_task,
     make_hom_count_task,
 )
-from repro.service import SolverService, serve_socket, serve_stdio
+from repro.errors import ReproError
+from repro.obs import StructuredLogger
+from repro.service import DaemonClient, SolverService, serve_socket, serve_stdio
 from repro.session import SolverSession
 from repro.structures.generators import clique_structure, path_structure
 
@@ -300,6 +302,145 @@ class TestSocketMode:
         thread.join(timeout=10)
         assert not thread.is_alive()
         service.close()
+
+
+# ----------------------------------------------------------------------
+# Metrics control op + structured request logs
+# ----------------------------------------------------------------------
+class TestMetricsOp:
+    def test_metrics_snapshot_schema(self):
+        with SolverService(workers=1) as service:
+            for line in _stream("hom", 3, seed=2):
+                service.evaluate(line)
+            response = json.loads(
+                service.control_response('{"op": "metrics"}'))
+        assert response["ok"] is True and response["op"] == "metrics"
+        metrics = response["metrics"]
+        # The documented namespaced schema, across every layer.
+        assert metrics["service.requests"] == 3
+        assert metrics["service.errors"] == 0
+        assert metrics["service.requests.kind.hom-count"] == 3
+        assert metrics["session.tasks.evaluated"] == 3
+        assert metrics["engine.memo.misses"] >= 1
+        assert metrics["engine.targets.compiled"] >= 1
+        assert metrics["intern.structures"] >= 1
+        assert metrics["service.workers"] == 1
+        assert metrics["service.uptime_s"] >= 0
+        # The per-request latency histogram, with log2 bucket labels.
+        latency = metrics["service.request.latency_us"]
+        assert latency["count"] == 3
+        assert latency["sum"] > 0
+        assert sum(latency["buckets"].values()) == 3
+        assert all(le == str(int(le)) for le in latency["buckets"])
+
+    def test_metrics_prometheus_exposition(self):
+        with SolverService(workers=1) as service:
+            service.evaluate(_stream("hom", 1, seed=2)[0])
+            response = json.loads(service.control_response(
+                '{"op": "metrics", "format": "prometheus"}'))
+        assert response["format"] == "prometheus"
+        text = response["exposition"]
+        assert "# TYPE service_requests counter" in text
+        assert "service_requests 1" in text
+        assert "engine_memo_hits" in text
+        assert 'service_request_latency_us_bucket{le="+Inf"} 1' in text
+
+    def test_flat_stats_is_the_metrics_view(self):
+        with SolverService(workers=1) as service:
+            service.evaluate(_stream("hom", 1, seed=2)[0])
+            flat = service.stats(flat=True)
+            nested = service.stats()
+        assert flat["service.requests"] == \
+            nested["service"]["requests"] == 1
+        assert flat["engine.memo.hits"] == \
+            nested["session"]["engine"]["hits"]
+
+    def test_drain_op_flips_shutdown(self):
+        with SolverService(workers=1) as service:
+            response = json.loads(
+                service.control_response('{"op": "drain"}'))
+            assert response == {"draining": True, "ok": True, "op": "drain"}
+            assert service.shutting_down
+
+
+class TestRequestLog:
+    def test_log_lines_carry_request_ids_and_phases(self):
+        sink = io.StringIO()
+        logger = StructuredLogger(stream=sink, component="repro.serve")
+        with SolverService(workers=1, logger=logger) as service:
+            out = [service.evaluate(line)
+                   for line in _stream("hom", 2, seed=3)]
+        # Protocol output never gains log lines (byte-parity).
+        assert all(json.loads(line)["ok"] for line in out)
+        records = [json.loads(line)
+                   for line in sink.getvalue().splitlines()]
+        assert len(records) == 2
+        ids = {record["request_id"] for record in records}
+        assert len(ids) == 2
+        for record in records:
+            assert record["request_id"].startswith("req-")
+            assert record["event"] == "request"
+            assert record["kind"] == "hom-count"
+            assert record["ok"] is True
+            assert record["elapsed_ms"] >= 0
+            assert "parse" in record["phases"]
+
+    def test_no_logger_means_no_log_lines(self, capsys):
+        with SolverService(workers=1) as service:
+            service.evaluate(_stream("hom", 1, seed=3)[0])
+        assert capsys.readouterr().err == ""
+
+
+# ----------------------------------------------------------------------
+# DaemonClient over a live TCP daemon
+# ----------------------------------------------------------------------
+class TestDaemonClient:
+    def test_tcp_round_trips_and_drain(self):
+        service = SolverService(workers=2)
+        ready = threading.Event()
+        bound: list = []
+        thread = threading.Thread(
+            target=serve_socket, args=(service,),
+            kwargs={"port": 0, "ready": ready, "bound": bound}, daemon=True)
+        thread.start()
+        assert ready.wait(10)
+        host, port = bound[0]
+        client = DaemonClient(host=host, port=port, timeout=10)
+
+        assert client.ping() == {"ok": True, "op": "ping"}
+
+        task = canonical_json(make_hom_count_task(
+            "client-1", path_structure(["R"]), clique_structure(3)))
+        answer = client.request_line(task)
+        assert answer["ok"] is True and answer["count"] == "6"
+
+        stats = client.stats()
+        assert stats["stats"]["service"]["requests"] == 1
+
+        metrics = client.metrics()["metrics"]
+        assert metrics["service.requests"] == 1
+        assert metrics["session.tasks.evaluated"] == 1
+        assert metrics["service.request.latency_us"]["count"] == 1
+
+        exposition = client.metrics(format="prometheus")["exposition"]
+        assert "service_requests 1" in exposition
+
+        drained = client.drain()
+        assert drained == {"draining": True, "ok": True, "op": "drain"}
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        service.close()
+
+        with pytest.raises(ReproError):
+            client.ping()
+
+    def test_unreachable_daemon_is_a_clean_error(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        client = DaemonClient(port=free_port, timeout=0.5)
+        with pytest.raises(ReproError, match="cannot reach daemon"):
+            client.ping()
 
 
 # ----------------------------------------------------------------------
