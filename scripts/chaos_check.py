@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Chaos lane: one seeded fault plan exercised across every subsystem.
+
+CI entry point for the fault-tolerance contract (DESIGN.md §14).  One
+run asserts, against a single seeded :class:`repro.faults.FaultPlan`:
+
+* **worker kills** — a poisoned task repeatedly kills its batch worker
+  (``os._exit`` mid-chunk); the supervisor restarts the pool, bisects
+  the chunk and quarantines exactly that task, and every surviving
+  result is byte-identical to a fault-free run;
+* **store corruption** — an injected ``sqlite3.DatabaseError`` on the
+  first store lookup quarantines the damaged file to
+  ``<path>.corrupt-<ts>`` and recreates the schema, without failing a
+  single task;
+* **connect flaps** — two injected connection refusals against a live
+  daemon are absorbed by the client's retry/backoff loop;
+* **deadlines** — a pinned adversarial request (``K7 → K25`` under
+  ``deadline_ms=50``) comes back as a structured ``budget-exceeded``
+  error in well under 500 ms and does not poison later requests.
+
+Exits nonzero with a labeled message on the first violated assertion.
+
+Usage::
+
+    PYTHONPATH=src python scripts/chaos_check.py
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(0, "src")
+
+from repro.batch.runner import run_batch  # noqa: E402
+from repro.batch.scenarios import generate_scenario, write_scenario  # noqa: E402
+from repro.batch.tasks import canonical_json, make_hom_count_task  # noqa: E402
+from repro.faults import (  # noqa: E402
+    FaultPlan,
+    clear_fault_plan,
+    install_fault_plan,
+)
+from repro.service import DaemonClient, SolverService, serve_socket  # noqa: E402
+from repro.structures.generators import clique_structure  # noqa: E402
+
+CHAOS_SEED = 29
+POISONED = "dn-00000"
+
+
+def fail(message: str) -> None:
+    print(f"chaos check: FAIL — {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_batch_under_faults(workdir: str) -> None:
+    tasks = os.path.join(workdir, "tasks.jsonl")
+    with open(tasks, "w") as sink:
+        write_scenario(generate_scenario("mixed", 10, seed=11), sink)
+    identifiers = [json.loads(line)["id"] for line in open(tasks)]
+    if POISONED not in identifiers:
+        fail(f"pinned poison task {POISONED!r} not in scenario "
+             f"(ids: {identifiers})")
+
+    clean_out = os.path.join(workdir, "clean.jsonl")
+    run_batch(tasks, clean_out, workers=2, chunk_size=3,
+              cache_path=os.path.join(workdir, "clean-cache.sqlite"))
+
+    chaos_cache = os.path.join(workdir, "chaos-cache.sqlite")
+    chaos_out = os.path.join(workdir, "chaos.jsonl")
+    plan = {
+        "seed": CHAOS_SEED,
+        "worker.chunk": {"task_ids": [POISONED]},
+        "store.lookup": [0],
+    }
+    summary = run_batch(tasks, chaos_out, workers=2, chunk_size=3,
+                        cache_path=chaos_cache, fault_plan=plan)
+
+    if summary["written"] != 10:
+        fail(f"chaos batch incomplete: {summary}")
+    if summary["quarantined"] != 1:
+        fail(f"expected exactly 1 quarantined task, got {summary}")
+    if summary["worker_restarts"] < 1:
+        fail(f"expected at least one worker restart, got {summary}")
+
+    chaos_lines = {json.loads(line)["id"]: line
+                   for line in open(chaos_out)}
+    quarantined = [identifier for identifier, line in chaos_lines.items()
+                   if json.loads(line).get("quarantined")]
+    if quarantined != [POISONED]:
+        fail(f"wrong quarantine set: {quarantined}")
+    for line in open(clean_out):
+        identifier = json.loads(line)["id"]
+        if identifier == POISONED:
+            continue
+        if chaos_lines[identifier] != line:
+            fail(f"survivor {identifier} differs between clean and "
+                 f"chaos runs")
+
+    corpses = glob.glob(chaos_cache + ".corrupt-*")
+    if not corpses:
+        fail("injected store corruption left no quarantined "
+             f"{chaos_cache}.corrupt-* file")
+    print(f"chaos check: batch OK — 1 task quarantined, "
+          f"{summary['worker_restarts']} worker restart(s), "
+          f"{len(corpses)} corrupt store file(s) quarantined, "
+          f"9 survivors byte-identical")
+
+
+def check_daemon_under_faults() -> None:
+    service = SolverService(workers=2, request_deadline_ms=5000.0)
+    ready = threading.Event()
+    bound: list = []
+    server = threading.Thread(
+        target=serve_socket, args=(service,),
+        kwargs={"port": 0, "ready": ready, "bound": bound}, daemon=True)
+    server.start()
+    if not ready.wait(10):
+        fail("daemon did not come up")
+    host, port = bound[0]
+
+    # Two injected connection refusals, absorbed by retry/backoff.
+    install_fault_plan(FaultPlan({"seed": CHAOS_SEED,
+                                  "client.connect": [0, 1]}))
+    try:
+        client = DaemonClient(host, port, retries=3)
+        answer = client.ping()
+    finally:
+        clear_fault_plan()
+    if not answer.get("ok") or client.connect_failures != 2:
+        fail(f"connect-flap retry broken: answer={answer} "
+             f"failures={client.connect_failures}")
+
+    # Pinned adversarial instance: a clique source maximizes the
+    # canonical-labeling search, a big clique target the branching.
+    adversarial = make_hom_count_task(
+        "adv-0",
+        clique_structure(7, relation="E"),
+        clique_structure(25, relation="E"))
+    adversarial["deadline_ms"] = 50
+    started = time.perf_counter()
+    record = client.request_line(canonical_json(adversarial))
+    elapsed_ms = (time.perf_counter() - started) * 1000
+    if record.get("error_kind") != "budget-exceeded":
+        fail(f"adversarial request was not budget-limited: {record}")
+    if elapsed_ms >= 500:
+        fail(f"budget-exceeded answer took {elapsed_ms:.0f}ms (>=500ms)")
+
+    # Later requests are not poisoned.
+    follow_up = make_hom_count_task(
+        "ok-0", clique_structure(2, relation="E"),
+        clique_structure(3, relation="E"))
+    if not client.request_line(canonical_json(follow_up)).get("ok"):
+        fail("request after budget trip failed")
+    stats = client.stats()["stats"]["service"]
+    if stats.get("budget_exceeded") != 1:
+        fail(f"service.request.budget_exceeded miscounted: {stats}")
+
+    client.shutdown()
+    server.join(10)
+    service.close()
+    print(f"chaos check: daemon OK — 2 connect flaps absorbed, "
+          f"budget-exceeded in {elapsed_ms:.0f}ms, follow-up clean")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
+        check_batch_under_faults(workdir)
+    check_daemon_under_faults()
+    print("chaos check: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

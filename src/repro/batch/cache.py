@@ -37,6 +37,15 @@ Concurrency: writes are buffered and flushed with ``INSERT OR IGNORE``
 under WAL journaling, so concurrent batch workers sharing one store
 file never corrupt it and at worst recompute an answer another worker
 was about to publish.
+
+Self-healing: the store is a cache, so a damaged file is never worth
+failing a batch over.  Any corruption SQLite reports ("database disk
+image is malformed", "file is not a database") quarantines the bad
+file to ``<path>.corrupt-<ts>``, recreates the schema in a fresh file
+and retries the failed operation once; engines keep serving from their
+in-memory memo throughout.  The ``corruptions``/``retries`` counters
+surface in :meth:`SQLiteHomStore.stats` (and from there in the obs
+registry as ``store.corruptions``/``store.retries``).
 """
 
 from __future__ import annotations
@@ -45,9 +54,13 @@ import hashlib
 import json
 import os
 import sqlite3
-from typing import Dict, List, Optional, Tuple
+import time
+from typing import Callable, Dict, List, Optional, Tuple, TypeVar
+
+_T = TypeVar("_T")
 
 from repro.errors import ReproError
+from repro.faults.inject import should_inject
 from repro.structures.canonical import canonical_key
 from repro.structures.serialization import (
     SerializationError,
@@ -96,6 +109,23 @@ def _digest(text: str) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
+# The messages SQLite reports for a damaged file.  ``DatabaseError``
+# raised as the *base* class is corruption too ("database disk image is
+# malformed" surfaces that way); its OperationalError subclass usually
+# means contention, which has its own (skip, don't heal) handling.
+_CORRUPTION_MARKERS = ("malformed", "not a database", "corrupt")
+
+
+def _is_corruption(exc: sqlite3.Error) -> bool:
+    """Is this SQLite error a damaged file (as opposed to contention)?"""
+    if not isinstance(exc, sqlite3.DatabaseError):
+        return False
+    if type(exc) is sqlite3.DatabaseError:
+        return True
+    message = str(exc).lower()
+    return any(marker in message for marker in _CORRUPTION_MARKERS)
+
+
 class SQLiteHomStore:
     """Persistent hom-count / hom-existence store for HomEngine.
 
@@ -117,6 +147,8 @@ class SQLiteHomStore:
         self.lookups = 0
         self.lookup_hits = 0
         self.inserts = 0
+        self.corruptions = 0
+        self.retries = 0
         self._pending: Dict[str, List[Tuple[bytes, str, str]]] = {
             _COUNTS: [], _EXISTS: [],
         }
@@ -127,8 +159,9 @@ class SQLiteHomStore:
         # Migration guard runs before any lookup (fail fast on legacy
         # files) — on a short-lived connection, so a store constructed
         # before a fork still holds no SQLite handle (children must
-        # never inherit one; see _connect).
-        self._connect().close()
+        # never inherit one; see _connect).  A corrupt file heals here
+        # instead of poisoning every later operation.
+        self._guarded(lambda: self._connect().close(), None)
         self._connection = None
         self._owner_pid = None
 
@@ -145,13 +178,22 @@ class SQLiteHomStore:
             # are single-threaded processes and are unaffected.
             connection = sqlite3.connect(self.path, timeout=30.0,
                                          check_same_thread=False)
-            connection.execute("PRAGMA journal_mode=WAL")
-            connection.execute("PRAGMA synchronous=NORMAL")
-            self._check_version(connection)
-            with connection:
-                for statement in _SCHEMA:
-                    connection.execute(statement)
-                connection.execute(f"PRAGMA user_version={SCHEMA_VERSION}")
+            try:
+                connection.execute("PRAGMA journal_mode=WAL")
+                connection.execute("PRAGMA synchronous=NORMAL")
+                self._check_version(connection)
+                with connection:
+                    for statement in _SCHEMA:
+                        connection.execute(statement)
+                    connection.execute(f"PRAGMA user_version={SCHEMA_VERSION}")
+            except sqlite3.DatabaseError:
+                # Don't leak an open handle to a file _heal may be
+                # about to quarantine (_check_version closes its own).
+                try:
+                    connection.close()
+                except sqlite3.Error:
+                    pass
+                raise
             self._connection = connection
             self._owner_pid = pid
             self._pending = {_COUNTS: [], _EXISTS: []}
@@ -189,6 +231,67 @@ class SQLiteHomStore:
             f"hom store has schema version {version}, this build expects "
             f"{SCHEMA_VERSION}; refusing to read keys that would silently "
             f"never match")
+
+    # ------------------------------------------------------------------
+    # Self-healing
+    # ------------------------------------------------------------------
+    def _guarded(self, operation: Callable[[], _T], default: _T) -> _T:
+        """Run one store operation with self-healing.
+
+        Contention (:class:`sqlite3.OperationalError`) degrades to
+        ``default`` — the existing never-block-the-batch contract.
+        Corruption quarantines the damaged file, recreates the schema
+        and retries the operation once; a second failure degrades to
+        ``default`` too, so callers keep serving from the in-memory
+        memo no matter what is on disk.
+        """
+        for attempt in (0, 1):
+            try:
+                return operation()
+            except sqlite3.DatabaseError as exc:
+                if _is_corruption(exc):
+                    self._heal()
+                    if attempt == 0:
+                        self.retries += 1
+                        continue
+                    return default
+                if isinstance(exc, sqlite3.OperationalError):
+                    return default
+                raise
+        return default
+
+    def _heal(self) -> None:
+        """Drop the live connection and quarantine the corrupt file.
+
+        The next ``_connect()`` recreates the schema in a fresh file.
+        Queued writes and the serialization memo stay valid — they
+        describe answers, not the damaged bytes.
+        """
+        self.corruptions += 1
+        connection, self._connection = self._connection, None
+        self._owner_pid = None
+        if connection is not None:
+            try:
+                connection.close()
+            except sqlite3.Error:
+                pass
+        stamp = int(time.time())
+        destination = f"{self.path}.corrupt-{stamp}"
+        suffix = 0
+        while os.path.exists(destination):
+            suffix += 1
+            destination = f"{self.path}.corrupt-{stamp}.{suffix}"
+        try:
+            os.replace(self.path, destination)
+        except OSError:
+            # Already quarantined (or never written) — recreating the
+            # schema is still the right next step.
+            return
+        for sidecar in ("-wal", "-shm"):
+            try:
+                os.replace(self.path + sidecar, destination + sidecar)
+            except OSError:
+                pass
 
     def close(self) -> None:
         self.flush()
@@ -246,13 +349,19 @@ class SQLiteHomStore:
         if target_json is None:
             return None
         self.lookups += 1
-        try:
-            row = self._connect().execute(
+
+        def probe() -> Optional[Tuple[str]]:
+            # Inside the guarded operation so an injected corruption
+            # exercises the same heal-and-retry path a real one does.
+            if should_inject("store.lookup"):
+                raise sqlite3.DatabaseError(
+                    "database disk image is malformed (injected)")
+            return self._connect().execute(
                 f"SELECT value FROM {table} WHERE src=? AND target=?",
                 (canonical_key(source), _digest(target_json)),
             ).fetchone()
-        except sqlite3.OperationalError:
-            return None
+
+        row = self._guarded(probe, None)
         if row is None:
             return None
         self.lookup_hits += 1
@@ -275,7 +384,8 @@ class SQLiteHomStore:
             return
         pending, self._pending = self._pending, {_COUNTS: [], _EXISTS: []}
         pending_targets, self._pending_targets = self._pending_targets, []
-        try:
+
+        def publish() -> None:
             connection = self._connect()
             with connection:
                 connection.executemany(
@@ -289,11 +399,12 @@ class SQLiteHomStore:
                             rows,
                         )
             self.inserts += sum(len(rows) for rows in pending.values())
-        except sqlite3.OperationalError:
-            # Another worker holds the write lock past the busy timeout;
-            # the answers stay correct in memory and will be recomputed
-            # (or published by that worker) — never block the batch.
-            pass
+
+        # Contention default: another worker holds the write lock past
+        # the busy timeout; the answers stay correct in memory and will
+        # be recomputed (or published by that worker) — never block the
+        # batch.  Corruption heals and republishes the detached batch.
+        self._guarded(publish, None)
 
     # ------------------------------------------------------------------
     # Warm start / introspection
@@ -308,15 +419,15 @@ class SQLiteHomStore:
         decoded (or stored) at all.  Returns the number of counts
         seeded; rows whose target no longer decodes are skipped.
         """
-        try:
-            rows = self._connect().execute(
+        def fetch() -> List[Tuple[bytes, str, str]]:
+            return self._connect().execute(
                 f"SELECT h.src, t.json, h.value"
                 f" FROM {_COUNTS} h JOIN targets t ON t.hash = h.target"
                 f" LIMIT ?",
                 (limit,),
             ).fetchall()
-        except sqlite3.OperationalError:
-            return 0
+
+        rows = self._guarded(fetch, [])
         targets: Dict[str, Optional[Structure]] = {}
         seeded = 0
         for src_key, target_json, value in rows:
@@ -345,12 +456,16 @@ class SQLiteHomStore:
         """
         self._pending = {_COUNTS: [], _EXISTS: []}
         self._pending_targets = []
-        removed = len(self)
-        connection = self._connect()
-        with connection:
-            for table in (_COUNTS, _EXISTS, "targets"):
-                connection.execute(f"DELETE FROM {table}")
-        return removed
+
+        def wipe() -> int:
+            removed = len(self)
+            connection = self._connect()
+            with connection:
+                for table in (_COUNTS, _EXISTS, "targets"):
+                    connection.execute(f"DELETE FROM {table}")
+            return removed
+
+        return self._guarded(wipe, 0)
 
     def counts_len(self) -> int:
         return self._table_len(_COUNTS)
@@ -359,12 +474,12 @@ class SQLiteHomStore:
         return self._table_len(_EXISTS)
 
     def _table_len(self, table: str) -> int:
-        try:
+        def count() -> int:
             row = self._connect().execute(
                 f"SELECT COUNT(*) FROM {table}").fetchone()
-        except sqlite3.OperationalError:
-            return 0
-        return int(row[0])
+            return int(row[0])
+
+        return self._guarded(count, 0)
 
     def __len__(self) -> int:
         return self.counts_len() + self.exists_len()
@@ -376,6 +491,8 @@ class SQLiteHomStore:
             "lookups": self.lookups,
             "lookup_hits": self.lookup_hits,
             "inserts": self.inserts,
+            "corruptions": self.corruptions,
+            "retries": self.retries,
         }
 
     def __repr__(self) -> str:

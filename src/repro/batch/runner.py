@@ -37,11 +37,20 @@ import multiprocessing
 import os
 import random
 import sys
+import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.errors import ReproError
+from repro.faults.budget import BudgetExceeded, use_budget
+from repro.faults.inject import (
+    FaultPlan,
+    install_fault_plan,
+    should_inject,
+)
 from repro.obs.metrics import merge_counter_snapshots
 from repro.obs.trace import span
 from repro.batch.tasks import DecodedTask, canonical_json, decode_task
@@ -54,6 +63,15 @@ from repro.ucq.analysis import linear_certificate
 
 DEFAULT_CHUNK_SIZE = 8
 DEFAULT_PRELOAD = 2048
+DEFAULT_MAX_RETRIES = 2
+# Base of the jittered exponential backoff between chunk retries.
+# Timing only — results are pure, so the jitter never touches bytes.
+_RETRY_BASE_DELAY = 0.05
+
+# What a dying (or hung) worker pool surfaces as: a worker killed
+# mid-task breaks the whole pool; a result() timeout is treated the
+# same way because a hung worker holds its pool slot forever.
+_WORKER_DEATH = (BrokenProcessPool, FuturesTimeout)
 
 Context = Union[SolverSession, HomEngine]
 
@@ -124,8 +142,22 @@ def evaluate_envelope(line: str, context: Context) -> Dict:
         with span("parse"):
             task = decode_task(line)
         task_id, kind = task.id, task.kind
-        with span("count"):
+        with span("count"), \
+                use_budget(session.budget_for(task.deadline_ms)):
             record = evaluate_task(task, session)
+    except BudgetExceeded as exc:
+        # Before the generic ReproError arm: a tripped budget is a
+        # *structured* refusal (the operator set the bound), not an
+        # opaque failure — the record carries the partial stats.
+        session.record_task(ok=False, budget_exceeded=True)
+        return {
+            "id": task_id,
+            "kind": kind,
+            "ok": False,
+            "error": f"BudgetExceeded: {exc}",
+            "error_kind": "budget-exceeded",
+            "budget": exc.to_record(),
+        }
     except ReproError as exc:
         session.record_task(ok=False)
         return {
@@ -154,8 +186,15 @@ _WORKER_SESSION: Optional[SolverSession] = None
 _WORKER_LAST_METRICS: Dict[str, float] = {}
 
 
-def _init_worker(cache_path: Optional[str], preload: int) -> None:
+def _init_worker(cache_path: Optional[str], preload: int,
+                 fault_spec: Optional[Dict] = None) -> None:
     global _WORKER_SESSION, _WORKER_LAST_METRICS
+    if fault_spec is not None:
+        # The plan travels as its JSON spec (counters are per-process;
+        # only the scheduling-independent task_ids triggers are
+        # deterministic across worker layouts — the chaos lane keys
+        # worker kills by task id for exactly that reason).
+        install_fault_plan(FaultPlan(fault_spec))
     _WORKER_SESSION = SolverSession(store_path=cache_path, preload=preload)
     _WORKER_LAST_METRICS = {}
 
@@ -172,6 +211,13 @@ def _evaluate_chunk(lines: List[str]) -> tuple:
     session = _WORKER_SESSION
     if session is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("batch worker used before initialization")
+    for line in lines:
+        # The ``worker.chunk`` fault point: a poison task kills its
+        # worker outright — no exception, no cleanup — exactly like a
+        # segfault or the OOM killer.  ``os._exit`` (not sys.exit)
+        # so no handler downstream can soften the crash.
+        if should_inject("worker.chunk", key=_line_id(line)):
+            os._exit(86)
     results = [evaluate_line(line, session) for line in lines]
     session.flush()
     current = session.metrics.counters_snapshot()
@@ -201,6 +247,171 @@ def _pool_context():
         "fork" if "fork" in methods else methods[0])
 
 
+def _quarantine_record(line: str) -> str:
+    """The deterministic error record of a quarantined poison task.
+
+    Carries no timestamps or attempt counts — byte-identical across
+    runs, worker counts and retry schedules, so quarantined output
+    diffs clean against itself.
+    """
+    payload = None
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError:
+        pass
+    task_id = payload.get("id") if isinstance(payload, dict) else None
+    kind = payload.get("kind") if isinstance(payload, dict) else None
+    return canonical_json({
+        "id": task_id if isinstance(task_id, str) else None,
+        "kind": kind if isinstance(kind, str) else None,
+        "ok": False,
+        "error": "WorkerCrash: task repeatedly killed or hung its "
+                 "worker process",
+        "quarantined": True,
+    })
+
+
+class _PoolSupervisor:
+    """Owns the worker pool and every recovery path around it.
+
+    A worker killed mid-task (OOM killer, segfault, injected
+    ``worker.chunk`` fault) breaks the *whole*
+    :class:`~concurrent.futures.ProcessPoolExecutor` — every in-flight
+    future fails, and which chunk did the killing is unknowable from
+    the parent.  The supervisor's contract on top of that blunt
+    failure mode:
+
+    * the pool is torn down and rebuilt (``batch.worker.restarts``);
+    * the chunk whose result was being awaited is re-run in isolation,
+      up to ``max_retries`` times with jittered exponential backoff
+      (transient deaths — a worker OOM-killed under memory pressure —
+      succeed on retry and count ``batch.chunk.retries``);
+    * a chunk that *keeps* dying is bisected until the poison task is
+      a chunk of one, which is quarantined as a deterministic error
+      record (``batch.tasks.quarantined``) — the batch completes;
+    * every other chunk is resubmitted unchanged, so non-quarantined
+      results stay byte-identical to a fault-free run;
+    * with ``chunk_timeout`` set, a *hung* worker is treated exactly
+      like a dead one (the pool is killed; a task that keeps hanging
+      is quarantined) — without it a hang waits forever, matching the
+      pre-supervision contract.
+    """
+
+    def __init__(self, workers: int, cache_path: Optional[str],
+                 preload: int, fault_spec: Optional[Dict],
+                 max_retries: int, chunk_timeout: Optional[float],
+                 metrics_sink: Optional[Dict[str, float]]):
+        self.workers = workers
+        self.cache_path = cache_path
+        self.preload = preload
+        self.fault_spec = fault_spec
+        self.max_retries = max(0, max_retries)
+        self.chunk_timeout = chunk_timeout
+        self.metrics_sink = metrics_sink
+        self.executor: Optional[ProcessPoolExecutor] = None
+        self._spawn()
+
+    def _spawn(self) -> None:
+        self.executor = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=_pool_context(),
+            initializer=_init_worker,
+            initargs=(self.cache_path, self.preload, self.fault_spec),
+        )
+
+    def _note(self, name: str, value: int = 1) -> None:
+        if self.metrics_sink is not None:
+            merge_counter_snapshots(self.metrics_sink, {name: value})
+
+    def _restart(self) -> None:
+        """Kill the (broken or hung) pool and build a fresh one."""
+        executor = self.executor
+        self.executor = None
+        if executor is not None:
+            # A hung worker never drains its call queue: terminate the
+            # processes outright, then reap without waiting on them.
+            processes = getattr(executor, "_processes", None) or {}
+            for process in list(processes.values()):
+                if process.is_alive():
+                    process.terminate()
+            executor.shutdown(wait=False, cancel_futures=True)
+        self._note("batch.worker.restarts")
+        self._spawn()
+
+    def submit(self, chunk: List[str]):
+        try:
+            return self.executor.submit(_evaluate_chunk, chunk)
+        except BrokenProcessPool:
+            # The pool died between drains; doomed in-flight futures
+            # surface at their own drain and are salvaged there.
+            self._restart()
+            return self.executor.submit(_evaluate_chunk, chunk)
+
+    def drain(self, inflight: "deque") -> List[str]:
+        """Resolve the oldest in-flight chunk into its result lines."""
+        future, chunk = inflight.popleft()
+        try:
+            results, delta = future.result(timeout=self.chunk_timeout)
+        except _WORKER_DEATH:
+            self._restart()
+            # Every sibling future died with the pool: remember their
+            # chunks, resolve the head chunk in isolation, then refill
+            # the window in order — ordering (and therefore bytes)
+            # survives the crash.
+            salvaged = [entry[1] for entry in inflight]
+            inflight.clear()
+            results = self._run_isolated(chunk, attempts_spent=1)
+            for sibling in salvaged:
+                inflight.append((self.submit(sibling), sibling))
+            return results
+        if self.metrics_sink is not None:
+            merge_counter_snapshots(self.metrics_sink, delta)
+        return results
+
+    def _run_isolated(self, chunk: List[str],
+                      attempts_spent: int = 0) -> List[str]:
+        """Run one suspect chunk alone: retry, then bisect, then
+        quarantine.  ``attempts_spent`` credits a failure the chunk
+        already suffered in the shared pool."""
+        for attempt in range(attempts_spent, self.max_retries + 1):
+            if attempt:
+                _backoff(attempt)
+            try:
+                results, delta = self.executor.submit(
+                    _evaluate_chunk, chunk).result(timeout=self.chunk_timeout)
+            except _WORKER_DEATH:
+                self._restart()
+                continue
+            if attempt:
+                self._note("batch.chunk.retries")
+            if self.metrics_sink is not None:
+                merge_counter_snapshots(self.metrics_sink, delta)
+            return results
+        if len(chunk) == 1:
+            self._note("batch.tasks.quarantined")
+            return [_quarantine_record(chunk[0])]
+        middle = len(chunk) // 2
+        return (self._run_isolated(chunk[:middle])
+                + self._run_isolated(chunk[middle:]))
+
+    def shutdown(self) -> None:
+        if self.executor is not None:
+            self.executor.shutdown(wait=True, cancel_futures=True)
+            self.executor = None
+
+
+def _backoff(attempt: int) -> None:
+    """Jittered exponential backoff before retry ``attempt`` (1-based).
+
+    Full jitter on a doubling base: transient resource pressure (the
+    usual honest cause of a worker death) gets time to clear, and
+    parallel batches don't re-stampede in lockstep.  Timing only —
+    never part of the bytes.
+    """
+    delay = _RETRY_BASE_DELAY * (1 << min(attempt - 1, 6))
+    time.sleep(delay * (0.5 + random.random() / 2))
+
+
 # ----------------------------------------------------------------------
 # Batch drivers
 # ----------------------------------------------------------------------
@@ -212,6 +423,9 @@ def iter_results(
     preload: int = DEFAULT_PRELOAD,
     session: Optional[SolverSession] = None,
     metrics_sink: Optional[Dict[str, float]] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    fault_plan: Optional[Dict] = None,
+    chunk_timeout: Optional[float] = None,
 ) -> Iterator[str]:
     """Evaluate task lines, yielding result lines in task order.
 
@@ -226,8 +440,19 @@ def iter_results(
     ``metrics_sink`` (a dict) receives the merged monotonic metric
     movement of the run — per-worker registry deltas summed under the
     namespaced schema (:mod:`repro.obs`).
+
+    Fault tolerance (DESIGN.md §14): a chunk whose worker dies is
+    retried up to ``max_retries`` times with backoff, then bisected to
+    quarantine the poison task (see :class:`_PoolSupervisor`);
+    ``chunk_timeout`` (seconds) additionally treats a hung worker as a
+    dead one.  ``fault_plan`` (a :class:`~repro.faults.inject.FaultPlan`
+    spec dict) installs a deterministic fault plan in this process and
+    in every worker — the chaos lane's handle.
     """
     chunk_size = max(1, chunk_size)
+    previous_plan = None
+    if fault_plan is not None:
+        previous_plan = install_fault_plan(FaultPlan(fault_plan))
     if workers <= 1:
         scoped = session
         if session is not None:
@@ -253,6 +478,8 @@ def iter_results(
                     if value != before.get(name, 0)})
             if scoped is not session:
                 scoped.close()
+            if fault_plan is not None:
+                install_fault_plan(previous_plan)
         return
     if session is not None:
         raise ReproError(
@@ -262,12 +489,9 @@ def iter_results(
     # ProcessPoolExecutor rather than multiprocessing.Pool: a worker
     # killed mid-task (OOM, segfault) raises BrokenProcessPool out of
     # result() — Pool would silently lose the job and hang the batch.
-    executor = ProcessPoolExecutor(
-        max_workers=workers,
-        mp_context=_pool_context(),
-        initializer=_init_worker,
-        initargs=(cache_path, preload),
-    )
+    # The supervisor owns restart / retry / bisect / quarantine.
+    supervisor = _PoolSupervisor(workers, cache_path, preload, fault_plan,
+                                 max_retries, chunk_timeout, metrics_sink)
     try:
         # Bounded in-flight window: submitting everything up front
         # would buffer an arbitrarily large task stream in memory.
@@ -276,20 +500,16 @@ def iter_results(
         max_inflight = max(2, workers * 4)
         inflight: "deque" = deque()
 
-        def drain_oldest() -> Iterator[str]:
-            results, delta = inflight.popleft().result()
-            if metrics_sink is not None:
-                merge_counter_snapshots(metrics_sink, delta)
-            return results
-
         for chunk in _chunks(lines, chunk_size):
-            inflight.append(executor.submit(_evaluate_chunk, chunk))
+            inflight.append((supervisor.submit(chunk), chunk))
             if len(inflight) >= max_inflight:
-                yield from drain_oldest()
+                yield from supervisor.drain(inflight)
         while inflight:
-            yield from drain_oldest()
+            yield from supervisor.drain(inflight)
     finally:
-        executor.shutdown(wait=True, cancel_futures=True)
+        supervisor.shutdown()
+        if fault_plan is not None:
+            install_fault_plan(previous_plan)
 
 
 def run_batch(
@@ -300,6 +520,9 @@ def run_batch(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     preload: int = DEFAULT_PRELOAD,
     resume: bool = False,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    fault_plan: Optional[Dict] = None,
+    chunk_timeout: Optional[float] = None,
 ) -> Dict[str, int]:
     """File-level driver behind ``repro batch run``.
 
@@ -307,9 +530,12 @@ def run_batch(
     (``-`` = stdout).  With ``resume``, task ids already present in the
     output file are skipped and fresh results are appended — so an
     interrupted batch continues where it stopped.  Returns a summary:
-    ``{"tasks", "skipped", "written", "errors", "metrics"}`` — the
-    ``metrics`` block is the merged per-worker registry movement
-    (namespaced counter deltas summed across the pool).
+    ``{"tasks", "skipped", "written", "errors", "quarantined",
+    "retries", "worker_restarts", "metrics"}`` — the ``metrics`` block
+    is the merged per-worker registry movement (namespaced counter
+    deltas summed across the pool).  ``max_retries``/``fault_plan``/
+    ``chunk_timeout`` are the supervision knobs of
+    :func:`iter_results`.
     """
     done = set()
     if resume and output_path != "-":
@@ -322,7 +548,8 @@ def run_batch(
         raw_lines = open(input_path, "r", encoding="utf-8")
 
     summary: Dict[str, object] = {"tasks": 0, "skipped": 0,
-                                  "written": 0, "errors": 0}
+                                  "written": 0, "errors": 0,
+                                  "quarantined": 0}
     metrics: Dict[str, float] = {}
 
     def pending() -> Iterator[str]:
@@ -343,16 +570,23 @@ def run_batch(
         for result in iter_results(pending(), workers=workers,
                                    cache_path=cache_path,
                                    chunk_size=chunk_size, preload=preload,
-                                   metrics_sink=metrics):
+                                   metrics_sink=metrics,
+                                   max_retries=max_retries,
+                                   fault_plan=fault_plan,
+                                   chunk_timeout=chunk_timeout):
             sink.write(result + "\n")
             summary["written"] += 1
             if '"ok":false' in result:
                 summary["errors"] += 1
+            if '"quarantined":true' in result:
+                summary["quarantined"] += 1
     finally:
         if sink is not sys.stdout:
             sink.close()
         if raw_lines is not sys.stdin:
             raw_lines.close()
+    summary["retries"] = int(metrics.get("batch.chunk.retries", 0))
+    summary["worker_restarts"] = int(metrics.get("batch.worker.restarts", 0))
     summary["metrics"] = metrics
     return summary
 
@@ -398,8 +632,24 @@ def _truncate_torn_tail(output_path: str) -> None:
             newline = data.rfind(b"\n")
             if newline != -1:
                 handle.truncate(position + newline + 1)
+                _fsync(handle)
                 return
         handle.truncate(0)
+        _fsync(handle)
+
+
+def _fsync(handle) -> None:
+    """Force a truncation to disk before results are appended after it.
+
+    Without the sync, a crash between truncate and the first append
+    could resurrect the torn fragment from the page cache's past —
+    fused mid-line with fresh output.
+    """
+    handle.flush()
+    try:
+        os.fsync(handle.fileno())
+    except OSError:  # pragma: no cover - e.g. fsync-less filesystems
+        pass
 
 
 def _completed_ids(output_path: str) -> set:

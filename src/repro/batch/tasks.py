@@ -165,6 +165,9 @@ class DecodedTask:
     witness: bool = field(default=False)
     source: Optional[Structure] = None
     target: Optional[Structure] = None
+    #: Per-task wall-clock deadline (``{"deadline_ms": …}`` in the
+    #: envelope); ``None`` defers to the session default.
+    deadline_ms: Optional[float] = None
 
     def seed(self) -> int:
         """The deterministic RNG seed for any randomized step."""
@@ -197,6 +200,16 @@ def decode_task(line: "str | Dict[str, Any]") -> DecodedTask:
     if not isinstance(task_id, str) or not task_id:
         raise BatchCodecError(f"task needs a non-empty string 'id', got {task_id!r}")
 
+    deadline_ms = record.get("deadline_ms")
+    if deadline_ms is not None:
+        if isinstance(deadline_ms, bool) \
+                or not isinstance(deadline_ms, (int, float)) \
+                or deadline_ms <= 0:
+            raise BatchCodecError(
+                f"task {task_id}: 'deadline_ms' must be a positive "
+                f"number, got {deadline_ms!r}")
+        deadline_ms = float(deadline_ms)
+
     if kind == "hom-count":
         payloads = {}
         for label in ("source", "target"):
@@ -213,6 +226,7 @@ def decode_task(line: "str | Dict[str, Any]") -> DecodedTask:
             query=None,
             source=payloads["source"],
             target=payloads["target"],
+            deadline_ms=deadline_ms,
         )
 
     expected = _QUERY_TYPES[kind]
@@ -254,6 +268,7 @@ def decode_task(line: "str | Dict[str, Any]") -> DecodedTask:
         views=views,
         container=container,
         witness=bool(record.get("witness", False)),
+        deadline_ms=deadline_ms,
     )
 
 

@@ -258,6 +258,11 @@ def _cmd_batch_gen(args: argparse.Namespace) -> int:
 def _cmd_batch_run(args: argparse.Namespace) -> int:
     from repro.batch.runner import run_batch
 
+    fault_plan = None
+    if args.fault_plan is not None:
+        from repro.faults.inject import FaultPlan
+
+        fault_plan = FaultPlan.from_file(args.fault_plan).to_spec()
     summary = run_batch(
         args.input,
         args.output,
@@ -265,11 +270,15 @@ def _cmd_batch_run(args: argparse.Namespace) -> int:
         cache_path=args.cache,
         chunk_size=args.chunk_size,
         resume=args.resume,
+        max_retries=args.max_retries,
+        fault_plan=fault_plan,
+        chunk_timeout=args.chunk_timeout,
     )
     print(
         f"batch: {summary['written']} results written "
         f"({summary['skipped']} resumed, {summary['errors']} task errors, "
-        f"{summary['tasks']} tasks seen)",
+        f"{summary['quarantined']} quarantined, {summary['tasks']} tasks "
+        f"seen)",
         file=sys.stderr,
     )
     return 0
@@ -317,7 +326,8 @@ def _cmd_serve_start(args: argparse.Namespace) -> int:
         StructuredLogger(component="repro.serve")
     service = SolverService(workers=args.workers, store_path=args.cache,
                             strategy=args.strategy, preload=args.preload,
-                            logger=logger)
+                            logger=logger,
+                            request_deadline_ms=args.request_deadline_ms)
 
     def _graceful(signum, frame):  # noqa: ARG001 — signal signature
         service.request_shutdown()
@@ -358,7 +368,11 @@ def _print_json(payload) -> None:
 
 
 def _cmd_serve_ping(args: argparse.Namespace) -> int:
-    _print_json(_client(args).ping())
+    client = _client(args)
+    if getattr(args, "wait", None) is not None:
+        waited = client.wait_until_ready(timeout=args.wait)
+        print(f"repro serve: ready after {waited:.3f}s", file=sys.stderr)
+    _print_json(client.ping())
     return 0
 
 
@@ -497,6 +511,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--resume", action="store_true",
                      help="skip task ids already answered in --output "
                           "and append the rest")
+    run.add_argument("--max-retries", type=int, default=2, metavar="R",
+                     help="attempts per chunk after a worker death before "
+                          "bisecting/quarantining (default: 2)")
+    run.add_argument("--fault-plan", default=None, metavar="PATH",
+                     help="JSON fault-injection plan (chaos testing): "
+                          "seeded trigger points for worker kills, store "
+                          "corruption, connect flaps and engine trips")
+    run.add_argument("--chunk-timeout", type=float, default=None,
+                     metavar="S",
+                     help="seconds before an in-flight chunk's worker is "
+                          "declared hung and restarted (default: no limit)")
     run.set_defaults(handler=_cmd_batch_run)
 
     # ----------------------------------------------------------- cache
@@ -540,6 +565,13 @@ def build_parser() -> argparse.ArgumentParser:
     start.add_argument("--no-request-log", action="store_true",
                        help="disable the per-request structured JSON log "
                             "lines on stderr")
+    start.add_argument("--request-deadline-ms", type=float, default=None,
+                       metavar="MS",
+                       help="default wall-clock budget per request; an "
+                            "over-budget request is answered with a "
+                            "structured budget-exceeded error instead of "
+                            "stalling the pool (requests may still set "
+                            "their own deadline_ms)")
     start.set_defaults(handler=_cmd_serve_start)
 
     # Shared client context for the management verbs: every one of them
@@ -558,6 +590,11 @@ def build_parser() -> argparse.ArgumentParser:
     ping = serve_sub.add_parser(
         "ping", parents=[client_opts],
         help="liveness probe against a running daemon")
+    ping.add_argument("--wait", type=float, default=None, metavar="S",
+                      help="poll until the daemon answers (up to S "
+                           "seconds) instead of failing on the first "
+                           "refused connection — startup rendezvous for "
+                           "scripts and CI")
     ping.set_defaults(handler=_cmd_serve_ping)
 
     stats = serve_sub.add_parser(

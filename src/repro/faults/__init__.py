@@ -1,0 +1,51 @@
+"""Fault-tolerant execution layer (DESIGN.md §14).
+
+Two orthogonal primitives that every layer of the stack consults:
+
+* :mod:`repro.faults.budget` — per-request **deadlines and work
+  budgets**.  A :class:`Budget` (wall-clock deadline plus a counting
+  work budget) is installed thread-locally around one request; the
+  counting kernels check it every ``2^k`` search nodes / table
+  entries and raise :class:`BudgetExceeded` carrying partial stats,
+  so an adversarial instance can never pin an engine worker forever.
+* :mod:`repro.faults.inject` — a **deterministic fault-injection
+  harness**.  A :class:`FaultPlan` (counter-indexed and/or seeded
+  trigger points: ``store.lookup``, ``worker.chunk``,
+  ``client.connect``, ``engine.step``) is installed process-globally;
+  the store, the batch workers, the daemon client and the engine
+  consult it at their fault points, so every recovery path — store
+  self-healing, worker-crash bisection, connect backoff, budget
+  degradation — is reproducibly testable without monkeypatching
+  internals.  A plan with no entries is byte-for-byte equivalent to
+  no plan at all.
+"""
+
+from repro.faults.budget import (
+    Budget,
+    BudgetExceeded,
+    active_budget,
+    budget_stats,
+    use_budget,
+)
+from repro.faults.inject import (
+    FaultInjected,
+    FaultPlan,
+    clear_fault_plan,
+    current_fault_plan,
+    install_fault_plan,
+    should_inject,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "FaultInjected",
+    "FaultPlan",
+    "active_budget",
+    "budget_stats",
+    "clear_fault_plan",
+    "current_fault_plan",
+    "install_fault_plan",
+    "should_inject",
+    "use_budget",
+]

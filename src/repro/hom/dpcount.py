@@ -49,6 +49,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import StructureError
+from repro.faults.budget import active_budget, injected_exceeded
+from repro.faults.inject import should_inject
 from repro.obs.trace import span
 from repro.structures.interned import bit_indices
 from repro.structures.structure import Structure
@@ -402,6 +404,22 @@ def _resolved_intro(plan, index):
     return entry
 
 
+def _budgeted(items, budget):
+    """Wrap a bag-table iteration with periodic budget charges.
+
+    Only installed when a budget is active (the no-budget sweep keeps
+    its bare dict iteration): one int AND per entry, the Budget
+    consult amortized over a 256-entry stride — the DP twin of the
+    backtracking kernels' 1024-node stride (DESIGN.md §14).
+    """
+    n = 0
+    for item in items:
+        n += 1
+        if not n & 255:
+            budget.charge(256)
+        yield item
+
+
 def count_plan_dp(plan, index) -> int:
     """``|hom| `` of a compiled source plan into a compiled target.
 
@@ -422,6 +440,8 @@ def count_plan_dp(plan, index) -> int:
     """
     from repro.hom.engine import _BITSET_COUNTERS, _BITSET_MAX_DOMAIN
 
+    if should_inject("engine.step"):
+        raise injected_exceeded()
     if index.domain_size > _BITSET_MAX_DOMAIN:
         _BITSET_COUNTERS["fallbacks"] += 1
         _DP_PACKED["dp_fallbacks"] += 1
@@ -429,6 +449,7 @@ def count_plan_dp(plan, index) -> int:
     resolved, decided, free_factor = _resolved_intro(plan, index)
     if decided is not None:
         return decided
+    budget = active_budget()
 
     dp = plan.dp_plan()
     nodes = dp.nice.nodes
@@ -453,6 +474,8 @@ def count_plan_dp(plan, index) -> int:
                 left, right = right, left
             joined: Dict[int, int] = {}
             right_get = right.get
+            left_items = left.items() if budget is None \
+                else _budgeted(left.items(), budget)
             follower = nodes[position + 1] \
                 if position + 1 < len(nodes) else None
             if follower is not None and follower.kind == FORGET \
@@ -464,7 +487,7 @@ def count_plan_dp(plan, index) -> int:
                 below = (1 << shift) - 1
                 above = shift + kb
                 joined_get = joined.get
-                for key, count in left.items():
+                for key, count in left_items:
                     other = right_get(key)
                     if other is not None:
                         shrunk = (key & below) | ((key >> above) << shift)
@@ -474,7 +497,7 @@ def count_plan_dp(plan, index) -> int:
                             else accumulated + product
                 tables[position + 1] = joined
             else:
-                for key, count in left.items():
+                for key, count in left_items:
                     other = right_get(key)
                     if other is not None:
                         joined[key] = count * other
@@ -483,6 +506,8 @@ def count_plan_dp(plan, index) -> int:
         child_at = node.children[0]
         child = tables[child_at]
         tables[child_at] = None
+        entries = child.items() if budget is None \
+            else _budgeted(child.items(), budget)
         out: Dict[int, int] = {}
         store_at = position
         if kind == FORGET:
@@ -493,14 +518,14 @@ def count_plan_dp(plan, index) -> int:
             if var_pos == len(node.order):
                 # The forgotten variable holds the topmost packed field
                 # of the child key: projection is a single mask.
-                for key, count in child.items():
+                for key, count in entries:
                     shrunk = key & below
                     accumulated = out_get(shrunk)
                     out[shrunk] = count if accumulated is None \
                         else accumulated + count
             else:
                 above = shift + kb
-                for key, count in child.items():
+                for key, count in entries:
                     shrunk = (key & below) | ((key >> above) << shift)
                     accumulated = out_get(shrunk)
                     out[shrunk] = count if accumulated is None \
@@ -518,7 +543,7 @@ def count_plan_dp(plan, index) -> int:
                            for key, count in child.items()
                            for shifted in values}
                 else:
-                    for key, count in child.items():
+                    for key, count in entries:
                         head = (key & below) | ((key >> shift) << raise_by)
                         for shifted in values:
                             out[head | shifted] = count
@@ -529,11 +554,11 @@ def count_plan_dp(plan, index) -> int:
                 # per-entry AND, no per-entry bit scan.
                 _, spread, f_shift, below, shift, raise_by, top = op
                 if top:
-                    for key, count in child.items():
+                    for key, count in entries:
                         for shifted in spread[(key >> f_shift) & vmask]:
                             out[key | shifted] = count
                 else:
-                    for key, count in child.items():
+                    for key, count in entries:
                         values = spread[(key >> f_shift) & vmask]
                         if values:
                             head = (key & below) | \
@@ -546,13 +571,13 @@ def count_plan_dp(plan, index) -> int:
                 # probe on the packed pair of field values.
                 _, spread, s1, s2, below, shift, raise_by, top = op
                 if top:
-                    for key, count in child.items():
+                    for key, count in entries:
                         for shifted in spread[
                                 (((key >> s1) & vmask) << kb)
                                 | ((key >> s2) & vmask)]:
                             out[key | shifted] = count
                 else:
-                    for key, count in child.items():
+                    for key, count in entries:
                         values = spread[
                             (((key >> s1) & vmask) << kb)
                             | ((key >> s2) & vmask)]
@@ -569,7 +594,7 @@ def count_plan_dp(plan, index) -> int:
                     g_below, g_shift, g_above = op
                 store_at = position + 1
                 out_get = out.get
-                for key, count in child.items():
+                for key, count in entries:
                     if not top:
                         key = (key & below) | ((key >> shift) << raise_by)
                     head = (key & g_below) | ((key >> g_above) << g_shift)
@@ -583,7 +608,7 @@ def count_plan_dp(plan, index) -> int:
                     g_below, g_shift, g_above = op
                 store_at = position + 1
                 out_get = out.get
-                for key, count in child.items():
+                for key, count in entries:
                     values = spread[(key >> f_shift) & vmask]
                     if not values:
                         continue
@@ -600,7 +625,7 @@ def count_plan_dp(plan, index) -> int:
                     g_below, g_shift, g_above = op
                 store_at = position + 1
                 out_get = out.get
-                for key, count in child.items():
+                for key, count in entries:
                     values = spread[
                         (((key >> s1) & vmask) << kb)
                         | ((key >> s2) & vmask)]
@@ -623,7 +648,7 @@ def count_plan_dp(plan, index) -> int:
                 # amortizes across counts too.
                 _, candidates, getters, general, below, shift, \
                     raise_by, top, spread = op
-                for key, count in child.items():
+                for key, count in entries:
                     allowed = candidates
                     for lookup, other_shift in getters:
                         allowed &= lookup((key >> other_shift) & vmask, 0)
@@ -657,6 +682,11 @@ def count_plan_dp(plan, index) -> int:
                             out[head | shifted] = count
         if len(out) > peak:
             peak = len(out)
+        if budget is not None:
+            # Charge the fan-out too: a FREE introduce writes
+            # |child|·|candidates| entries off a single charged input
+            # stride, so the output side is accounted per node.
+            budget.charge(len(out))
         tables[store_at] = out
     if peak > _DP_PACKED["dp_peak_entries"]:
         _DP_PACKED["dp_peak_entries"] = peak
@@ -676,6 +706,7 @@ def _count_plan_dp_sets(plan, index) -> int:
     decided, domains, free_factor = _plan_preamble_sets(plan, index, False)
     if decided is not None:
         return decided
+    budget = active_budget()
 
     dp = plan.dp_plan()
     nodes = dp.nice.nodes
@@ -694,7 +725,9 @@ def _count_plan_dp_sets(plan, index) -> int:
             if len(left) > len(right):
                 left, right = right, left
             joined: Dict[tuple, int] = {}
-            for key, count in left.items():
+            left_items = left.items() if budget is None \
+                else _budgeted(left.items(), budget)
+            for key, count in left_items:
                 other = right.get(key)
                 if other is not None:
                     joined[key] = count * other
@@ -703,10 +736,12 @@ def _count_plan_dp_sets(plan, index) -> int:
         child_at = node.children[0]
         child = tables[child_at]
         tables[child_at] = None
+        entries = child.items() if budget is None \
+            else _budgeted(child.items(), budget)
         var_pos = node.var_pos
         out: Dict[tuple, int] = {}
         if kind == FORGET:
-            for key, count in child.items():
+            for key, count in entries:
                 shrunk = key[:var_pos] + key[var_pos + 1:]
                 accumulated = out.get(shrunk)
                 out[shrunk] = count if accumulated is None \
@@ -714,7 +749,7 @@ def _count_plan_dp_sets(plan, index) -> int:
         else:  # INTRODUCE
             values = domains[node.var]
             checks = all_checks[position]
-            for key, count in child.items():
+            for key, count in entries:
                 head, tail = key[:var_pos], key[var_pos:]
                 for value in values:
                     grown = head + (value,) + tail
@@ -725,6 +760,8 @@ def _count_plan_dp_sets(plan, index) -> int:
                     else:
                         # (key, value) -> grown is injective: plain set.
                         out[grown] = count
+        if budget is not None:
+            budget.charge(len(out))
         tables[position] = out
     total = tables[-1].get((), 0)
     return total * free_factor

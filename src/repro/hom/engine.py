@@ -72,6 +72,14 @@ from functools import lru_cache
 from typing import Dict, FrozenSet, Hashable, List, Tuple
 
 from repro.errors import ReproError
+from repro.faults.budget import (
+    BudgetExceeded,
+    active_budget,
+    budget_stats,
+    injected_exceeded,
+    may_degrade,
+)
+from repro.faults.inject import should_inject
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import span
 from repro.structures.canonical import canonical_key, canonical_stats
@@ -655,6 +663,8 @@ def _plan_preamble_sets(plan: SourcePlan, index: TargetIndex,
 
 def _count(plan: SourcePlan, index: TargetIndex, first_only: bool) -> int:
     """Backtracking count: bitset kernel, set kernel past the cap."""
+    if should_inject("engine.step"):
+        raise injected_exceeded()
     if index.domain_size > _BITSET_MAX_DOMAIN:
         _BITSET_COUNTERS["fallbacks"] += 1
         return _count_sets(plan, index, first_only)
@@ -700,6 +710,8 @@ def _count_bitset(plan: SourcePlan, index: TargetIndex,
                  for entries in plan.level_checks]
     assign: List[int] = [0] * plan.inter.n_active
     propagations = 0
+    budget = active_budget()
+    nodes = 0
 
     total = 0
     last = n - 1
@@ -715,6 +727,12 @@ def _count_bitset(plan: SourcePlan, index: TargetIndex,
         mask = remaining[level]
         trail = None
         while mask:
+            # Budget check once per 1024 search nodes: one increment
+            # and one int AND per node, the Budget consult amortized
+            # past the bench gate's ≤2% envelope (DESIGN.md §14).
+            nodes += 1
+            if not nodes & 1023 and budget is not None:
+                budget.charge(1024)
             low = mask & -mask
             mask ^= low
             value = low.bit_length() - 1
@@ -840,6 +858,8 @@ def _count_sets(plan: SourcePlan, index: TargetIndex,
     total = 0
     last = n - 1
     tail_simple = plan.tail_simple
+    budget = active_budget()
+    nodes = 0
     iters: List = [None] * n
     trails: List = [None] * n
     iters[0] = iter(domains[order[0]])
@@ -848,6 +868,10 @@ def _count_sets(plan: SourcePlan, index: TargetIndex,
         variable = order[level]
         trail = None
         for value in iters[level]:
+            # Same 1024-node budget stride as the bitset kernel.
+            nodes += 1
+            if not nodes & 1023 and budget is not None:
+                budget.charge(1024)
             trail = try_assign(variable, value)
             if trail is not None:
                 break
@@ -996,6 +1020,7 @@ class HomEngine:
         interning = intern_stats()
         canonical = canonical_stats()
         bitset = bitset_stats()
+        budget = budget_stats()
         report = {
             "intern.structures": interning["structures"],
             "intern.hits": interning["hits"],
@@ -1004,6 +1029,10 @@ class HomEngine:
             "bitset.propagations": bitset["propagations"],
             "bitset.fallbacks": bitset["fallbacks"],
             "dp.packed.fallbacks": bitset["dp_fallbacks"],
+            "budget.exceeded_deadline": budget["exceeded_deadline"],
+            "budget.exceeded_steps": budget["exceeded_steps"],
+            "budget.injected": budget["injected"],
+            "budget.degraded": budget["degraded"],
         }
         for width, count in self.width_histogram.items():
             report[f"engine.dp.width.{width}"] = count
@@ -1082,8 +1111,21 @@ class HomEngine:
             width = plan.dp_plan().width
             self.width_histogram[width] = \
                 self.width_histogram.get(width, 0) + 1
-            with span("count.dp"):
-                result = count_plan_dp(plan, index)
+            try:
+                with span("count.dp"):
+                    result = count_plan_dp(plan, index)
+            except BudgetExceeded as exc:
+                # Graceful degradation (DESIGN.md §14, auto mode only):
+                # the DP's table-size bet went wrong, but the request's
+                # wall clock may still have room for the O(n)-memory
+                # backtracking backend — retry once under the deadline
+                # alone.  A forced-dp engine re-raises: the caller asked
+                # for that backend specifically.
+                if self.strategy != "auto" or not may_degrade(exc):
+                    raise
+                self._m_backtrack.value += 1
+                with span("count.backtrack"):
+                    result = _count(plan, index, first_only)
             return (1 if result else 0) if first_only else result
         self._m_backtrack.value += 1
         with span("count.backtrack"):
@@ -1197,6 +1239,7 @@ class HomEngine:
             "interning": intern_stats(),
             "canonical": canonical_stats(),
             "bitset": bitset_stats(),
+            "budget": budget_stats(),
             "dp_counts": self.dp_counts,
             "backtrack_counts": self.backtrack_counts,
             "width_histogram": dict(self.width_histogram),

@@ -44,16 +44,33 @@ name                                  kind       meaning
 ``dp.packed.peak_entries``            gauge      largest packed table
 ``session.tasks.evaluated``           counter    requests answered
 ``session.tasks.errors``              counter    requests failed
+``session.tasks.budget_exceeded``     counter    requests cut off by budget
 ``store.lookups`` / ``.lookup_hits``  counter    SQLite store traffic
 ``store.inserts``                     counter    SQLite store writes
+``store.corruptions``                 counter    corrupt files quarantined
+``store.retries``                     counter    ops retried after a heal
 ``store.counts`` / ``store.exists``   gauge      persisted rows
+``budget.exceeded_deadline``          counter    wall-clock budget trips
+``budget.exceeded_steps``             counter    work-budget trips
+``budget.injected``                   counter    injected engine faults
+``budget.degraded``                   counter    DP→backtracking retries
+``batch.worker.restarts``             counter    pool restarts after death
+``batch.chunk.retries``               counter    chunks retried to success
+``batch.tasks.quarantined``           counter    poison tasks quarantined
 ``service.requests`` / ``.errors``    counter    service request stream
 ``service.control_requests``          counter    control-op lines
 ``service.requests.kind.<kind>``      counter    per-task-kind requests
 ``service.request.latency_us``        histogram  request latency (log2)
+``service.request.budget_exceeded``   counter    budget-limited requests
 ``service.uptime_s``                  gauge      daemon uptime
 ``service.workers``                   gauge      dispatch pool size
 ====================================  =========  ========================
+
+The ``budget.*`` counters live in :mod:`repro.faults.budget` and
+surface through ``engine.stats()``; the ``batch.*`` fault counters
+merge from worker processes into ``run_batch``'s summary ``metrics``
+block (and its ``retries``/``worker_restarts``/``quarantined``
+top-level fields).
 
 Histograms bucket by powers of two: a value ``v`` lands in the bucket
 labeled ``2**v.bit_length()`` — the least power of two strictly greater

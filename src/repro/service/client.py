@@ -7,16 +7,47 @@ connection failures into operator-readable errors.  Every CLI handler
 builds one :class:`DaemonClient` from the shared ``--host``/``--port``
 options and calls a method — the kdctl idiom (command groups over one
 client object) without a third-party CLI framework.
+
+Fault tolerance: a daemon restart (or a connect flap injected through
+:mod:`repro.faults.inject`) shows up here as ``ConnectionRefusedError``
+or ``ConnectionResetError``; the client retries those with jittered
+exponential backoff up to ``retries`` times before surfacing a
+:class:`~repro.errors.ReproError`.  Backoff affects *timing only* —
+response bytes are whatever the daemon finally answers.
+:meth:`DaemonClient.wait_until_ready` turns the same loop into a
+startup rendezvous for CLI scripts and CI smoke jobs.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 from typing import Dict, Optional
 
 from repro.batch.tasks import canonical_json
 from repro.errors import ReproError
+from repro.faults.inject import should_inject
+
+#: Retryable dial failures: the daemon is (re)starting or dropped the
+#: connection mid-exchange.  Other ``OSError``s (unresolvable host,
+#: permission) are not transient and fail immediately.
+_TRANSIENT = (ConnectionRefusedError, ConnectionResetError)
+
+DEFAULT_RETRIES = 2
+_RETRY_BASE_DELAY = 0.05
+
+
+def backoff_delay(attempt: int, base: float = _RETRY_BASE_DELAY,
+                  rng=random.random) -> float:
+    """Jittered exponential backoff: ``base * 2^attempt * [0.5, 1.0)``.
+
+    Exposed as a function so tests can pin ``rng`` and check the
+    schedule; production callers never see the values — only the
+    sleeps.
+    """
+    return base * (2 ** attempt) * (0.5 + 0.5 * rng())
 
 
 class DaemonClient:
@@ -27,27 +58,52 @@ class DaemonClient:
     hostage between CLI invocations anyway).  Raises
     :class:`~repro.errors.ReproError` on connection failure or a
     malformed response, so CLI handlers surface one clean error line.
+
+    Retrying a request is safe: control ops are idempotent and task
+    lines are deterministic pure computation, so a second exchange can
+    only repeat the first answer.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 timeout: float = 10.0):
+                 timeout: float = 10.0, retries: int = DEFAULT_RETRIES):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = max(0, retries)
+        #: Transient dial failures seen (for tests and diagnostics).
+        self.connect_failures = 0
 
     # -------------------------------------------------- line protocol
+    def _exchange(self, payload_line: str) -> str:
+        """One dial → write → read cycle; raises raw socket errors."""
+        if should_inject("client.connect"):
+            raise ConnectionRefusedError("connection refused (injected)")
+        with socket.create_connection((self.host, self.port),
+                                      timeout=self.timeout) as conn:
+            wire = conn.makefile("rw", encoding="utf-8")
+            wire.write(payload_line)
+            wire.flush()
+            return wire.readline()
+
     def request_line(self, line: str) -> Dict[str, object]:
         """Send one protocol line, return the decoded response object."""
-        try:
-            with socket.create_connection((self.host, self.port),
-                                          timeout=self.timeout) as conn:
-                wire = conn.makefile("rw", encoding="utf-8")
-                wire.write(line.rstrip("\n") + "\n")
-                wire.flush()
-                answer = wire.readline()
-        except OSError as exc:
-            raise ReproError(
-                f"cannot reach daemon at {self.host}:{self.port}: {exc}")
+        payload_line = line.rstrip("\n") + "\n"
+        attempts = self.retries + 1
+        answer = ""
+        for attempt in range(attempts):
+            try:
+                answer = self._exchange(payload_line)
+                break
+            except _TRANSIENT as exc:
+                self.connect_failures += 1
+                if attempt + 1 >= attempts:
+                    raise ReproError(
+                        f"cannot reach daemon at {self.host}:{self.port} "
+                        f"after {attempts} attempt(s): {exc}")
+                time.sleep(backoff_delay(attempt))
+            except OSError as exc:
+                raise ReproError(
+                    f"cannot reach daemon at {self.host}:{self.port}: {exc}")
         if not answer.strip():
             raise ReproError(
                 f"daemon at {self.host}:{self.port} closed the "
@@ -87,6 +143,31 @@ class DaemonClient:
 
     def shutdown(self) -> Dict[str, object]:
         return self.control("shutdown")
+
+    def wait_until_ready(self, timeout: float = 10.0) -> float:
+        """Block until the daemon answers ``ping``; seconds waited.
+
+        Polls with short capped-exponential sleeps so a freshly
+        spawned daemon is noticed within milliseconds of binding.
+        Raises :class:`~repro.errors.ReproError` when ``timeout``
+        elapses first — the CI smoke jobs' replacement for
+        ``sleep 2 && hope``.
+        """
+        start = time.monotonic()
+        deadline = start + timeout
+        delay = 0.02
+        while True:
+            try:
+                if bool(self.ping().get("ok")):
+                    return time.monotonic() - start
+            except ReproError:
+                pass
+            if time.monotonic() >= deadline:
+                raise ReproError(
+                    f"daemon at {self.host}:{self.port} not ready "
+                    f"after {timeout:.1f}s")
+            time.sleep(delay)
+            delay = min(delay * 2.0, 0.25)
 
     def __repr__(self) -> str:
         return f"DaemonClient({self.host}:{self.port})"

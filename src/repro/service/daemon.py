@@ -69,7 +69,7 @@ class ServiceStats:
     """
 
     __slots__ = ("metrics", "_requests", "_errors", "_control",
-                 "_latency", "_kinds")
+                 "_latency", "_budget_exceeded", "_kinds")
 
     def __init__(self, metrics: Optional[MetricsRegistry] = None):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -77,6 +77,8 @@ class ServiceStats:
         self._errors = self.metrics.counter("service.errors")
         self._control = self.metrics.counter("service.control_requests")
         self._latency = self.metrics.histogram("service.request.latency_us")
+        self._budget_exceeded = self.metrics.counter(
+            "service.request.budget_exceeded")
         self._kinds: Dict[str, object] = {}
 
     @property
@@ -94,10 +96,13 @@ class ServiceStats:
     def record_control(self) -> None:
         self._control.value += 1
 
-    def record(self, kind: Optional[str], ok: bool, elapsed: float) -> None:
+    def record(self, kind: Optional[str], ok: bool, elapsed: float,
+               budget_exceeded: bool = False) -> None:
         self._requests.value += 1
         if not ok:
             self._errors.value += 1
+        if budget_exceeded:
+            self._budget_exceeded.value += 1
         self._latency.observe(elapsed * 1e6)
         label = kind or "invalid"
         counter = self._kinds.get(label)
@@ -113,6 +118,7 @@ class ServiceStats:
             "requests": self.requests,
             "errors": self.errors,
             "control_requests": self.control_requests,
+            "budget_exceeded": self._budget_exceeded.value,
             "mean_latency_ms": round(mean * 1000.0, 3),
             "kinds": {label: counter.value
                       for label, counter in sorted(self._kinds.items())},
@@ -125,6 +131,10 @@ class SolverService:
     ``session`` is adopted when given (the caller closes it), otherwise
     the service builds one from ``store_path``/``strategy`` and owns
     it.  ``workers`` bounds concurrently admitted requests.
+    ``request_deadline_ms`` becomes the session's default wall-clock
+    budget: any request without its own ``deadline_ms`` is cut off
+    after that long and answered with a structured ``budget-exceeded``
+    error record instead of stalling the pool.
     """
 
     def __init__(self, session: Optional[SolverSession] = None,
@@ -132,21 +142,25 @@ class SolverService:
                  store_path: Optional[str] = None,
                  strategy: str = "auto",
                  preload: int = 0,
-                 logger: Optional[StructuredLogger] = None):
+                 logger: Optional[StructuredLogger] = None,
+                 request_deadline_ms: Optional[float] = None):
         if session is not None:
             # Same rule as SolverSession's engine adoption: silently
             # dropping the caller's store/strategy configuration would
             # masquerade as a warm persistent deployment while serving
             # cold — refuse the contradiction instead.
-            if store_path is not None or strategy != "auto":
+            if store_path is not None or strategy != "auto" \
+                    or request_deadline_ms is not None:
                 raise ReproError(
                     "cannot adopt an existing session and also configure "
-                    "store_path/strategy; configure the session itself")
+                    "store_path/strategy/request_deadline_ms; configure "
+                    "the session itself")
             self.session = session
             self._owns_session = False
         else:
-            self.session = SolverSession(store_path=store_path,
-                                         strategy=strategy, preload=preload)
+            self.session = SolverSession(
+                store_path=store_path, strategy=strategy, preload=preload,
+                default_deadline_ms=request_deadline_ms)
             self._owns_session = True
         self.workers = max(1, workers)
         # The service registry tops the metrics tree: service counters
@@ -236,6 +250,7 @@ class SolverService:
         ok = True
         kind = None
         task_id = None
+        budget_exceeded = False
         phases: Dict[str, float] = {}
         try:
             with self._engine_lock:
@@ -247,24 +262,31 @@ class SolverService:
             kind = envelope.get("kind")
             task_id = envelope.get("id")
             ok = bool(envelope.get("ok"))
+            budget_exceeded = envelope.get("error_kind") == "budget-exceeded"
             result = canonical_json(envelope)
+        except (KeyboardInterrupt, SystemExit):
+            # Never swallowed into an error record: these are the
+            # process being told to stop, not a request failing.
+            raise
         except Exception as exc:  # noqa: BLE001 — the daemon must survive
             # evaluate_envelope already converts library errors;
             # anything arriving here is an unexpected bug in a single
             # request, which must not kill the other requests in
             # flight.  Session accounting still sees the request, so
             # the stats op's two counters stay in step on error
-            # streams.
+            # streams.  The request id ties the record to the log line.
             ok = False
             with self._engine_lock:
                 self.session.record_task(ok=False)
             result = canonical_json({
                 "id": None, "kind": None, "ok": False,
+                "request_id": request_id,
                 "error": f"InternalError: {type(exc).__name__}: {exc}",
             })
         elapsed = time.perf_counter() - start
         with self._state_lock:
-            self.stats_counters.record(kind, ok, elapsed)
+            self.stats_counters.record(kind, ok, elapsed,
+                                       budget_exceeded=budget_exceeded)
         if self.logger is not None:
             self.logger.request(request_id, kind=kind, ok=ok,
                                 elapsed_s=elapsed, task_id=task_id,

@@ -41,6 +41,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.errors import ReproError
+from repro.faults.budget import Budget
 from repro.hom.engine import STRATEGIES, HomEngine
 from repro.obs.metrics import MetricsRegistry
 
@@ -70,16 +71,35 @@ class SolverSession:
     preload:
         With ``store_path`` (or ``store``): seed up to this many stored
         counts into the fresh engine's memo (warm start).
+    default_deadline_ms / default_max_steps:
+        Per-request budget defaults (DESIGN.md §14): every task
+        evaluated under this session runs inside a fresh
+        :class:`~repro.faults.budget.Budget` built from these bounds
+        unless the request carries its own ``deadline_ms``.  ``None``
+        (the default) means unbounded — budgets cost nothing unless
+        asked for.
     """
 
     __slots__ = ("engine", "_store", "_owns_engine", "_owns_store",
-                 "metrics", "_m_tasks", "_m_task_errors", "_closed")
+                 "metrics", "_m_tasks", "_m_task_errors",
+                 "_m_budget_exceeded", "default_deadline_ms",
+                 "default_max_steps", "_closed")
 
     def __init__(self, *, engine: Optional[HomEngine] = None,
                  store=None, store_path: Optional[str] = None,
                  strategy: str = "auto",
                  max_counts: int = 16384, max_targets: int = 512,
-                 preload: int = 0):
+                 preload: int = 0,
+                 default_deadline_ms: Optional[float] = None,
+                 default_max_steps: Optional[int] = None):
+        if default_deadline_ms is not None and default_deadline_ms <= 0:
+            raise ReproError(
+                f"default_deadline_ms must be > 0, got {default_deadline_ms}")
+        if default_max_steps is not None and default_max_steps <= 0:
+            raise ReproError(
+                f"default_max_steps must be > 0, got {default_max_steps}")
+        self.default_deadline_ms = default_deadline_ms
+        self.default_max_steps = default_max_steps
         if store is not None and store_path is not None:
             raise ReproError(
                 "SolverSession takes either a store object or a "
@@ -124,6 +144,8 @@ class SolverSession:
         self.metrics = metrics
         self._m_tasks = metrics.counter("session.tasks.evaluated")
         self._m_task_errors = metrics.counter("session.tasks.errors")
+        self._m_budget_exceeded = \
+            metrics.counter("session.tasks.budget_exceeded")
         metrics.register_collector(self._collect_store_counters,
                                    monotonic=True)
         metrics.register_collector(self._collect_store_gauges,
@@ -140,6 +162,10 @@ class SolverSession:
     def task_errors(self) -> int:
         return self._m_task_errors.value
 
+    @property
+    def tasks_budget_exceeded(self) -> int:
+        return self._m_budget_exceeded.value
+
     def _store_stats(self) -> Dict[str, int]:
         store = self.engine.store
         if store is None:
@@ -150,7 +176,8 @@ class SolverSession:
     def _collect_store_counters(self) -> Dict[str, int]:
         stats = self._store_stats()
         return {f"store.{key}": value for key, value in stats.items()
-                if key in ("lookups", "lookup_hits", "inserts")}
+                if key in ("lookups", "lookup_hits", "inserts",
+                           "corruptions", "retries")}
 
     def _collect_store_gauges(self) -> Dict[str, int]:
         stats = self._store_stats()
@@ -179,11 +206,33 @@ class SolverSession:
     # ------------------------------------------------------------------
     # Request accounting (fed by the batch runner and the service)
     # ------------------------------------------------------------------
-    def record_task(self, ok: bool = True) -> None:
+    def record_task(self, ok: bool = True,
+                    budget_exceeded: bool = False) -> None:
         """Count one evaluated request against this session."""
         self._m_tasks.value += 1
         if not ok:
             self._m_task_errors.value += 1
+        if budget_exceeded:
+            self._m_budget_exceeded.value += 1
+
+    def budget_for(self, deadline_ms: Optional[float] = None
+                   ) -> Optional[Budget]:
+        """The fresh :class:`~repro.faults.budget.Budget` one request
+        should run under — or ``None`` when neither the request nor
+        the session bounds it.
+
+        ``deadline_ms`` is the request's own deadline (the
+        ``deadline_ms`` envelope field); it overrides the session
+        default.  The session's ``default_max_steps`` applies either
+        way (a work budget is a property of the deployment, not of one
+        request).
+        """
+        deadline = deadline_ms if deadline_ms is not None \
+            else self.default_deadline_ms
+        if deadline is None and self.default_max_steps is None:
+            return None
+        return Budget(deadline_ms=deadline,
+                      max_steps=self.default_max_steps)
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle
@@ -211,6 +260,7 @@ class SolverSession:
             "engine": self.engine.stats(),
             "tasks_evaluated": self.tasks_evaluated,
             "task_errors": self.task_errors,
+            "tasks_budget_exceeded": self.tasks_budget_exceeded,
             "strategy": self.engine.strategy,
         }
         store = self.engine.store

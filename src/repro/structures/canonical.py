@@ -41,6 +41,7 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Dict, List, Tuple
 
+from repro.faults.budget import active_budget
 from repro.structures.interned import InternedStructure, interned
 from repro.structures.structure import Structure
 
@@ -116,8 +117,19 @@ def _canonical_certificate(inter: InternedStructure) -> Tuple:
     incidences = _incidences(inter, n)
     colors = _refine(n, incidences, [0] * n)
     best: List[Tuple] = []
+    # Highly symmetric sources visit |Aut|-many leaves, each paying a
+    # full refinement pass — for a clique that is seconds of work
+    # before any counting kernel runs, so a deadline must reach in
+    # here too.  (A trip aborts the lru_cache fill; nothing partial is
+    # memoized.)
+    budget = active_budget()
+    nodes = 0
 
     def search(colors: List[int]) -> None:
+        nonlocal nodes
+        nodes += 1
+        if not nodes & 63 and budget is not None:
+            budget.charge(64)
         cells: Dict[int, List[int]] = {}
         for vertex, color in enumerate(colors):
             cells.setdefault(color, []).append(vertex)

@@ -216,7 +216,7 @@ class TestSQLiteHomStore:
         store = SQLiteHomStore(str(tmp_path / "cache.sqlite"))
         stats = store.stats()
         assert set(stats) == {"counts", "exists", "lookups", "lookup_hits",
-                              "inserts"}
+                              "inserts", "corruptions", "retries"}
 
     def test_unserializable_source_still_persists(self, tmp_path):
         """Canonical keys freed the source side from the JSON wire
@@ -334,7 +334,8 @@ class TestRunner:
         full = tmp_path / "full.jsonl"
         summary = run_batch(str(tasks), str(full), workers=1)
         metrics = summary.pop("metrics")
-        assert summary == {"tasks": 9, "skipped": 0, "written": 9, "errors": 0}
+        assert summary == {"tasks": 9, "skipped": 0, "written": 9, "errors": 0,
+                           "quarantined": 0, "retries": 0, "worker_restarts": 0}
         # The merged per-run registry movement rides in the summary.
         assert metrics["session.tasks.evaluated"] == 9
 
