@@ -413,8 +413,10 @@ class SQLiteHomStore:
         """Seed an engine's in-memory memo from the store.
 
         Reads up to ``limit`` stored ``(src_key, target, count)`` rows
-        and pushes them through
-        :meth:`~repro.hom.engine.HomEngine.seed_count_key` — the
+        — most recently recorded first (descending rowid), so a bounded
+        preload keeps the answers the workload touched last — and
+        pushes them through
+        :meth:`~repro.hom.engine.HomEngine.seed_count_key`: the
         canonical key *is* the memo key, so no source structure is
         decoded (or stored) at all.  Returns the number of counts
         seeded; rows whose target no longer decodes are skipped.
@@ -423,7 +425,7 @@ class SQLiteHomStore:
             return self._connect().execute(
                 f"SELECT h.src, t.json, h.value"
                 f" FROM {_COUNTS} h JOIN targets t ON t.hash = h.target"
-                f" LIMIT ?",
+                f" ORDER BY h.rowid DESC LIMIT ?",
                 (limit,),
             ).fetchall()
 
@@ -446,6 +448,67 @@ class SQLiteHomStore:
             return structure_from_dict(json.loads(text))
         except (SerializationError, ValueError):
             return None
+
+    # ------------------------------------------------------------------
+    # Row-level surface (cache merge / warm-pack / v3 migration)
+    # ------------------------------------------------------------------
+    def iter_rows(self, table: str, newest_first: bool = False,
+                  limit: Optional[int] = None):
+        """Yield ``(src_key, target_json, value)`` rows of one table.
+
+        Pending rows are flushed first so the iteration sees every
+        recorded answer.  ``newest_first`` walks descending rowid —
+        the order warm packs are exported in.
+        """
+        self.flush()
+        order = "DESC" if newest_first else "ASC"
+
+        def fetch() -> List[Tuple[bytes, str, str]]:
+            return self._connect().execute(
+                f"SELECT h.src, t.json, h.value"
+                f" FROM {table} h JOIN targets t ON t.hash = h.target"
+                f" ORDER BY h.rowid {order} LIMIT ?",
+                (-1 if limit is None else limit,),
+            ).fetchall()
+
+        for src_key, target_json, value in self._guarded(fetch, []):
+            yield bytes(src_key), target_json, value
+
+    def record_row(self, table: str, src_key: bytes, target_json: str,
+                   value: str) -> None:
+        """Queue one raw row (merge/import path — no Structures)."""
+        target_hash = _digest(target_json)
+        self._pending_targets.append((target_hash, target_json))
+        self._pending[table].append((src_key, target_hash, value))
+        if sum(len(rows) for rows in self._pending.values()) >= self.flush_every:
+            self.flush()
+
+    def compact(self) -> Dict[str, int]:
+        """VACUUM the store file; returns byte sizes before/after."""
+        self.flush()
+        before = os.path.getsize(self.path) if os.path.exists(self.path) else 0
+        self._guarded(lambda: self._connect().execute("VACUUM"), None)
+        after = os.path.getsize(self.path) if os.path.exists(self.path) else 0
+        return {"bytes_before": before, "bytes_after": after}
+
+    def info(self) -> Dict[str, object]:
+        """The ``repro cache info`` report for a single-file store."""
+        return {
+            "path": self.path,
+            "schema_version": SCHEMA_VERSION,
+            "shards": 1,
+            "counts": self.counts_len(),
+            "exists": self.exists_len(),
+            "memory_tier": None,
+            "shard_files": [{
+                "index": 0,
+                "path": self.path,
+                "counts": self.counts_len(),
+                "exists": self.exists_len(),
+                "bytes": os.path.getsize(self.path)
+                if os.path.exists(self.path) else 0,
+            }],
+        }
 
     def clear(self) -> int:
         """Delete every persisted answer (``repro cache flush``).

@@ -187,7 +187,9 @@ _WORKER_LAST_METRICS: Dict[str, float] = {}
 
 
 def _init_worker(cache_path: Optional[str], preload: int,
-                 fault_spec: Optional[Dict] = None) -> None:
+                 fault_spec: Optional[Dict] = None,
+                 shards: Optional[int] = None,
+                 memory_tier: Optional[int] = None) -> None:
     global _WORKER_SESSION, _WORKER_LAST_METRICS
     if fault_spec is not None:
         # The plan travels as its JSON spec (counters are per-process;
@@ -195,7 +197,13 @@ def _init_worker(cache_path: Optional[str], preload: int,
         # deterministic across worker layouts — the chaos lane keys
         # worker kills by task id for exactly that reason).
         install_fault_plan(FaultPlan(fault_spec))
-    _WORKER_SESSION = SolverSession(store_path=cache_path, preload=preload)
+    # With a sharded store, each worker's shard connections open
+    # lazily on first touch — a worker only ever opens the shard
+    # files its keys hash into.
+    if cache_path is None:
+        shards = memory_tier = None
+    _WORKER_SESSION = SolverSession(store_path=cache_path, preload=preload,
+                                    shards=shards, memory_tier=memory_tier)
     _WORKER_LAST_METRICS = {}
 
 
@@ -300,11 +308,15 @@ class _PoolSupervisor:
     def __init__(self, workers: int, cache_path: Optional[str],
                  preload: int, fault_spec: Optional[Dict],
                  max_retries: int, chunk_timeout: Optional[float],
-                 metrics_sink: Optional[Dict[str, float]]):
+                 metrics_sink: Optional[Dict[str, float]],
+                 shards: Optional[int] = None,
+                 memory_tier: Optional[int] = None):
         self.workers = workers
         self.cache_path = cache_path
         self.preload = preload
         self.fault_spec = fault_spec
+        self.shards = shards
+        self.memory_tier = memory_tier
         self.max_retries = max(0, max_retries)
         self.chunk_timeout = chunk_timeout
         self.metrics_sink = metrics_sink
@@ -316,7 +328,8 @@ class _PoolSupervisor:
             max_workers=self.workers,
             mp_context=_pool_context(),
             initializer=_init_worker,
-            initargs=(self.cache_path, self.preload, self.fault_spec),
+            initargs=(self.cache_path, self.preload, self.fault_spec,
+                      self.shards, self.memory_tier),
         )
 
     def _note(self, name: str, value: int = 1) -> None:
@@ -426,14 +439,18 @@ def iter_results(
     max_retries: int = DEFAULT_MAX_RETRIES,
     fault_plan: Optional[Dict] = None,
     chunk_timeout: Optional[float] = None,
+    shards: Optional[int] = None,
+    memory_tier: Optional[int] = None,
 ) -> Iterator[str]:
     """Evaluate task lines, yielding result lines in task order.
 
     ``workers <= 1`` runs inline (no subprocesses); otherwise a pool of
     ``workers`` processes shards the stream in chunks of ``chunk_size``
-    tasks.  ``cache_path`` names the shared persistent hom-count store;
-    ``preload`` bounds how many stored counts each worker seeds into
-    its in-memory memo at startup.  An explicit ``session`` (inline
+    tasks.  ``cache_path`` names the shared persistent hom-count store
+    (a directory — or ``shards``/``memory_tier`` set — selects the
+    sharded tiered store; each worker opens only the shard files its
+    keys hash into); ``preload`` bounds how many stored counts each
+    worker seeds into its in-memory memo at startup.  An explicit ``session`` (inline
     mode only — worker processes own their sessions) evaluates the
     stream under caller-owned state: the request service passes its
     resident session here so memo and store stay warm across streams.
@@ -461,7 +478,10 @@ def iter_results(
                     "iter_results: pass either session= or cache_path=, "
                     "not both (the session already owns its store)")
         else:
-            scoped = SolverSession(store_path=cache_path, preload=preload)
+            if cache_path is None:
+                shards = memory_tier = None
+            scoped = SolverSession(store_path=cache_path, preload=preload,
+                                   shards=shards, memory_tier=memory_tier)
         before = (scoped.metrics.counters_snapshot()
                   if metrics_sink is not None else {})
         try:
@@ -491,7 +511,8 @@ def iter_results(
     # result() — Pool would silently lose the job and hang the batch.
     # The supervisor owns restart / retry / bisect / quarantine.
     supervisor = _PoolSupervisor(workers, cache_path, preload, fault_plan,
-                                 max_retries, chunk_timeout, metrics_sink)
+                                 max_retries, chunk_timeout, metrics_sink,
+                                 shards=shards, memory_tier=memory_tier)
     try:
         # Bounded in-flight window: submitting everything up front
         # would buffer an arbitrarily large task stream in memory.
@@ -523,6 +544,8 @@ def run_batch(
     max_retries: int = DEFAULT_MAX_RETRIES,
     fault_plan: Optional[Dict] = None,
     chunk_timeout: Optional[float] = None,
+    shards: Optional[int] = None,
+    memory_tier: Optional[int] = None,
 ) -> Dict[str, int]:
     """File-level driver behind ``repro batch run``.
 
@@ -573,7 +596,8 @@ def run_batch(
                                    metrics_sink=metrics,
                                    max_retries=max_retries,
                                    fault_plan=fault_plan,
-                                   chunk_timeout=chunk_timeout):
+                                   chunk_timeout=chunk_timeout,
+                                   shards=shards, memory_tier=memory_tier):
             sink.write(result + "\n")
             summary["written"] += 1
             if '"ok":false' in result:

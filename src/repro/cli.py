@@ -23,8 +23,15 @@ daemon — with verbs underneath (the ``kubectl``-style noun/verb idiom):
 ``batch gen``     synthesize JSONL scenario files.
 ``batch run``     evaluate a JSONL task stream across worker processes
                   with a persistent hom-count cache.
-``cache info``    row counts of a persistent hom-count store.
+``cache info``    row counts (and shard layout) of a persistent
+                  hom-count store; ``--json`` for the full report.
 ``cache flush``   delete every persisted answer from a store.
+``cache merge``   merge several stores (files or shard directories)
+                  into one — how N replicas' caches become one.
+``cache compact`` VACUUM a store's files to their minimal size.
+``cache warm-pack`` export the most recently recorded answers as a
+                  compact pack that ``serve start --preload-pack``
+                  ships into a cold replica.
 ``serve start``   resident mode: a long-running daemon answering the
                   batch task codec over stdio (default) or TCP, one
                   warm solver session shared across every request.
@@ -263,16 +270,22 @@ def _cmd_batch_run(args: argparse.Namespace) -> int:
         from repro.faults.inject import FaultPlan
 
         fault_plan = FaultPlan.from_file(args.fault_plan).to_spec()
+    if args.cache is None and (args.shards is not None
+                               or args.memory_tier is not None):
+        raise ReproError("--shards/--memory-tier require --cache")
     summary = run_batch(
         args.input,
         args.output,
         workers=args.workers,
         cache_path=args.cache,
         chunk_size=args.chunk_size,
+        preload=args.preload_limit,
         resume=args.resume,
         max_retries=args.max_retries,
         fault_plan=fault_plan,
         chunk_timeout=args.chunk_timeout,
+        shards=args.shards,
+        memory_tier=args.memory_tier,
     )
     print(
         f"batch: {summary['written']} results written "
@@ -290,19 +303,32 @@ def _cmd_batch_run(args: argparse.Namespace) -> int:
 def _open_cache(path: str):
     import os
 
-    from repro.batch.cache import SQLiteHomStore
+    from repro.batch.store import open_store
 
     if not os.path.exists(path):
         # Opening would silently create an empty database — a typo'd
         # path must not be indistinguishable from an empty cache.
         raise ReproError(f"no such cache file: {path}")
-    return SQLiteHomStore(path)
+    return open_store(path)
 
 
 def _cmd_cache_info(args: argparse.Namespace) -> int:
     with _open_cache(args.cache) as store:
-        print(f"{args.cache}: {store.counts_len()} persisted hom counts, "
-              f"{store.exists_len()} existence verdicts")
+        info = store.info()
+        if args.json:
+            print(json.dumps(info, indent=2, sort_keys=True))
+            return 0
+        print(f"{args.cache}: {info['counts']} persisted hom counts, "
+              f"{info['exists']} existence verdicts")
+        if info.get("shards", 1) > 1 or info.get("memory_tier"):
+            tier = info["memory_tier"]
+            print(f"  schema v{info['schema_version']}, "
+                  f"{info['shards']} shards, memory tier "
+                  f"{tier['entries']}/{tier['capacity']} entries")
+            for shard in info["shard_files"]:
+                print(f"  shard {shard['index']:03d}: "
+                      f"{shard['counts']} counts, {shard['exists']} exists, "
+                      f"{shard['bytes']} bytes")
     return 0
 
 
@@ -310,6 +336,40 @@ def _cmd_cache_flush(args: argparse.Namespace) -> int:
     with _open_cache(args.cache) as store:
         removed = store.clear()
     print(f"{args.cache}: flushed {removed} persisted answers")
+    return 0
+
+
+def _cmd_cache_merge(args: argparse.Namespace) -> int:
+    from repro.batch.store import copy_rows, open_store
+
+    with open_store(args.into, shards=args.shards) as destination:
+        total = 0
+        for source_path in args.sources:
+            with _open_cache(source_path) as source:
+                moved = copy_rows(source, destination)
+            print(f"{source_path}: merged {moved} rows", file=sys.stderr)
+            total += moved
+        counts = destination.counts_len()
+        exists = destination.exists_len()
+    print(f"{args.into}: {total} rows merged "
+          f"({counts} counts, {exists} verdicts persisted)")
+    return 0
+
+
+def _cmd_cache_compact(args: argparse.Namespace) -> int:
+    with _open_cache(args.cache) as store:
+        sizes = store.compact()
+    print(f"{args.cache}: compacted {sizes['bytes_before']} -> "
+          f"{sizes['bytes_after']} bytes")
+    return 0
+
+
+def _cmd_cache_warm_pack(args: argparse.Namespace) -> int:
+    from repro.batch.store import export_warm_pack
+
+    with _open_cache(args.cache) as store:
+        rows = export_warm_pack(store, args.output, limit=args.limit)
+    print(f"{args.output}: packed {rows} rows from {args.cache}")
     return 0
 
 
@@ -322,9 +382,17 @@ def _cmd_serve_start(args: argparse.Namespace) -> int:
     from repro.obs import StructuredLogger
     from repro.service import SolverService, serve_socket, serve_stdio
 
+    if args.cache is None and (args.shards is not None
+                               or args.memory_tier is not None
+                               or args.preload_pack is not None):
+        raise ReproError(
+            "--shards/--memory-tier/--preload-pack require --cache")
     logger = None if args.no_request_log else \
         StructuredLogger(component="repro.serve")
     service = SolverService(workers=args.workers, store_path=args.cache,
+                            shards=args.shards,
+                            memory_tier=args.memory_tier,
+                            preload_pack=args.preload_pack,
                             strategy=args.strategy, preload=args.preload,
                             logger=logger,
                             request_deadline_ms=args.request_deadline_ms)
@@ -504,8 +572,23 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=1, metavar="N",
                      help="worker processes (1 = run inline)")
     run.add_argument("--cache", default=None, metavar="PATH",
-                     help="persistent hom-count store (SQLite) shared "
-                          "by all workers and across runs")
+                     help="persistent hom-count store shared by all "
+                          "workers and across runs (a file = single "
+                          "SQLite store; a directory or --shards = "
+                          "sharded tiered store)")
+    run.add_argument("--shards", type=int, default=None, metavar="N",
+                     help="partition a store created at --cache into N "
+                          "hash-partitioned SQLite shards (implies the "
+                          "tiered store; workers open only the shards "
+                          "their keys hash into)")
+    run.add_argument("--memory-tier", type=int, default=None, metavar="K",
+                     help="in-process LRU tier capacity in entries for "
+                          "the tiered store (implies it; default 8192)")
+    run.add_argument("--preload-limit", type=int, default=2048,
+                     metavar="K",
+                     help="most-recently-recorded stored counts seeded "
+                          "into each worker's memo at startup "
+                          "(default: 2048)")
     run.add_argument("--chunk-size", type=int, default=8, metavar="M",
                      help="tasks per scheduling chunk (default: 8)")
     run.add_argument("--resume", action="store_true",
@@ -530,14 +613,48 @@ def build_parser() -> argparse.ArgumentParser:
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
 
     info = cache_sub.add_parser(
-        "info", help="row counts of a store file")
+        "info", help="row counts (and shard layout) of a store")
     info.add_argument("--cache", required=True, metavar="PATH")
+    info.add_argument("--json", action="store_true",
+                      help="full machine-readable report: per-shard row "
+                           "counts, file sizes, schema version, "
+                           "memory-tier occupancy")
     info.set_defaults(handler=_cmd_cache_info)
 
     flush = cache_sub.add_parser(
         "flush", help="delete every persisted answer from a store file")
     flush.add_argument("--cache", required=True, metavar="PATH")
     flush.set_defaults(handler=_cmd_cache_flush)
+
+    merge = cache_sub.add_parser(
+        "merge", help="merge stores (files or shard directories) into one")
+    merge.add_argument("sources", nargs="+", metavar="SRC",
+                       help="stores to merge rows from")
+    merge.add_argument("--into", required=True, metavar="DEST",
+                       help="destination store; created if absent "
+                            "(existing rows win on key collisions)")
+    merge.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="shard count when DEST is created by this "
+                            "merge (default: 8; ignored for an existing "
+                            "store, which keeps its layout)")
+    merge.set_defaults(handler=_cmd_cache_merge)
+
+    compact = cache_sub.add_parser(
+        "compact", help="VACUUM a store's files to their minimal size")
+    compact.add_argument("--cache", required=True, metavar="PATH")
+    compact.set_defaults(handler=_cmd_cache_compact)
+
+    warm_pack = cache_sub.add_parser(
+        "warm-pack",
+        help="export the most recently recorded answers as a compact "
+             "warm-start pack (consumed by serve start --preload-pack)")
+    warm_pack.add_argument("--cache", required=True, metavar="PATH")
+    warm_pack.add_argument("--output", required=True, metavar="PATH",
+                           help="pack destination (JSONL)")
+    warm_pack.add_argument("--limit", type=int, default=None, metavar="K",
+                           help="at most K rows, newest first "
+                                "(default: all)")
+    warm_pack.set_defaults(handler=_cmd_cache_warm_pack)
 
     # ----------------------------------------------------------- serve
     serve = sub.add_parser(
@@ -554,8 +671,20 @@ def build_parser() -> argparse.ArgumentParser:
     start.add_argument("--workers", type=int, default=4, metavar="N",
                        help="bounded request-dispatch pool size (default: 4)")
     start.add_argument("--cache", default=None, metavar="PATH",
-                       help="persistent hom-count store (SQLite) owned by "
-                            "the service session")
+                       help="persistent hom-count store owned by the "
+                            "service session (a file = single SQLite "
+                            "store; a directory or --shards = sharded "
+                            "tiered store)")
+    start.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="partition a store created at --cache into N "
+                            "hash-partitioned SQLite shards")
+    start.add_argument("--memory-tier", type=int, default=None,
+                       metavar="K",
+                       help="in-process LRU tier capacity in entries for "
+                            "the tiered store (default 8192)")
+    start.add_argument("--preload-pack", default=None, metavar="PATH",
+                       help="warm-start pack (cache warm-pack) imported "
+                            "into the store before serving")
     start.add_argument("--preload", type=int, default=2048, metavar="K",
                        help="stored counts seeded into the warm memo at "
                             "startup when --cache is given (default: 2048)")

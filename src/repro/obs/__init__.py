@@ -22,7 +22,7 @@ Every metric name is dot-namespaced by the layer that owns it.  This
 is the documented schema that ``SolverSession.stats(flat=True)``,
 ``SolverService.stats(flat=True)`` and the daemon's ``{"op":
 "metrics"}`` control op all return, and that future subsystems
-(sharded store, async front end) emit into:
+(async front end) emit into:
 
 ====================================  =========  ========================
 name                                  kind       meaning
@@ -49,7 +49,14 @@ name                                  kind       meaning
 ``store.inserts``                     counter    SQLite store writes
 ``store.corruptions``                 counter    corrupt files quarantined
 ``store.retries``                     counter    ops retried after a heal
+``store.tier.hits`` / ``.misses``     counter    memory-tier LRU probes
+``store.tier.evictions``              counter    memory-tier LRU evictions
+``store.flush.batches``               counter    write-behind transactions
+``store.flush.rows``                  counter    rows published by flushes
+``store.shard.opens``                 counter    shard files actually opened
 ``store.counts`` / ``store.exists``   gauge      persisted rows
+``store.tier.entries``                gauge      live memory-tier size
+``store.shards``                      gauge      shard count of the store
 ``budget.exceeded_deadline``          counter    wall-clock budget trips
 ``budget.exceeded_steps``             counter    work-budget trips
 ``budget.injected``                   counter    injected engine faults

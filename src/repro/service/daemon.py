@@ -140,6 +140,9 @@ class SolverService:
     def __init__(self, session: Optional[SolverSession] = None,
                  workers: int = DEFAULT_WORKERS,
                  store_path: Optional[str] = None,
+                 shards: Optional[int] = None,
+                 memory_tier: Optional[int] = None,
+                 preload_pack: Optional[str] = None,
                  strategy: str = "auto",
                  preload: int = 0,
                  logger: Optional[StructuredLogger] = None,
@@ -150,16 +153,20 @@ class SolverService:
             # masquerade as a warm persistent deployment while serving
             # cold — refuse the contradiction instead.
             if store_path is not None or strategy != "auto" \
-                    or request_deadline_ms is not None:
+                    or request_deadline_ms is not None \
+                    or shards is not None or memory_tier is not None \
+                    or preload_pack is not None:
                 raise ReproError(
                     "cannot adopt an existing session and also configure "
-                    "store_path/strategy/request_deadline_ms; configure "
-                    "the session itself")
+                    "store_path/shards/memory_tier/preload_pack/strategy/"
+                    "request_deadline_ms; configure the session itself")
             self.session = session
             self._owns_session = False
         else:
             self.session = SolverSession(
-                store_path=store_path, strategy=strategy, preload=preload,
+                store_path=store_path, shards=shards,
+                memory_tier=memory_tier, preload_pack=preload_pack,
+                strategy=strategy, preload=preload,
                 default_deadline_ms=request_deadline_ms)
             self._owns_session = True
         self.workers = max(1, workers)

@@ -61,9 +61,21 @@ class SolverSession:
         (``lookup``/``record``; see :class:`repro.hom.engine.HomEngine`).
         Borrowed — the caller closes it.
     store_path:
-        Path to an SQLite hom store
-        (:class:`repro.batch.cache.SQLiteHomStore`).  Owned — the
-        session opens it lazily here and closes it in :meth:`close`.
+        Path to a persistent hom store, owned by the session (opened
+        here, closed in :meth:`close`).  A plain file path opens the
+        single-file :class:`repro.batch.cache.SQLiteHomStore`; a
+        directory — or any path combined with ``shards=`` /
+        ``memory_tier=`` — opens the sharded, tiered
+        :class:`repro.batch.store.TieredHomStore` (migrating a v2 file
+        in place; see :func:`repro.batch.store.open_store`).
+    shards / memory_tier:
+        Tiered-store knobs (require ``store_path``): the shard count
+        for a store created at ``store_path``, and the LRU memory-tier
+        capacity in entries.
+    preload_pack:
+        Path to a warm-start pack (``repro cache warm-pack``) whose
+        rows are imported into the owned store before serving — the
+        engine's first probes for packed keys become store hits.
     strategy:
         Counting-backend override, ``"auto"``/``"backtrack"``/``"dp"``.
     max_counts / max_targets:
@@ -87,6 +99,9 @@ class SolverSession:
 
     def __init__(self, *, engine: Optional[HomEngine] = None,
                  store=None, store_path: Optional[str] = None,
+                 shards: Optional[int] = None,
+                 memory_tier: Optional[int] = None,
+                 preload_pack: Optional[str] = None,
                  strategy: str = "auto",
                  max_counts: int = 16384, max_targets: int = 512,
                  preload: int = 0,
@@ -104,16 +119,25 @@ class SolverSession:
             raise ReproError(
                 "SolverSession takes either a store object or a "
                 "store_path, not both")
+        if store_path is None and (shards is not None
+                                   or memory_tier is not None
+                                   or preload_pack is not None):
+            raise ReproError(
+                "shards=/memory_tier=/preload_pack= configure the "
+                "session-owned store and require store_path=")
         if strategy not in STRATEGIES:
             raise ReproError(
                 f"unknown counting strategy {strategy!r}; "
                 f"expected one of {STRATEGIES}")
         self._owns_store = False
         if store_path is not None:
-            from repro.batch.cache import SQLiteHomStore
+            from repro.batch.store import import_warm_pack, open_store
 
-            store = SQLiteHomStore(store_path)
+            store = open_store(store_path, shards=shards,
+                               memory_tier=memory_tier)
             self._owns_store = True
+            if preload_pack is not None:
+                import_warm_pack(store, preload_pack)
         self._store = store
         if engine is not None:
             # Adopted engine: its configuration wins; wiring a second
@@ -173,16 +197,41 @@ class SolverSession:
         stats = getattr(store, "stats", None)
         return stats() if stats else {}
 
+    # stats() key -> metric name, per kind.  The tier/flush/shard keys
+    # only appear when the attached store is the tiered one; the
+    # single-file store's stats simply lack them, so the mapping is
+    # shared by both store classes.
+    _STORE_COUNTER_METRICS = {
+        "lookups": "store.lookups",
+        "lookup_hits": "store.lookup_hits",
+        "inserts": "store.inserts",
+        "corruptions": "store.corruptions",
+        "retries": "store.retries",
+        "tier_hits": "store.tier.hits",
+        "tier_misses": "store.tier.misses",
+        "tier_evictions": "store.tier.evictions",
+        "flush_batches": "store.flush.batches",
+        "flush_rows": "store.flush.rows",
+        "shard_opens": "store.shard.opens",
+    }
+    _STORE_GAUGE_METRICS = {
+        "counts": "store.counts",
+        "exists": "store.exists",
+        "tier_entries": "store.tier.entries",
+        "shards": "store.shards",
+    }
+
     def _collect_store_counters(self) -> Dict[str, int]:
         stats = self._store_stats()
-        return {f"store.{key}": value for key, value in stats.items()
-                if key in ("lookups", "lookup_hits", "inserts",
-                           "corruptions", "retries")}
+        return {name: stats[key]
+                for key, name in self._STORE_COUNTER_METRICS.items()
+                if key in stats}
 
     def _collect_store_gauges(self) -> Dict[str, int]:
         stats = self._store_stats()
-        return {f"store.{key}": value for key, value in stats.items()
-                if key in ("counts", "exists")}
+        return {name: stats[key]
+                for key, name in self._STORE_GAUGE_METRICS.items()
+                if key in stats}
 
     # ------------------------------------------------------------------
     # Counting facade (the operations consumers actually perform)

@@ -29,6 +29,9 @@ EXPECTED_WORKLOADS = {
     "service_throughput": {"cold_dispatch_per_task_s",
                            "warm_service_per_task_s", "speedup", "tasks"},
     "linalg_det": {"gaussian_fraction_s", "bareiss_s", "speedup"},
+    "store_tiered": {"singlefile_record_s", "tiered_record_s",
+                     "speedup_record", "singlefile_lookup_s",
+                     "tiered_lookup_s", "speedup_lookup", "rows"},
 }
 
 
