@@ -35,12 +35,18 @@ daemon — with verbs underneath (the ``kubectl``-style noun/verb idiom):
 ``serve start``   resident mode: a long-running daemon answering the
                   batch task codec over stdio (default) or TCP, one
                   warm solver session shared across every request.
+                  ``--async`` runs the asyncio front end instead:
+                  per-tenant sessions, priorities, backpressure, and
+                  an optional ``--http-port`` HTTP/WebSocket facade.
 ``serve ping``    liveness probe against a running TCP daemon.
 ``serve stats``   legacy nested statistics from a running daemon.
 ``serve metrics`` full namespaced metrics snapshot (``--prometheus``
                   for text exposition) from a running daemon.
 ``serve drain``   ask a running daemon to stop accepting new requests
                   and exit after in-flight ones finish.
+``serve load``    closed-loop load run against a running daemon:
+                  throughput + p50/p99 latency at N concurrent
+                  clients over a chosen transport.
 
 The management verbs (``ping``/``stats``/``metrics``/``drain``) share
 one client context — ``--host``/``--port``/``--timeout`` — and speak
@@ -104,7 +110,7 @@ _LEGACY_COMMANDS = {
 # a verb: anything that is not one of the group's verbs gets the default
 # verb spliced in.
 _GROUP_VERBS = {
-    "serve": ("start", "ping", "stats", "metrics", "drain"),
+    "serve": ("start", "ping", "stats", "metrics", "drain", "load"),
     "bench": ("run", "check"),
 }
 _GROUP_DEFAULTS = {"serve": "start", "bench": "run"}
@@ -389,6 +395,11 @@ def _cmd_serve_start(args: argparse.Namespace) -> int:
             "--shards/--memory-tier/--preload-pack require --cache")
     logger = None if args.no_request_log else \
         StructuredLogger(component="repro.serve")
+    if args.use_async:
+        return _serve_start_async(args, logger)
+    if args.http_port is not None:
+        raise ReproError("--http-port requires --async (the HTTP/"
+                         "WebSocket facade rides the async front end)")
     service = SolverService(workers=args.workers, store_path=args.cache,
                             shards=args.shards,
                             memory_tier=args.memory_tier,
@@ -418,6 +429,72 @@ def _cmd_serve_start(args: argparse.Namespace) -> int:
         print(
             f"repro serve: {svc['requests']} requests "
             f"({svc['errors']} errors) in {svc['uptime_s']}s; "
+            f"memo hits {engine['hits']}+{engine['exists_hits']}, "
+            f"misses {engine['misses']}+{engine['exists_misses']}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _serve_start_async(args: argparse.Namespace, logger) -> int:
+    """The ``serve start --async`` path: asyncio front end, per-tenant
+    sessions, priorities/backpressure, optional HTTP/WebSocket port."""
+    import asyncio
+    import signal
+
+    from repro.service import (
+        AsyncSolverService,
+        serve_async_stdio,
+        serve_async_tcp,
+    )
+
+    service = AsyncSolverService(
+        workers=args.workers, max_queue=args.max_queue,
+        store_path=args.cache, shards=args.shards,
+        memory_tier=args.memory_tier, preload_pack=args.preload_pack,
+        strategy=args.strategy, preload=args.preload, logger=logger,
+        request_deadline_ms=args.request_deadline_ms,
+        max_inflight=args.tenant_max_inflight)
+
+    def _graceful(signum, frame):  # noqa: ARG001 — signal signature
+        service.request_drain()
+
+    async def _tcp() -> None:
+        try:
+            await serve_async_tcp(service, host=args.host, port=args.port,
+                                  http_port=args.http_port)
+        finally:
+            await service.aclose()
+
+    async def _stdio() -> None:
+        try:
+            await serve_async_stdio(service)
+        finally:
+            await service.aclose()
+
+    previous = signal.signal(signal.SIGTERM, _graceful)
+    try:
+        if args.port is not None:
+            facade = (f" + http :{args.http_port}"
+                      if args.http_port is not None else "")
+            print(f"repro serve: async listening on "
+                  f"{args.host}:{args.port}{facade} "
+                  f"({args.workers} workers)", file=sys.stderr)
+            asyncio.run(_tcp())
+        else:
+            asyncio.run(_stdio())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        report = service.stats()
+        engine = report["session"]["engine"]  # type: ignore[index]
+        svc = report["service"]  # type: ignore[index]
+        print(
+            f"repro serve: {svc['requests']} requests "
+            f"({svc['errors']} errors, {svc['overloaded']} overloaded) "
+            f"in {svc['uptime_s']}s across "
+            f"{len(report['tenants'])} tenant(s); "  # type: ignore[arg-type]
             f"memo hits {engine['hits']}+{engine['exists_hits']}, "
             f"misses {engine['misses']}+{engine['exists_misses']}",
             file=sys.stderr,
@@ -465,6 +542,29 @@ def _cmd_serve_metrics(args: argparse.Namespace) -> int:
 
 def _cmd_serve_drain(args: argparse.Namespace) -> int:
     _print_json(_client(args).drain())
+    return 0
+
+
+def _cmd_serve_load(args: argparse.Namespace) -> int:
+    """Closed-loop load run against a running daemon; JSON summary."""
+    from repro.service.loadgen import default_task_lines, run_load
+
+    report = run_load(
+        args.host, args.port,
+        default_task_lines(args.tasks, seed=args.seed),
+        clients=args.clients,
+        requests_per_client=args.requests,
+        transport=args.transport,
+        timeout=args.timeout)
+    _print_json(report.summary())
+    if report.errors and not args.allow_errors:
+        print(f"repro serve load: {report.errors} request(s) errored",
+              file=sys.stderr)
+        return 1
+    if args.max_p99_ms is not None and report.p99_ms > args.max_p99_ms:
+        print(f"repro serve load: p99 {report.p99_ms:.3f}ms exceeds "
+              f"bound {args.max_p99_ms}ms", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -701,6 +801,26 @@ def build_parser() -> argparse.ArgumentParser:
                             "structured budget-exceeded error instead of "
                             "stalling the pool (requests may still set "
                             "their own deadline_ms)")
+    start.add_argument("--async", dest="use_async", action="store_true",
+                       help="run the asyncio front end: persistent-"
+                            "connection multiplexing, per-tenant "
+                            "sessions with quotas, request priorities, "
+                            "admission-control backpressure (DESIGN.md "
+                            "§16); same line protocol, byte-identical "
+                            "responses")
+    start.add_argument("--http-port", type=int, default=None, metavar="N",
+                       help="with --async: also serve the HTTP/WebSocket "
+                            "facade (GET /healthz, GET /metrics, POST "
+                            "/task, GET /ws) on port N")
+    start.add_argument("--max-queue", type=int, default=256, metavar="N",
+                       help="with --async: dispatch-queue bound; requests "
+                            "beyond it are answered with a structured "
+                            "overloaded record (default: 256)")
+    start.add_argument("--tenant-max-inflight", type=int, default=None,
+                       metavar="N",
+                       help="with --async: default per-tenant in-flight "
+                            "admission quota (default: 8; tenants may "
+                            "override via the hello op)")
     start.set_defaults(handler=_cmd_serve_start)
 
     # Shared client context for the management verbs: every one of them
@@ -743,6 +863,33 @@ def build_parser() -> argparse.ArgumentParser:
         "drain", parents=[client_opts],
         help="stop a running daemon after in-flight requests finish")
     drain.set_defaults(handler=_cmd_serve_drain)
+
+    load = serve_sub.add_parser(
+        "load", parents=[client_opts],
+        help="closed-loop load run against a running daemon "
+             "(throughput + p50/p99 latency at N concurrent clients)")
+    load.add_argument("--clients", type=int, default=16, metavar="N",
+                      help="concurrent closed-loop clients (default: 16)")
+    load.add_argument("--requests", type=int, default=25, metavar="N",
+                      help="requests per client (default: 25)")
+    load.add_argument("--transport", default="persistent",
+                      choices=["per-request", "persistent", "ws"],
+                      help="per-request = dial per request (legacy "
+                           "client); persistent = one reused connection "
+                           "per client; ws = WebSocket via --http-port "
+                           "(default: persistent)")
+    load.add_argument("--tasks", type=int, default=8, metavar="N",
+                      help="distinct task lines cycled through "
+                           "(default: 8)")
+    load.add_argument("--seed", type=int, default=2024, metavar="S",
+                      help="scenario seed for the task lines")
+    load.add_argument("--max-p99-ms", type=float, default=None,
+                      metavar="MS",
+                      help="exit non-zero when p99 latency exceeds MS")
+    load.add_argument("--allow-errors", action="store_true",
+                      help="tolerate overload rejections (stress runs) "
+                           "instead of exiting non-zero")
+    load.set_defaults(handler=_cmd_serve_load)
 
     return parser
 

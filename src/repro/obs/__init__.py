@@ -71,6 +71,15 @@ name                                  kind       meaning
 ``service.request.budget_exceeded``   counter    budget-limited requests
 ``service.uptime_s``                  gauge      daemon uptime
 ``service.workers``                   gauge      dispatch pool size
+``service.overloaded``                counter    requests shed (async)
+``service.request.queued_us``         histogram  admission→dispatch wait
+``service.queue.depth``               gauge      async dispatch queue depth
+``service.inflight``                  gauge      admitted, not yet answered
+``service.tenants.opened``            counter    tenants ever created
+``service.tenants.active``            gauge      live tenants (named+anon)
+``service.tenant.<name>.requests``    counter    per-tenant request stream
+``service.tenant.<name>.errors``      counter    per-tenant error answers
+``service.tenant.<name>.rejected``    counter    per-tenant overload sheds
 ====================================  =========  ========================
 
 The ``budget.*`` counters live in :mod:`repro.faults.budget` and

@@ -380,7 +380,8 @@ class SolverService:
 # ----------------------------------------------------------------------
 def serve_stdio(service: SolverService,
                 source: Optional[Iterable[str]] = None,
-                sink: Optional[IO[str]] = None) -> int:
+                sink: Optional[IO[str]] = None,
+                max_pending: Optional[int] = None) -> int:
     """Answer a JSONL request stream, responses in request order.
 
     Reads ``source`` (default stdin) to EOF — or until a ``shutdown``
@@ -389,16 +390,25 @@ def serve_stdio(service: SolverService,
     dispatched through the bounded pool; a dedicated writer thread
     emits and flushes each response *as soon as it resolves*, oldest
     first, so an interactive client gets its answer immediately while
-    response order always matches request order.  The bounded queue
-    between reader and writer is the backpressure on unbounded
-    streams.  Returns the number of response lines written.
+    response order always matches request order.
+
+    ``max_pending`` bounds the reader→writer response queue (default
+    ``4 × workers``, floor 2): when the consumer stops draining
+    ``sink``, the queue fills and the *reader* stalls — backpressure
+    propagates to the producer instead of buffering an unbounded
+    stream's responses in memory.  Returns the number of response
+    lines written.
     """
     import queue as queue_module
 
     source = sys.stdin if source is None else source
     sink = sys.stdout if sink is None else sink
-    pending: "queue_module.Queue" = queue_module.Queue(
-        maxsize=max(2, service.workers * 4))
+    if max_pending is None:
+        max_pending = max(2, service.workers * 4)
+    if max_pending < 1:
+        raise ReproError(
+            f"serve_stdio max_pending must be >= 1, got {max_pending}")
+    pending: "queue_module.Queue" = queue_module.Queue(maxsize=max_pending)
     done = object()
     written = 0
 

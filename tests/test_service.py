@@ -11,6 +11,7 @@ import io
 import json
 import socket
 import threading
+import time
 
 import pytest
 
@@ -460,3 +461,65 @@ class TestServeCli:
         assert all(json.loads(line) for line in out_lines)
         assert "repro serve:" in captured.err
         assert "3 requests" in captured.err
+
+
+# ----------------------------------------------------------------------
+# stdio writer-queue backpressure (bounded response queue)
+# ----------------------------------------------------------------------
+class TestStdioBackpressure:
+    def test_slow_consumer_stalls_the_reader(self):
+        """When the sink stops draining, the bounded response queue
+        fills and the *reader* stalls — memory stays bounded instead
+        of buffering the whole stream's responses."""
+        total = 40
+        lines = _stream("hom", total, seed=13)
+        consumed = []
+        gate = threading.Event()
+
+        class StallingSink:
+            def write(self, text: str) -> None:
+                if not gate.wait(timeout=30):  # pragma: no cover
+                    raise TimeoutError("test gate never opened")
+                consumed.append(text)
+
+            def flush(self) -> None:
+                pass
+
+        produced = []
+
+        def source():
+            for line in lines:
+                produced.append(line)
+                yield line + "\n"
+
+        service = SolverService(workers=2)
+        done = []
+        thread = threading.Thread(
+            target=lambda: done.append(serve_stdio(
+                service, source=source(), sink=StallingSink(),
+                max_pending=4)),
+            daemon=True)
+        thread.start()
+        # The writer is stuck on the first response; the reader may
+        # admit at most max_pending queued responses (plus the one in
+        # the writer's hands and one in its own) before stalling.
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline and len(produced) < 6:
+            time.sleep(0.01)
+        time.sleep(0.2)  # give a runaway reader time to overshoot
+        stalled_at = len(produced)
+        assert stalled_at < total, (
+            "reader consumed the whole stream while the consumer was "
+            "stalled — no backpressure")
+        gate.set()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        service.close()
+        assert done == [total]
+        assert len(consumed) == total
+
+    def test_max_pending_must_be_positive(self):
+        with SolverService() as service:
+            with pytest.raises(ReproError, match="max_pending"):
+                serve_stdio(service, source=iter([]), sink=io.StringIO(),
+                            max_pending=0)
